@@ -1,0 +1,375 @@
+// Package bench is the benchmark harness: one benchmark per table and figure
+// of the paper's evaluation (regenerating the result each iteration at a
+// reduced community scale) plus ablation benchmarks for the design choices
+// DESIGN.md calls out: the POMDP policy solver, the SVR trainer, the battery
+// optimizer and the scheduling game.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale regeneration (N=500) is the job of cmd/nmrepro; benchmarks use
+// small communities so the full suite completes in minutes.
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/appliance"
+	"nmdetect/internal/attack"
+	"nmdetect/internal/ceopt"
+	"nmdetect/internal/core"
+	"nmdetect/internal/detect"
+	"nmdetect/internal/dpsched"
+	"nmdetect/internal/experiments"
+	"nmdetect/internal/forecast"
+	"nmdetect/internal/game"
+	"nmdetect/internal/household"
+	"nmdetect/internal/pomdp"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/solar"
+	"nmdetect/internal/svr"
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+// benchConfig returns the reduced-scale experiment configuration used by the
+// per-figure benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		N:             24,
+		Seed:          42,
+		BootstrapDays: 5,
+		GameSweeps:    2,
+		MonitorDays:   1,
+		Solver:        core.SolverQMDP,
+	}
+}
+
+// --- Figure/Table regeneration benchmarks -------------------------------
+
+func BenchmarkFig3PriceOnlyPrediction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4NetMeteringPrediction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Attack(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ObservationAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DetectionComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate benchmarks ------------------------------------------------
+
+func benchCommunity(b *testing.B, n int) ([]*household.Customer, [][]float64) {
+	b.Helper()
+	gen := household.DefaultGenerator()
+	customers, err := gen.Generate(n, rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pv := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	return customers, pv
+}
+
+func benchPrice() timeseries.Series {
+	p := make(timeseries.Series, 24)
+	for h := range p {
+		p[h] = 0.06 + 0.05*math.Sin(float64(h)/24*2*math.Pi)
+		if p[h] < 0.02 {
+			p[h] = 0.02
+		}
+	}
+	return p
+}
+
+// BenchmarkGameSolveNetMetering measures one Algorithm-1 solve (DP + CE per
+// customer, Gauss-Seidel sweeps) for a 50-home community.
+func BenchmarkGameSolveNetMetering(b *testing.B) {
+	customers, pv := benchCommunity(b, 50)
+	q, _ := tariff.NewQuadratic(1.5)
+	cfg := game.DefaultConfig(q, true)
+	cfg.MaxSweeps = 2
+	price := benchPrice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Solve(customers, price, pv, cfg, rng.New(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGameSolveBaseline is the [9]-style no-net-metering ablation: the
+// cost of the community model the NM-blind detector reasons with.
+func BenchmarkGameSolveBaseline(b *testing.B) {
+	customers, _ := benchCommunity(b, 50)
+	q, _ := tariff.NewQuadratic(1.5)
+	cfg := game.DefaultConfig(q, false)
+	cfg.MaxSweeps = 2
+	price := benchPrice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Solve(customers, price, nil, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPScheduler measures the per-appliance dynamic program.
+func BenchmarkDPScheduler(b *testing.B) {
+	a := &appliance.Appliance{
+		Name: "ev", Levels: []float64{1.5, 3.0, 6.0}, Energy: 12, Start: 17, Deadline: 23,
+	}
+	price := benchPrice()
+	cost := func(h int, x float64) float64 { return price[h] * x }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dpsched.Schedule(a, 24, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPSchedulerContiguous measures the non-preemptible scheduling
+// extension (enumerate start × level instead of the energy-lattice DP).
+func BenchmarkDPSchedulerContiguous(b *testing.B) {
+	a := &appliance.Appliance{
+		Name: "washer", Levels: []float64{0.5, 1.0, 2.0}, Energy: 2,
+		Start: 6, Deadline: 22, Contiguous: true,
+	}
+	price := benchPrice()
+	cost := func(h int, x float64) float64 { return price[h] * x }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dpsched.Schedule(a, 24, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCEOptimizerBattery measures the cross-entropy battery-trajectory
+// optimization on its production problem size (24 dimensions).
+func BenchmarkCEOptimizerBattery(b *testing.B) {
+	price := benchPrice()
+	load := make([]float64, 24)
+	pv := make([]float64, 24)
+	for h := range load {
+		load[h] = 1.2
+		if h >= 10 && h < 16 {
+			pv[h] = 2.5
+		}
+	}
+	objective := func(x []float64) float64 {
+		total, prev := 0.0, 2.0
+		for t := 0; t < 24; t++ {
+			y := load[t] - pv[t] + x[t] - prev
+			if y > 0 {
+				total += price[t] * y * y
+			}
+			prev = x[t]
+		}
+		return total
+	}
+	lo := make([]float64, 24)
+	hi := make([]float64, 24)
+	for i := range hi {
+		hi[i] = 8
+	}
+	opts := ceopt.DefaultOptions()
+	opts.Samples = 40
+	opts.MaxIter = 25
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ceopt.Minimize(objective, lo, hi, nil, rng.New(uint64(i+1)), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Learning ablations ---------------------------------------------------
+
+func benchTrainingSet(n int) ([][]float64, []float64) {
+	s := rng.New(11)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, c := s.Range(0, 5), s.Range(0, 5)
+		x[i] = []float64{a, c}
+		y[i] = math.Sin(a) + 0.5*c + s.Normal(0, 0.02)
+	}
+	return x, y
+}
+
+// BenchmarkSVRTrainLSSVM measures the default forecaster trainer (one dense
+// linear solve).
+func BenchmarkSVRTrainLSSVM(b *testing.B) {
+	x, y := benchTrainingSet(150)
+	opts := svr.DefaultLSSVMOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svr.TrainLSSVM(x, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVRTrainEpsSVR measures the SMO-trained ε-SVR alternative.
+func BenchmarkSVRTrainEpsSVR(b *testing.B) {
+	x, y := benchTrainingSet(150)
+	opts := svr.DefaultEpsSVROptions()
+	opts.MaxSweeps = 60
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svr.TrainEpsSVR(x, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastTrainAware measures training the G(p, V, D) price
+// forecaster on a week of history.
+func BenchmarkForecastTrainAware(b *testing.B) {
+	hist := benchHistory(b, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forecast.Train(hist, forecast.ModeNetMeteringAware, forecast.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHistory(b *testing.B, days int) tariff.History {
+	b.Helper()
+	form := tariff.DefaultFormation()
+	var hist tariff.History
+	src := rng.New(5)
+	for d := 0; d < days; d++ {
+		scale := src.Range(0.2, 1.0)
+		demand := make(timeseries.Series, 24)
+		ren := make(timeseries.Series, 24)
+		for h := 0; h < 24; h++ {
+			demand[h] = 60 + 40*math.Sin(float64(h)/24*2*math.Pi)
+			if h >= 10 && h < 16 {
+				ren[h] = 50 * scale
+			}
+		}
+		price := form.Publish(demand, ren, 100, true, src)
+		for h := 0; h < 24; h++ {
+			hist.Append(price[h], ren[h], demand[h])
+		}
+	}
+	return hist
+}
+
+// --- POMDP policy ablations ------------------------------------------------
+
+func benchDetectionModel(b *testing.B) *pomdp.Model {
+	b.Helper()
+	params := detect.DefaultModelParams(100, 0.01, 0.3)
+	params.CalibSamples = 1500
+	m, err := detect.BuildModel(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPolicyPBVI measures solving the detection POMDP with point-based
+// value iteration (the faithful solver).
+func BenchmarkPolicyPBVI(b *testing.B) {
+	m := benchDetectionModel(b)
+	opts := pomdp.DefaultPBVIOptions()
+	opts.NumBeliefs = 60
+	opts.Iterations = 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pomdp.SolvePBVI(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyQMDP measures the fast QMDP approximation (ablation).
+func BenchmarkPolicyQMDP(b *testing.B) {
+	m := benchDetectionModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pomdp.SolveQMDP(m, 1e-9, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeliefUpdate measures the per-slot Bayesian filter step.
+func BenchmarkBeliefUpdate(b *testing.B) {
+	m := benchDetectionModel(b)
+	belief := pomdp.UniformBelief(m.NumStates)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		belief, _ = m.Update(belief, i%2, i%m.NumObs)
+	}
+}
+
+// BenchmarkModelCalibration measures the Monte-Carlo construction of the
+// detection POMDP's T and Ω.
+func BenchmarkModelCalibration(b *testing.B) {
+	params := detect.DefaultModelParams(100, 0.01, 0.3)
+	params.CalibSamples = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.BuildModel(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignStep measures the attack-campaign state process.
+func BenchmarkCampaignStep(b *testing.B) {
+	camp, err := attack.NewCampaign(500, 0.3, 5, 20, attack.ZeroWindow{From: 16, To: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp.Step(src)
+		if i%48 == 47 {
+			camp.Repair()
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command nmattack generates attack artifacts: it reads (or synthesizes) a
+// guideline price, applies a chosen manipulation, and prints the clean and
+// manipulated prices side by side, plus a sample compromise-campaign trace.
+//
+// Usage:
+//
+//	nmattack [-attack zero|scale|invert] [-from 16] [-to 17] [-factor 0.5]
+//	         [-n 500] [-prob 0.25] [-batchlo 5] [-batchhi 20] [-hours 48] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+func main() {
+	var (
+		atkStr  = flag.String("attack", "zero", "manipulation: zero|scale|invert")
+		from    = flag.Int("from", 16, "window start slot")
+		to      = flag.Int("to", 17, "window end slot")
+		factor  = flag.Float64("factor", 0.5, "scale factor")
+		n       = flag.Int("n", 500, "community size for the campaign trace")
+		prob    = flag.Float64("prob", 0.25, "per-slot compromise probability")
+		batchLo = flag.Int("batchlo", 5, "min meters per compromise batch")
+		batchHi = flag.Int("batchhi", 20, "max meters per compromise batch")
+		hours   = flag.Int("hours", 48, "campaign length in slots")
+		seed    = flag.Uint64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+
+	var atk attack.Attack
+	switch *atkStr {
+	case "zero":
+		atk = attack.ZeroWindow{From: *from, To: *to}
+	case "scale":
+		atk = attack.ScaleWindow{From: *from, To: *to, Factor: *factor}
+	case "invert":
+		atk = attack.Invert{}
+	default:
+		fatal(fmt.Errorf("unknown attack %q", *atkStr))
+	}
+
+	// A representative diurnal price to manipulate.
+	form := tariff.DefaultFormation()
+	demand := make(timeseries.Series, 24)
+	ren := make(timeseries.Series, 24)
+	for h := 0; h < 24; h++ {
+		demand[h] = float64(*n) * (0.8 + 0.6*dayShape(h))
+		if h >= 10 && h < 16 {
+			ren[h] = float64(*n) * 0.9
+		}
+	}
+	price := form.Publish(demand, ren, *n, true, nil)
+	manipulated := atk.Apply(price)
+
+	fmt.Printf("# manipulation: %s\n", atk.Name())
+	fmt.Println("slot,published,manipulated")
+	for h := 0; h < 24; h++ {
+		fmt.Printf("%d,%.6f,%.6f\n", h, price[h], manipulated[h])
+	}
+
+	camp, err := attack.NewCampaign(*n, *prob, *batchLo, *batchHi, atk)
+	if err != nil {
+		fatal(err)
+	}
+	src := rng.New(*seed)
+	fmt.Println("\n# campaign trace")
+	fmt.Println("hour,newly_hacked,total_hacked")
+	for t := 0; t < *hours; t++ {
+		newly := camp.Step(src)
+		fmt.Printf("%d,%d,%d\n", t, newly, camp.Count())
+	}
+}
+
+func dayShape(h int) float64 {
+	switch {
+	case h >= 17 && h < 22:
+		return 1
+	case h >= 6 && h < 17:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmattack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command nmdetect runs the full detection pipeline online: it builds the
+// system (community, forecasters, calibrated POMDP), launches an attack
+// campaign, and prints the per-slot monitoring log of the chosen detector.
+//
+// Usage:
+//
+//	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-boot 6]
+//	         [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmdetect/internal/core"
+	"nmdetect/internal/detect"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 500, "community size")
+		seed     = flag.Uint64("seed", 42, "seed")
+		days     = flag.Int("days", 2, "monitoring days")
+		sweeps   = flag.Int("sweeps", 3, "game best-response sweeps")
+		boot     = flag.Int("boot", 6, "bootstrap days")
+		detector = flag.String("detector", "aware", "aware|blind")
+		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
+		noEnf    = flag.Bool("noenforce", false, "observe only, never repair")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions(*n, *seed)
+	opts.Community.GameSweeps = *sweeps
+	opts.BootstrapDays = *boot
+	opts.Solver = core.PolicySolver(*solver)
+
+	fmt.Fprintln(os.Stderr, "nmdetect: building system (bootstrap + training + calibration)...")
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "nmdetect: channel rates — aware fp=%.4f fn=%.4f; blind fp=%.4f fn=%.4f\n",
+		sys.AwareFP, sys.AwareFN, sys.BlindFP, sys.BlindFN)
+
+	kit := sys.Aware
+	if *detector == "blind" {
+		kit = sys.Blind
+	} else if *detector != "aware" {
+		fatal(fmt.Errorf("unknown detector %q", *detector))
+	}
+
+	camp, err := sys.NewCampaign()
+	if err != nil {
+		fatal(err)
+	}
+	results, err := sys.MonitorDays(kit, camp, *days, !*noEnf)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("slot,flagged,obs_bucket,true_bucket,true_hacked,action")
+	slot := 0
+	for _, day := range results {
+		for h := 0; h < 24; h++ {
+			action := "continue"
+			if day.Actions[h] == detect.ActionInspect {
+				action = "INSPECT"
+			}
+			fmt.Printf("%d,%d,%d,%d,%d,%s\n",
+				slot, day.Flagged[h], day.ObsBucket[h], day.TrueBucket[h], day.Trace.TrueHacked[h], action)
+			slot++
+		}
+	}
+	delays, meanDelay := core.DetectionDelays(results)
+	fmt.Fprintf(os.Stderr, "nmdetect: %s observation accuracy = %.2f%%, realized PAR = %.4f, inspections = %d\n",
+		kit.Name, 100*core.ObservationAccuracy(results), core.RealizedPAR(results), core.TotalInspections(results))
+	fmt.Fprintf(os.Stderr, "nmdetect: %d intrusion episodes, mean detection delay %.1f slots (-1 = never answered: %v)\n",
+		len(delays), meanDelay, delays)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmdetect:", err)
+	os.Exit(1)
+}

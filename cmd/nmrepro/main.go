@@ -1,0 +1,268 @@
+// Command nmrepro regenerates every figure and table of the paper's
+// evaluation section and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations] [-n 500]
+//	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2]
+//	        [-solver pbvi|qmdp|threshold] [-csv DIR]
+//
+// The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
+// forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
+//
+// With -csv, the raw series behind each figure are also written as CSV files
+// into DIR for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nmdetect/internal/core"
+	"nmdetect/internal/experiments"
+	"nmdetect/internal/timeseries"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|table1|all")
+		n          = flag.Int("n", 500, "community size (customers)")
+		seed       = flag.Uint64("seed", 42, "experiment seed")
+		boot       = flag.Int("boot", 6, "bootstrap (training) days")
+		sweeps     = flag.Int("sweeps", 3, "game best-response sweeps")
+		days       = flag.Int("days", 2, "monitoring days (fig6/table1)")
+		solver     = flag.String("solver", "pbvi", "POMDP solver: pbvi|qmdp|threshold")
+		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		N:             *n,
+		Seed:          *seed,
+		BootstrapDays: *boot,
+		GameSweeps:    *sweeps,
+		MonitorDays:   *days,
+		Solver:        core.PolicySolver(*solver),
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var (
+		f3, f4 *experiments.PredictionResult
+		f5     *experiments.Fig5Result
+		f6     *experiments.Fig6Result
+		t1     *experiments.Table1Result
+		err    error
+	)
+	want := func(id string) bool { return *experiment == "all" || *experiment == id }
+
+	if want("fig3") {
+		fmt.Println("== Figure 3: prediction WITHOUT considering net metering ==")
+		if f3, err = experiments.Fig3(cfg); err != nil {
+			fatal(err)
+		}
+		renderPrediction(f3, "fig3", *csvDir, 1.4700)
+	}
+	if want("fig4") {
+		fmt.Println("== Figure 4: prediction considering net metering ==")
+		if f4, err = experiments.Fig4(cfg); err != nil {
+			fatal(err)
+		}
+		renderPrediction(f4, "fig4", *csvDir, 1.3986)
+	}
+	if want("fig5") {
+		fmt.Println("== Figure 5: zero-price cyberattack ==")
+		if f5, err = experiments.Fig5(cfg); err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderChart(os.Stdout, "guideline price ($/unit)",
+			[]string{"published", "manipulated"}, f5.Published, f5.Manipulated); err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderChart(os.Stdout, "attacked community load (kW)",
+			[]string{"load"}, f5.AttackedLoad); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("attacked PAR = %.4f (paper 1.9037); peak at slot %d (paper 16-17)\n\n", f5.PAR, f5.PeakSlot)
+		saveCSV(*csvDir, "fig5.csv", []string{"slot", "published", "manipulated", "load"},
+			f5.Published, f5.Manipulated, f5.AttackedLoad)
+	}
+	if want("fig6") {
+		fmt.Println("== Figure 6: 48h observation accuracy ==")
+		if f6, err = experiments.Fig6(cfg); err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderChart(os.Stdout, "cumulative observation accuracy",
+			[]string{"net-metering-aware", "nm-blind"},
+			timeseries.Series(f6.AwareBySlot), timeseries.Series(f6.BlindBySlot)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aware accuracy = %.2f%% (paper 95.14%%); blind = %.2f%% (paper 65.95%%)\n\n",
+			100*f6.AwareAccuracy, 100*f6.BlindAccuracy)
+		saveCSV(*csvDir, "fig6.csv", []string{"slot", "aware", "blind"},
+			timeseries.Series(f6.AwareBySlot), timeseries.Series(f6.BlindBySlot))
+	}
+	if want("table1") {
+		fmt.Println("== Table 1: detection comparison ==")
+		if t1, err = experiments.Table1(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-24s %10s %12s %12s\n", "technique", "PAR", "inspections", "labor(norm)")
+		for _, row := range []experiments.Table1Row{t1.NoDetection, t1.Blind, t1.Aware} {
+			fmt.Printf("%-24s %10.4f %12d %12.4f\n", row.Technique, row.PAR, row.Inspections, row.LaborCost)
+		}
+		fmt.Printf("(paper: 1.6509 / 1.5422 / 1.4112; labor 1 vs 1.0067)\n\n")
+	}
+
+	if want("ablations") && *experiment == "ablations" {
+		runAblations(cfg)
+		return
+	}
+
+	if *experiment == "all" {
+		fmt.Println("== Headline comparison against the paper ==")
+		h := experiments.ComputeHeadline(f3, f4, f5, f6, t1)
+		fmt.Println(h)
+
+		if *reportPath != "" {
+			rep := &experiments.Report{
+				Config: cfg, Fig3: f3, Fig4: f4, Fig5: f5, Fig6: f6, Table1: t1,
+				Headline: h, Generated: time.Now(),
+			}
+			f, err := os.Create(*reportPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.Render(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nreport written to %s\n", *reportPath)
+		}
+
+		fmt.Println()
+		experiments.RenderComparisons(os.Stdout, []experiments.Comparison{
+			{ID: "fig3", Quantity: "predicted-load PAR (NM-blind)", Paper: 1.4700, Measured: f3.PAR},
+			{ID: "fig4", Quantity: "predicted-load PAR (NM-aware)", Paper: 1.3986, Measured: f4.PAR},
+			{ID: "fig5", Quantity: "attacked-load PAR", Paper: 1.9037, Measured: f5.PAR},
+			{ID: "fig6", Quantity: "observation accuracy (aware)", Paper: 0.9514, Measured: f6.AwareAccuracy},
+			{ID: "fig6", Quantity: "observation accuracy (blind)", Paper: 0.6595, Measured: f6.BlindAccuracy},
+			{ID: "table1", Quantity: "PAR no detection", Paper: 1.6509, Measured: t1.NoDetection.PAR},
+			{ID: "table1", Quantity: "PAR NM-blind detection", Paper: 1.5422, Measured: t1.Blind.PAR},
+			{ID: "table1", Quantity: "PAR NM-aware detection", Paper: 1.4112, Measured: t1.Aware.PAR},
+			{ID: "table1", Quantity: "normalized labor (aware)", Paper: 1.0067, Measured: t1.Aware.LaborCost},
+		})
+	}
+}
+
+func runAblations(cfg experiments.Config) {
+	fmt.Println("== Ablation: POMDP policy solver ==")
+	solverRows, err := experiments.AblationSolver(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderSolverAblation(os.Stdout, solverRows)
+
+	fmt.Println("\n== Ablation: forecaster kernel ==")
+	kernelRows, err := experiments.AblationKernel(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderKernelAblation(os.Stdout, kernelRows)
+
+	fmt.Println("\n== Ablation: PV-forecast noise vs channel quality ==")
+	noiseRows, err := experiments.AblationForecastNoise(cfg, []float64{0, 0.02, 0.05, 0.1, 0.2})
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderForecastNoiseAblation(os.Stdout, noiseRows)
+
+	fmt.Println("\n== Ablation: flag threshold τ ==")
+	tauRows, err := experiments.AblationTau(cfg, []float64{0.25, 0.5, 1.0, 1.5, 2.5})
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderTauAblation(os.Stdout, tauRows)
+
+	fmt.Println("\n== Ablation: net-metering sell-back divisor W ==")
+	sellRows, err := experiments.AblationSellBack(cfg, []float64{1, 1.5, 2, 3, 5})
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderSellBackAblation(os.Stdout, sellRows)
+
+	fmt.Println("\n== Ablation: attack payloads ([8]'s PAR and bill attacks) ==")
+	atkRows, err := experiments.AblationAttacks(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderAttackAblation(os.Stdout, atkRows)
+
+	fmt.Println("\n== Ablation: zero-window position (the attacker's optimization) ==")
+	winRows, err := experiments.AblationAttackWindow(cfg, []int{2, 8, 12, 16, 20})
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderWindowSweep(os.Stdout, winRows)
+
+	fmt.Println("\n== Ablation: battery storage contribution ==")
+	battRows, err := experiments.AblationBattery(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderBatteryAblation(os.Stdout, battRows)
+
+	fmt.Println("\n== Extension: meter-side price filter (package mitigate) ==")
+	mit, err := experiments.Mitigation(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("clean PAR %.4f | attacked %.4f | filtered %.4f (%d slots clamped)\n",
+		mit.CleanPAR, mit.AttackedPAR, mit.FilteredPAR, mit.ClampedSlots)
+}
+
+func renderPrediction(r *experiments.PredictionResult, id, csvDir string, paperPAR float64) {
+	if err := experiments.RenderChart(os.Stdout, "guideline price ($/unit)",
+		[]string{"received", "predicted"}, r.Received, r.Predicted); err != nil {
+		fatal(err)
+	}
+	if err := experiments.RenderChart(os.Stdout, "predicted community load (kW)",
+		[]string{"load"}, r.PredictedLoad); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("predicted-load PAR = %.4f (paper %.4f); price RMSE = %.5f\n\n", r.PAR, paperPAR, r.PriceRMSE)
+	saveCSV(csvDir, id+".csv", []string{"slot", "received", "predicted", "load"},
+		r.Received, r.Predicted, r.PredictedLoad)
+}
+
+func saveCSV(dir, name string, header []string, series ...timeseries.Series) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, header, series...); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command nmsim runs the community simulator: it draws a synthetic
+// community, bootstraps the utility's pricing process, and prints the daily
+// traces (price, renewable generation, community load, grid demand) as CSV.
+//
+// Usage:
+//
+//	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-nonm] [-attack zero|scale|invert|none]
+//	      [-from 16] [-to 17] [-factor 0.5]
+//
+// With an attack selected, every meter is compromised on the final day and
+// the realized (attacked) trace is printed for that day.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/community"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/traceio"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 500, "community size")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		days     = flag.Int("days", 7, "days to simulate")
+		sweeps   = flag.Int("sweeps", 3, "game best-response sweeps")
+		noNM     = flag.Bool("nonm", false, "disable net metering in the world model")
+		atkStr   = flag.String("attack", "none", "attack on the final day: zero|scale|invert|none")
+		from     = flag.Int("from", 16, "attack window start slot")
+		to       = flag.Int("to", 17, "attack window end slot")
+		factor   = flag.Float64("factor", 0.5, "scale attack factor")
+		out      = flag.String("o", "", "write the trace to this file instead of stdout")
+		histFile = flag.String("history", "", "also write the forecaster-training history CSV here")
+	)
+	flag.Parse()
+
+	cfg := community.DefaultConfig(*n, *seed)
+	cfg.GameSweeps = *sweeps
+	engine, err := community.NewEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var atk attack.Attack
+	switch *atkStr {
+	case "zero":
+		atk = attack.ZeroWindow{From: *from, To: *to}
+	case "scale":
+		atk = attack.ScaleWindow{From: *from, To: *to, Factor: *factor}
+	case "invert":
+		atk = attack.Invert{}
+	case "none":
+		atk = nil
+	default:
+		fatal(fmt.Errorf("unknown attack %q", *atkStr))
+	}
+
+	netMetering := !*noNM
+	var rows []traceio.Row
+	for d := 0; d < *days; d++ {
+		env, err := engine.PrepareDay(netMetering)
+		if err != nil {
+			fatal(err)
+		}
+		var camp *attack.Campaign
+		if atk != nil && d == *days-1 {
+			camp, err = attack.NewCampaign(*n, 0, 1, 1, atk)
+			if err != nil {
+				fatal(err)
+			}
+			camp.HackNow(*n, rng.New(*seed).Derive("nmsim-attack"))
+		}
+		trace, err := engine.SimulateDay(env, camp, netMetering, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for h := 0; h < 24; h++ {
+			rows = append(rows, traceio.Row{
+				Day:        d,
+				Slot:       h,
+				Price:      env.Published[h],
+				Renewable:  env.Renewable[h],
+				Load:       trace.Load[h],
+				GridDemand: trace.GridDemand[h],
+				Hacked:     trace.TrueHacked[h],
+			})
+		}
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := traceio.WriteTrace(dst, rows); err != nil {
+		fatal(err)
+	}
+	if *histFile != "" {
+		f, err := os.Create(*histFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := traceio.WriteHistory(f, engine.History()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmsim:", err)
+	os.Exit(1)
+}

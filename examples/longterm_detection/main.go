@@ -1,0 +1,77 @@
+// Long-term detection: runs the two POMDP detector variants — net-metering-
+// aware and NM-blind — side by side over a 48-hour attack campaign on
+// identically seeded worlds, printing the per-slot belief evolution and the
+// final accuracy/PAR/labor comparison of the paper's Figure 6 and Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmdetect/internal/community"
+	"nmdetect/internal/core"
+	"nmdetect/internal/detect"
+)
+
+func main() {
+	const n = 60
+	const days = 2
+
+	run := func(aware bool) ([]*community.MonitorDayResult, *core.System) {
+		opts := core.DefaultOptions(n, 42)
+		opts.BootstrapDays = 5
+		opts.Solver = core.SolverPBVI
+		sys, err := core.NewSystem(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kit := sys.Blind
+		if aware {
+			kit = sys.Aware
+		}
+		camp, err := sys.NewCampaign()
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := sys.MonitorDays(kit, camp, days, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return results, sys
+	}
+
+	fmt.Println("running the net-metering-aware detector...")
+	awareRes, sys := run(true)
+	fmt.Println("running the NM-blind baseline...")
+	blindRes, _ := run(false)
+
+	fmt.Printf("\nchannel calibration: aware fp=%.3f fn=%.3f | blind fp=%.3f fn=%.3f\n\n",
+		sys.AwareFP, sys.AwareFN, sys.BlindFP, sys.BlindFN)
+
+	fmt.Println("slot | aware: est belief true act | blind: est belief true act")
+	slot := 0
+	for d := 0; d < days; d++ {
+		a, b := awareRes[d], blindRes[d]
+		for h := 0; h < 24; h++ {
+			fmt.Printf("%4d |        %3d %6d %4d %s |        %3d %6d %4d %s\n",
+				slot,
+				a.Estimated[h], a.BeliefBucket[h], a.TrueBucket[h], actionGlyph(a.Actions[h]),
+				b.Estimated[h], b.BeliefBucket[h], b.TrueBucket[h], actionGlyph(b.Actions[h]))
+			slot++
+		}
+	}
+
+	fmt.Printf("\n%-22s %12s %10s %12s\n", "detector", "accuracy", "PAR", "inspections")
+	fmt.Printf("%-22s %11.1f%% %10.4f %12d\n", "net-metering-aware",
+		100*core.ObservationAccuracy(awareRes), core.RealizedPAR(awareRes), core.TotalInspections(awareRes))
+	fmt.Printf("%-22s %11.1f%% %10.4f %12d\n", "nm-blind",
+		100*core.ObservationAccuracy(blindRes), core.RealizedPAR(blindRes), core.TotalInspections(blindRes))
+	fmt.Println("\n(paper, 500 homes: 95.14% vs 65.95% accuracy; PAR 1.4112 vs 1.5422)")
+}
+
+func actionGlyph(a int) string {
+	if a == detect.ActionInspect {
+		return "INSPECT"
+	}
+	return "·"
+}

@@ -1,0 +1,3 @@
+module nmdetect
+
+go 1.22

@@ -1,0 +1,305 @@
+// Package appliance models schedulable home appliances as in Section 2.1 of
+// the paper.
+//
+// An appliance m has a finite set of power levels 𝒳ₘ (kW), a task energy
+// requirement Eₘ (kWh), and a scheduling window [αₘ, βₘ]: it must not run
+// before slot αₘ nor after slot βₘ, and over the horizon its consumed energy
+// must equal Eₘ (∑ₕ xₘʰ·eₘʰ = Eₘ). With one-hour slots the per-slot execution
+// time eₘʰ is 1, so energy-per-slot equals the chosen power level.
+//
+// The package also ships a catalog of residential appliance archetypes used
+// by the synthetic community generator; the catalog shapes (deferrable
+// night-time loads like EVs and dishwashers vs. anchored daytime loads like
+// HVAC) are what give the community load its morning/evening structure.
+package appliance
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Appliance describes one schedulable task for one customer.
+type Appliance struct {
+	// Name identifies the archetype ("washer", "ev", ...) for reporting.
+	Name string
+	// Levels is the set of selectable power levels 𝒳ₘ in kW. Level 0 (off)
+	// is implicit and need not be listed.
+	Levels []float64
+	// Energy is the total task energy requirement Eₘ in kWh.
+	Energy float64
+	// Start is the earliest slot αₘ (inclusive) the appliance may run.
+	Start int
+	// Deadline is the latest slot βₘ (inclusive) the appliance may run.
+	Deadline int
+	// Contiguous marks a non-preemptible task: once started it must run in
+	// consecutive slots at a single power level until its energy is
+	// delivered (a washer cycle cannot pause mid-wash). The paper's model
+	// (and the default catalog) treats every appliance as preemptible;
+	// contiguous scheduling is an extension exercised by the dpsched
+	// benches and tests.
+	Contiguous bool
+}
+
+// Validate checks the appliance against a scheduling horizon of H slots.
+func (a *Appliance) Validate(horizon int) error {
+	if a.Energy < 0 {
+		return fmt.Errorf("appliance %q: negative energy %v", a.Name, a.Energy)
+	}
+	if len(a.Levels) == 0 {
+		return fmt.Errorf("appliance %q: no power levels", a.Name)
+	}
+	for _, l := range a.Levels {
+		if l <= 0 {
+			return fmt.Errorf("appliance %q: non-positive power level %v", a.Name, l)
+		}
+	}
+	if a.Start < 0 || a.Deadline >= horizon || a.Start > a.Deadline {
+		return fmt.Errorf("appliance %q: window [%d,%d] invalid for horizon %d",
+			a.Name, a.Start, a.Deadline, horizon)
+	}
+	if !a.Feasible() {
+		return fmt.Errorf("appliance %q: energy %v not reachable within window [%d,%d] at levels %v",
+			a.Name, a.Energy, a.Start, a.Deadline, a.Levels)
+	}
+	return nil
+}
+
+// MaxLevel returns the largest power level.
+func (a *Appliance) MaxLevel() float64 {
+	best := 0.0
+	for _, l := range a.Levels {
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// WindowLen returns the number of slots in the scheduling window.
+func (a *Appliance) WindowLen() int { return a.Deadline - a.Start + 1 }
+
+// Feasible reports whether some combination of per-slot level choices inside
+// the window can total exactly Energy (to quantization tolerance). The DP
+// scheduler quantizes energy in units of the greatest common granularity of
+// the levels; here we only need the cheap necessary condition plus a
+// reachability check on the quantized lattice.
+func (a *Appliance) Feasible() bool {
+	if a.Energy == 0 {
+		return true
+	}
+	maxTotal := a.MaxLevel() * float64(a.WindowLen())
+	if a.Energy > maxTotal+1e-9 {
+		return false
+	}
+	if a.Contiguous {
+		// A contiguous run needs some level whose whole-slot duration fits
+		// the window exactly.
+		for _, l := range a.Levels {
+			slots := a.Energy / l
+			rounded := float64(int(slots + 0.5))
+			if absf(slots-rounded) < 1e-9 && int(rounded) >= 1 && int(rounded) <= a.WindowLen() {
+				return true
+			}
+		}
+		return false
+	}
+	// Reachability on the quantized lattice used by the DP.
+	q := Quantum(a.Levels)
+	target := int(a.Energy/q + 0.5)
+	if absf(float64(target)*q-a.Energy) > 1e-6 {
+		return false // energy not representable on the level lattice
+	}
+	steps := make([]int, 0, len(a.Levels))
+	for _, l := range a.Levels {
+		steps = append(steps, int(l/q+0.5))
+	}
+	reach := make([]bool, target+1)
+	reach[0] = true
+	for slot := 0; slot < a.WindowLen(); slot++ {
+		next := make([]bool, target+1)
+		copy(next, reach) // choosing "off" this slot
+		for e := 0; e <= target; e++ {
+			if !reach[e] {
+				continue
+			}
+			for _, st := range steps {
+				if e+st <= target {
+					next[e+st] = true
+				}
+			}
+		}
+		reach = next
+		if reach[target] {
+			return true
+		}
+	}
+	return reach[target]
+}
+
+// Quantum returns the energy quantization unit for a set of power levels: the
+// approximate greatest common divisor of the levels, floored at 0.1 kWh so DP
+// tables stay small. It panics on an empty level set.
+func Quantum(levels []float64) float64 {
+	if len(levels) == 0 {
+		panic("appliance: Quantum of empty level set")
+	}
+	const unit = 0.1 // resolution of the integer GCD computation
+	g := 0
+	for _, l := range levels {
+		v := int(l/unit + 0.5)
+		if v <= 0 {
+			v = 1
+		}
+		g = gcd(g, v)
+	}
+	if g <= 0 {
+		g = 1
+	}
+	return float64(g) * unit
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Schedule is a per-slot power assignment xₘʰ for one appliance over the full
+// horizon (length H; zero outside the window).
+type Schedule []float64
+
+// Energy returns the total energy of the schedule (1-hour slots).
+func (s Schedule) Energy() float64 {
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// ErrScheduleInvalid is wrapped by CheckSchedule failures.
+var ErrScheduleInvalid = errors.New("appliance: schedule violates constraints")
+
+// CheckSchedule verifies that sched satisfies the appliance's constraints:
+// correct horizon length, zero outside [Start, Deadline], every non-zero
+// entry is a listed power level, and total energy equals Energy.
+func (a *Appliance) CheckSchedule(sched Schedule) error {
+	for h, x := range sched {
+		if x == 0 {
+			continue
+		}
+		if h < a.Start || h > a.Deadline {
+			return fmt.Errorf("%w: %q runs at slot %d outside window [%d,%d]",
+				ErrScheduleInvalid, a.Name, h, a.Start, a.Deadline)
+		}
+		ok := false
+		for _, l := range a.Levels {
+			if absf(x-l) < 1e-9 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: %q uses power %v not in levels %v",
+				ErrScheduleInvalid, a.Name, x, a.Levels)
+		}
+	}
+	if absf(sched.Energy()-a.Energy) > 1e-6 {
+		return fmt.Errorf("%w: %q schedules %.4f kWh, requires %.4f",
+			ErrScheduleInvalid, a.Name, sched.Energy(), a.Energy)
+	}
+	if a.Contiguous {
+		if err := a.checkContiguous(sched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkContiguous verifies a schedule is one consecutive run at one level.
+func (a *Appliance) checkContiguous(sched Schedule) error {
+	first, last := -1, -1
+	level := 0.0
+	for h, x := range sched {
+		if x == 0 {
+			continue
+		}
+		if first == -1 {
+			first, level = h, x
+		}
+		if absf(x-level) > 1e-9 {
+			return fmt.Errorf("%w: %q changes level mid-run at slot %d",
+				ErrScheduleInvalid, a.Name, h)
+		}
+		last = h
+	}
+	if first == -1 {
+		return nil // zero-energy schedule
+	}
+	for h := first; h <= last; h++ {
+		if sched[h] == 0 {
+			return fmt.Errorf("%w: %q pauses at slot %d inside its run",
+				ErrScheduleInvalid, a.Name, h)
+		}
+	}
+	return nil
+}
+
+// Archetype is a template from which concrete appliance instances are drawn
+// by the community generator. Ranges are [lo, hi] bounds for sampling.
+type Archetype struct {
+	Name string
+	// Levels are the selectable power levels in kW.
+	Levels []float64
+	// EnergyLo/EnergyHi bound the task energy in kWh.
+	EnergyLo, EnergyHi float64
+	// StartLo/StartHi bound the earliest-start slot.
+	StartLo, StartHi int
+	// MinWindow is the minimum number of slots between start and deadline.
+	MinWindow int
+	// MaxWindow is the maximum number of slots between start and deadline.
+	MaxWindow int
+	// Prob is the probability a household owns this appliance.
+	Prob float64
+}
+
+// Catalog returns the standard residential archetype set. Power magnitudes
+// follow typical US appliance ratings; windows encode when households are
+// willing to run each task (the paper's Eₘ, αₘ, βₘ per appliance, drawn
+// "similar to [8, 7]" — see DESIGN.md substitution table).
+func Catalog() []Archetype {
+	return []Archetype{
+		{Name: "dishwasher", Levels: []float64{0.6, 1.2}, EnergyLo: 1.0, EnergyHi: 2.4,
+			StartLo: 18, StartHi: 21, MinWindow: 3, MaxWindow: 5, Prob: 0.75},
+		{Name: "washer", Levels: []float64{0.5, 1.0}, EnergyLo: 0.5, EnergyHi: 1.5,
+			StartLo: 7, StartHi: 17, MinWindow: 3, MaxWindow: 6, Prob: 0.85},
+		{Name: "dryer", Levels: []float64{1.5, 3.0}, EnergyLo: 1.5, EnergyHi: 4.5,
+			StartLo: 8, StartHi: 18, MinWindow: 3, MaxWindow: 5, Prob: 0.80},
+		{Name: "ev", Levels: []float64{1.5, 3.0}, EnergyLo: 4.0, EnergyHi: 12.0,
+			StartLo: 16, StartHi: 19, MinWindow: 6, MaxWindow: 10, Prob: 0.35},
+		{Name: "hvac-morning", Levels: []float64{1.0, 2.0}, EnergyLo: 2.0, EnergyHi: 5.0,
+			StartLo: 5, StartHi: 7, MinWindow: 3, MaxWindow: 5, Prob: 0.90},
+		{Name: "hvac-evening", Levels: []float64{1.0, 2.0}, EnergyLo: 2.0, EnergyHi: 6.0,
+			StartLo: 16, StartHi: 18, MinWindow: 4, MaxWindow: 6, Prob: 0.90},
+		{Name: "water-heater", Levels: []float64{2.0, 4.0}, EnergyLo: 2.0, EnergyHi: 6.0,
+			StartLo: 4, StartHi: 8, MinWindow: 3, MaxWindow: 6, Prob: 0.70},
+		{Name: "pool-pump", Levels: []float64{0.8, 1.6}, EnergyLo: 1.6, EnergyHi: 4.8,
+			StartLo: 9, StartHi: 13, MinWindow: 4, MaxWindow: 8, Prob: 0.25},
+		{Name: "oven", Levels: []float64{2.0, 3.0}, EnergyLo: 1.0, EnergyHi: 3.0,
+			StartLo: 16, StartHi: 18, MinWindow: 2, MaxWindow: 3, Prob: 0.65},
+		{Name: "vacuum-robot", Levels: []float64{0.3}, EnergyLo: 0.3, EnergyHi: 0.9,
+			StartLo: 9, StartHi: 14, MinWindow: 3, MaxWindow: 6, Prob: 0.35},
+		{Name: "heat-pump-dhw", Levels: []float64{0.5, 1.0}, EnergyLo: 1.0, EnergyHi: 3.0,
+			StartLo: 11, StartHi: 14, MinWindow: 4, MaxWindow: 8, Prob: 0.30},
+		{Name: "freezer-boost", Levels: []float64{0.4}, EnergyLo: 0.4, EnergyHi: 1.2,
+			StartLo: 0, StartHi: 4, MinWindow: 3, MaxWindow: 6, Prob: 0.50},
+	}
+}

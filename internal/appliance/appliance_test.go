@@ -1,0 +1,244 @@
+package appliance
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nmdetect/internal/rng"
+)
+
+func validAppliance() *Appliance {
+	return &Appliance{
+		Name:     "washer",
+		Levels:   []float64{0.5, 1.0},
+		Energy:   2.0,
+		Start:    8,
+		Deadline: 12,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validAppliance().Validate(24); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Appliance)
+	}{
+		{"negative energy", func(a *Appliance) { a.Energy = -1 }},
+		{"no levels", func(a *Appliance) { a.Levels = nil }},
+		{"zero level", func(a *Appliance) { a.Levels = []float64{0} }},
+		{"negative level", func(a *Appliance) { a.Levels = []float64{-1} }},
+		{"negative start", func(a *Appliance) { a.Start = -1 }},
+		{"deadline past horizon", func(a *Appliance) { a.Deadline = 24 }},
+		{"inverted window", func(a *Appliance) { a.Start, a.Deadline = 12, 8 }},
+		{"infeasible energy", func(a *Appliance) { a.Energy = 100 }},
+	}
+	for _, c := range cases {
+		a := validAppliance()
+		c.mod(a)
+		if err := a.Validate(24); err == nil {
+			t.Errorf("%s: Validate accepted invalid appliance", c.name)
+		}
+	}
+}
+
+func TestMaxLevelAndWindow(t *testing.T) {
+	a := validAppliance()
+	if a.MaxLevel() != 1.0 {
+		t.Fatalf("MaxLevel = %v", a.MaxLevel())
+	}
+	if a.WindowLen() != 5 {
+		t.Fatalf("WindowLen = %d", a.WindowLen())
+	}
+}
+
+func TestFeasibleZeroEnergy(t *testing.T) {
+	a := validAppliance()
+	a.Energy = 0
+	if !a.Feasible() {
+		t.Fatal("zero-energy task should be feasible")
+	}
+}
+
+func TestFeasibleExactFit(t *testing.T) {
+	// 3 slots at max 2.0 => 6.0 exactly reachable.
+	a := &Appliance{Name: "x", Levels: []float64{2.0}, Energy: 6.0, Start: 0, Deadline: 2}
+	if !a.Feasible() {
+		t.Fatal("exact-fit task should be feasible")
+	}
+	a.Energy = 6.1
+	if a.Feasible() {
+		t.Fatal("over-capacity task should be infeasible")
+	}
+}
+
+func TestFeasibleLatticeGap(t *testing.T) {
+	// Levels {2.0} cannot produce 3.0 even though 3.0 < 2*2.0.
+	a := &Appliance{Name: "x", Levels: []float64{2.0}, Energy: 3.0, Start: 0, Deadline: 1}
+	if a.Feasible() {
+		t.Fatal("lattice-unreachable energy should be infeasible")
+	}
+}
+
+func TestQuantum(t *testing.T) {
+	cases := []struct {
+		levels []float64
+		want   float64
+	}{
+		{[]float64{0.5, 1.0}, 0.5},
+		{[]float64{1.5, 3.0, 6.0}, 1.5},
+		{[]float64{0.3}, 0.3},
+		{[]float64{0.6, 1.0}, 0.2},
+	}
+	for _, c := range cases {
+		if got := Quantum(c.levels); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantum(%v) = %v, want %v", c.levels, got, c.want)
+		}
+	}
+}
+
+func TestQuantumPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantum(nil) did not panic")
+		}
+	}()
+	Quantum(nil)
+}
+
+func TestCheckScheduleOK(t *testing.T) {
+	a := validAppliance()
+	sched := make(Schedule, 24)
+	sched[8] = 1.0
+	sched[9] = 0.5
+	sched[10] = 0.5
+	if err := a.CheckSchedule(sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckScheduleViolations(t *testing.T) {
+	a := validAppliance()
+
+	outside := make(Schedule, 24)
+	outside[2] = 1.0
+	outside[8] = 1.0
+	if err := a.CheckSchedule(outside); !errors.Is(err, ErrScheduleInvalid) {
+		t.Errorf("outside-window schedule: err = %v", err)
+	}
+
+	badLevel := make(Schedule, 24)
+	badLevel[8] = 0.7
+	if err := a.CheckSchedule(badLevel); !errors.Is(err, ErrScheduleInvalid) {
+		t.Errorf("bad-level schedule: err = %v", err)
+	}
+
+	wrongEnergy := make(Schedule, 24)
+	wrongEnergy[8] = 1.0
+	if err := a.CheckSchedule(wrongEnergy); !errors.Is(err, ErrScheduleInvalid) {
+		t.Errorf("wrong-energy schedule: err = %v", err)
+	}
+}
+
+func TestScheduleEnergy(t *testing.T) {
+	s := Schedule{0, 1.5, 0, 2.5}
+	if s.Energy() != 4 {
+		t.Fatalf("Energy = %v", s.Energy())
+	}
+}
+
+func TestCatalogValid(t *testing.T) {
+	const horizon = 24
+	for _, arch := range Catalog() {
+		if arch.Prob <= 0 || arch.Prob > 1 {
+			t.Errorf("%s: Prob %v out of (0,1]", arch.Name, arch.Prob)
+		}
+		if arch.EnergyLo > arch.EnergyHi || arch.EnergyLo <= 0 {
+			t.Errorf("%s: bad energy range [%v,%v]", arch.Name, arch.EnergyLo, arch.EnergyHi)
+		}
+		if arch.MinWindow > arch.MaxWindow || arch.MinWindow < 1 {
+			t.Errorf("%s: bad window range [%d,%d]", arch.Name, arch.MinWindow, arch.MaxWindow)
+		}
+		// Worst case instance must validate: max energy, min window, latest start.
+		a := &Appliance{
+			Name:     arch.Name,
+			Levels:   arch.Levels,
+			Energy:   maxRepresentable(arch, arch.MinWindow),
+			Start:    arch.StartHi,
+			Deadline: arch.StartHi + arch.MinWindow - 1,
+		}
+		if a.Deadline >= horizon {
+			a.Deadline = horizon - 1
+			a.Start = a.Deadline - arch.MinWindow + 1
+		}
+		if err := a.Validate(horizon); err != nil {
+			t.Errorf("%s: worst-case instance invalid: %v", arch.Name, err)
+		}
+	}
+}
+
+// maxRepresentable returns the largest lattice-representable energy <=
+// EnergyHi achievable in window slots.
+func maxRepresentable(arch Archetype, window int) float64 {
+	q := Quantum(arch.Levels)
+	maxLv := 0.0
+	for _, l := range arch.Levels {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	cap := maxLv * float64(window)
+	e := arch.EnergyHi
+	if e > cap {
+		e = cap
+	}
+	return math.Floor(e/q) * q
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Catalog() {
+		if seen[a.Name] {
+			t.Fatalf("duplicate archetype %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestFeasibleMatchesBruteForceProperty(t *testing.T) {
+	// Property: Feasible agrees with a brute-force subset-sum reachability
+	// computation over the window.
+	s := rng.New(77)
+	f := func() bool {
+		levels := []float64{0.5, 1.0, 2.0}
+		window := 1 + s.Intn(5)
+		q := Quantum(levels)
+		maxSteps := int(2.0/q+0.5) * window
+		targetSteps := s.Intn(maxSteps + 2) // sometimes beyond capacity
+		target := float64(targetSteps) * q
+		a := &Appliance{Name: "p", Levels: levels, Energy: target, Start: 0, Deadline: window - 1}
+
+		// Brute force: set of reachable step totals after `window` slots.
+		reach := map[int]bool{0: true}
+		stepSizes := []int{0, 1, 2, 4} // 0, 0.5, 1.0, 2.0 in units of q=0.5
+		for w := 0; w < window; w++ {
+			next := map[int]bool{}
+			for e := range reach {
+				for _, st := range stepSizes {
+					next[e+st] = true
+				}
+			}
+			reach = next
+		}
+		return a.Feasible() == reach[targetSteps]
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package attack models the pricing cyberattacks of Section 4 and [8]: a
+// hacker compromises smart meters and manipulates the guideline price they
+// receive, misleading those households' scheduling and distorting the
+// community load.
+//
+// Two layers are provided: price manipulations (what a hacked meter sees) and
+// campaigns (which meters are hacked when — the state process the POMDP
+// detector tracks).
+package attack
+
+import (
+	"fmt"
+
+	"nmdetect/internal/rng"
+	"nmdetect/internal/timeseries"
+)
+
+// Attack transforms the guideline price a hacked meter receives.
+type Attack interface {
+	// Apply returns the manipulated copy of price. The input is not
+	// modified.
+	Apply(price timeseries.Series) timeseries.Series
+	// Name identifies the manipulation for reports.
+	Name() string
+}
+
+// ZeroWindow zeroes the price in the slot window [From, To] (inclusive,
+// wrapping within the day as absolute slots) — the Figure 5 attack: a free
+// window attracts every schedulable load, creating a malicious peak that
+// maximizes PAR.
+type ZeroWindow struct {
+	From, To int
+}
+
+// Apply implements Attack.
+func (a ZeroWindow) Apply(price timeseries.Series) timeseries.Series {
+	out := price.Clone()
+	for h := a.From; h <= a.To && h < len(out); h++ {
+		if h >= 0 {
+			out[h] = 0
+		}
+	}
+	return out
+}
+
+// Name implements Attack.
+func (a ZeroWindow) Name() string { return fmt.Sprintf("zero-window[%d,%d]", a.From, a.To) }
+
+// ScaleWindow multiplies the price by Factor inside [From, To]. Factor < 1
+// attracts load (PAR attack); Factor > 1 repels it (bill-increase attack when
+// applied to cheap slots, forcing consumption into expensive ones).
+type ScaleWindow struct {
+	From, To int
+	Factor   float64
+}
+
+// Apply implements Attack.
+func (a ScaleWindow) Apply(price timeseries.Series) timeseries.Series {
+	out := price.Clone()
+	for h := a.From; h <= a.To && h < len(out); h++ {
+		if h >= 0 {
+			out[h] *= a.Factor
+		}
+	}
+	return out
+}
+
+// Name implements Attack.
+func (a ScaleWindow) Name() string {
+	return fmt.Sprintf("scale-window[%d,%d]x%g", a.From, a.To, a.Factor)
+}
+
+// Invert reverses the price ordering across the day: p'ₕ = max(p) + min(p) −
+// pₕ. Schedulers then pile demand onto what are truly the most expensive
+// slots — the bill-maximizing attack of [8].
+type Invert struct{}
+
+// Apply implements Attack.
+func (Invert) Apply(price timeseries.Series) timeseries.Series {
+	out := price.Clone()
+	if len(out) == 0 {
+		return out
+	}
+	mx, _ := price.Max()
+	mn, _ := price.Min()
+	for h := range out {
+		out[h] = mx + mn - price[h]
+	}
+	return out
+}
+
+// Name implements Attack.
+func (Invert) Name() string { return "invert" }
+
+// None is the identity manipulation (useful as a control).
+type None struct{}
+
+// Apply implements Attack.
+func (None) Apply(price timeseries.Series) timeseries.Series { return price.Clone() }
+
+// Name implements Attack.
+func (None) Name() string { return "none" }
+
+// Campaign is the meter-compromise process: the hidden state the long-term
+// detector estimates. Hacked meters receive the manipulated price; intact
+// meters receive the published one. Under the "continue" action the hacked
+// set grows stochastically; an inspection repairs every hacked meter.
+type Campaign struct {
+	// N is the number of meters in the community.
+	N int
+	// HackProb is the per-slot probability that the hacker compromises one
+	// additional batch of meters.
+	HackProb float64
+	// BatchLo/BatchHi bound the number of meters compromised per successful
+	// step.
+	BatchLo, BatchHi int
+	// Attack is the price manipulation hacked meters receive.
+	Attack Attack
+
+	hacked []bool
+	count  int
+}
+
+// NewCampaign validates and initializes a campaign with no meters hacked.
+func NewCampaign(n int, hackProb float64, batchLo, batchHi int, atk Attack) (*Campaign, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("attack: community size %d must be positive", n)
+	}
+	if hackProb < 0 || hackProb > 1 {
+		return nil, fmt.Errorf("attack: hack probability %v out of [0,1]", hackProb)
+	}
+	if batchLo < 1 || batchHi < batchLo {
+		return nil, fmt.Errorf("attack: batch range [%d,%d] invalid", batchLo, batchHi)
+	}
+	if atk == nil {
+		return nil, fmt.Errorf("attack: nil attack")
+	}
+	return &Campaign{
+		N: n, HackProb: hackProb, BatchLo: batchLo, BatchHi: batchHi, Attack: atk,
+		hacked: make([]bool, n),
+	}, nil
+}
+
+// Step advances the compromise process one slot: with probability HackProb a
+// batch of previously-intact meters becomes hacked. It returns the number of
+// newly hacked meters.
+func (c *Campaign) Step(src *rng.Source) int {
+	if !src.Bernoulli(c.HackProb) {
+		return 0
+	}
+	batch := c.BatchLo
+	if c.BatchHi > c.BatchLo {
+		batch += src.Intn(c.BatchHi - c.BatchLo + 1)
+	}
+	newly := 0
+	// Scan the full ring from a random offset so compromised meters are
+	// spread out but every intact meter is reachable.
+	off := src.Intn(c.N)
+	for i := 0; i < c.N && newly < batch; i++ {
+		idx := (off + i) % c.N
+		if !c.hacked[idx] {
+			c.hacked[idx] = true
+			c.count++
+			newly++
+		}
+	}
+	return newly
+}
+
+// HackNow immediately compromises up to count additional meters regardless
+// of HackProb (used to set up calibration scenarios with a known compromised
+// fraction). It returns the number of newly hacked meters.
+func (c *Campaign) HackNow(count int, src *rng.Source) int {
+	newly := 0
+	off := src.Intn(c.N)
+	for i := 0; i < c.N && newly < count; i++ {
+		idx := (off + i) % c.N
+		if !c.hacked[idx] {
+			c.hacked[idx] = true
+			c.count++
+			newly++
+		}
+	}
+	return newly
+}
+
+// Repair fixes every hacked meter (the POMDP's inspect action) and returns
+// how many were repaired.
+func (c *Campaign) Repair() int {
+	repaired := c.count
+	for i := range c.hacked {
+		c.hacked[i] = false
+	}
+	c.count = 0
+	return repaired
+}
+
+// Hacked reports whether meter i is currently compromised.
+func (c *Campaign) Hacked(i int) bool { return c.hacked[i] }
+
+// Count returns the number of currently hacked meters.
+func (c *Campaign) Count() int { return c.count }
+
+// PriceFor returns the guideline price meter i receives this slot.
+func (c *Campaign) PriceFor(i int, published timeseries.Series) timeseries.Series {
+	if c.hacked[i] {
+		return c.Attack.Apply(published)
+	}
+	return published.Clone()
+}

@@ -1,0 +1,124 @@
+// Package billing settles a scheduled day under the paper's quadratic
+// tariff: each customer's bill per Eqn 2 (buy at the marginal price pₕ·Σy,
+// sell at the discounted pₕ/W·Σy), the utility's revenue, and the cost the
+// utility bears for supporting net metering — Section 2.3 observes that the
+// spread between the retail and sell-back rates "is cost of the utility due
+// to supporting net metering", and this package makes that quantity
+// explicit.
+//
+// Billing is the measurement layer for the bill-increase attacks of [8]:
+// the community schedules against a manipulated price but is *settled*
+// against the published one, so the attack's monetary damage is the
+// difference between the settled bills of the attacked and clean schedules.
+package billing
+
+import (
+	"errors"
+	"fmt"
+
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+// Settlement is the monetary outcome of one scheduled day.
+type Settlement struct {
+	// Bills[n] is customer n's net bill (negative = the customer was paid).
+	Bills []float64
+	// TotalBilled is Σₙ max(Bills[n], 0) — gross customer payments.
+	TotalBilled float64
+	// TotalCredited is Σₙ max(−Bills[n], 0) — gross net-metering payouts.
+	TotalCredited float64
+	// UtilityRevenue is Σₙ Bills[n].
+	UtilityRevenue float64
+	// NMSupportCost is the utility's net-metering subsidy: for every sold
+	// unit, the spread between the retail marginal price and the sell-back
+	// rate, summed over the day.
+	NMSupportCost float64
+	// PeakSlot is the slot of maximum community net purchase.
+	PeakSlot int
+}
+
+// Settle computes the settlement for per-customer trading profiles y[n][h]
+// under the published price. All profiles must span the price's horizon.
+func Settle(q tariff.Quadratic, price timeseries.Series, trading [][]float64) (*Settlement, error) {
+	if len(price) == 0 {
+		return nil, errors.New("billing: empty price")
+	}
+	if len(trading) == 0 {
+		return nil, errors.New("billing: no customers")
+	}
+	h := len(price)
+	for n, y := range trading {
+		if len(y) != h {
+			return nil, fmt.Errorf("billing: customer %d has %d slots, want %d", n, len(y), h)
+		}
+	}
+
+	totals := make([]float64, h)
+	for t := 0; t < h; t++ {
+		for n := range trading {
+			totals[t] += trading[n][t]
+		}
+	}
+
+	s := &Settlement{Bills: make([]float64, len(trading))}
+	peak := timeseries.Series(totals)
+	_, s.PeakSlot = peak.Max()
+
+	for n := range trading {
+		bill := 0.0
+		for t := 0; t < h; t++ {
+			bill += q.CustomerCost(price[t], totals[t], trading[n][t])
+		}
+		s.Bills[n] = bill
+		if bill >= 0 {
+			s.TotalBilled += bill
+		} else {
+			s.TotalCredited += -bill
+		}
+		s.UtilityRevenue += bill
+	}
+
+	// NM support cost: for each sold unit the utility pays p/W·Σy to the
+	// seller but collects p·Σy from the buyers it resells to — the spread is
+	// (p − p/W)·Σy per unit sold... with the paper's convention the utility
+	// loses the retail-sellback spread on every sold unit.
+	for t := 0; t < h; t++ {
+		if totals[t] <= 0 {
+			continue // oversupply: spot price collapses, no spread
+		}
+		sold := 0.0
+		for n := range trading {
+			if trading[n][t] < 0 {
+				sold += -trading[n][t]
+			}
+		}
+		marginal := price[t] * totals[t]
+		s.NMSupportCost += sold * marginal * (1 - 1/q.W)
+	}
+	return s, nil
+}
+
+// BillDelta compares two settlements of the same community (e.g. attacked vs
+// clean schedules) and returns each customer's bill increase and the
+// community-wide relative increase.
+func BillDelta(clean, attacked *Settlement) ([]float64, float64, error) {
+	if clean == nil || attacked == nil {
+		return nil, 0, errors.New("billing: nil settlement")
+	}
+	if len(clean.Bills) != len(attacked.Bills) {
+		return nil, 0, fmt.Errorf("billing: %d vs %d customers", len(clean.Bills), len(attacked.Bills))
+	}
+	deltas := make([]float64, len(clean.Bills))
+	cleanTotal, attackedTotal := 0.0, 0.0
+	for n := range deltas {
+		deltas[n] = attacked.Bills[n] - clean.Bills[n]
+		cleanTotal += clean.Bills[n]
+		attackedTotal += attacked.Bills[n]
+	}
+	rel := 0.0
+	if cleanTotal != 0 {
+		rel = (attackedTotal - cleanTotal) / cleanTotal
+	}
+	return deltas, rel, nil
+}

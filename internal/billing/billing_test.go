@@ -1,0 +1,147 @@
+package billing
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+func q(t *testing.T, w float64) tariff.Quadratic {
+	t.Helper()
+	quad, err := tariff.NewQuadratic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return quad
+}
+
+func TestSettleBuyersOnly(t *testing.T) {
+	price := timeseries.Series{0.1, 0.2}
+	trading := [][]float64{{1, 2}, {3, 2}}
+	s, err := Settle(q(t, 2), price, trading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totals {4, 4}; customer 0: 0.1·4·1 + 0.2·4·2 = 0.4+1.6 = 2.0.
+	if math.Abs(s.Bills[0]-2.0) > 1e-12 {
+		t.Fatalf("bill 0 = %v", s.Bills[0])
+	}
+	// Customer 1: 0.1·4·3 + 0.2·4·2 = 1.2+1.6 = 2.8.
+	if math.Abs(s.Bills[1]-2.8) > 1e-12 {
+		t.Fatalf("bill 1 = %v", s.Bills[1])
+	}
+	if math.Abs(s.UtilityRevenue-4.8) > 1e-12 || math.Abs(s.TotalBilled-4.8) > 1e-12 {
+		t.Fatalf("revenue = %v, billed = %v", s.UtilityRevenue, s.TotalBilled)
+	}
+	if s.TotalCredited != 0 {
+		t.Fatalf("credited = %v", s.TotalCredited)
+	}
+	if s.NMSupportCost != 0 {
+		t.Fatalf("NM support cost with no sellers = %v", s.NMSupportCost)
+	}
+	if s.PeakSlot != 0 { // equal totals: first max wins
+		t.Fatalf("peak slot = %d", s.PeakSlot)
+	}
+}
+
+func TestSettleWithSeller(t *testing.T) {
+	price := timeseries.Series{0.1}
+	// Customer 1 sells 2 units while the community nets +4.
+	trading := [][]float64{{6}, {-2}}
+	w := 2.0
+	s, err := Settle(q(t, w), price, trading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginal := 0.1 * 4
+	// Buyer pays 6·marginal = 2.4; seller earns 2·marginal/W = 0.4.
+	if math.Abs(s.Bills[0]-6*marginal) > 1e-12 {
+		t.Fatalf("buyer bill = %v", s.Bills[0])
+	}
+	if math.Abs(s.Bills[1]-(-2*marginal/w)) > 1e-12 {
+		t.Fatalf("seller bill = %v", s.Bills[1])
+	}
+	if math.Abs(s.TotalCredited-0.4) > 1e-12 {
+		t.Fatalf("credited = %v", s.TotalCredited)
+	}
+	// NM support: 2 sold units × marginal × (1 − 1/W) = 2·0.4·0.5 = 0.4.
+	if math.Abs(s.NMSupportCost-0.4) > 1e-12 {
+		t.Fatalf("support cost = %v", s.NMSupportCost)
+	}
+}
+
+func TestSettleFullRetailNoSupportCost(t *testing.T) {
+	// W = 1 (full retail net metering): no spread, no support cost.
+	price := timeseries.Series{0.1}
+	trading := [][]float64{{6}, {-2}}
+	s, err := Settle(q(t, 1), price, trading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NMSupportCost != 0 {
+		t.Fatalf("support cost at W=1 = %v", s.NMSupportCost)
+	}
+}
+
+func TestSettleOversupplySlot(t *testing.T) {
+	// Community is a net seller: the marginal price collapses; nobody pays.
+	price := timeseries.Series{0.1}
+	trading := [][]float64{{1}, {-5}}
+	s, err := Settle(q(t, 2), price, trading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bills[0] != 0 || s.Bills[1] != 0 || s.NMSupportCost != 0 {
+		t.Fatalf("oversupply settlement = %+v", s)
+	}
+}
+
+func TestSettleErrors(t *testing.T) {
+	if _, err := Settle(q(t, 2), nil, [][]float64{{1}}); err == nil {
+		t.Error("empty price accepted")
+	}
+	if _, err := Settle(q(t, 2), timeseries.Series{1}, nil); err == nil {
+		t.Error("no customers accepted")
+	}
+	if _, err := Settle(q(t, 2), timeseries.Series{1, 2}, [][]float64{{1}}); err == nil {
+		t.Error("ragged trading accepted")
+	}
+}
+
+func TestBillDelta(t *testing.T) {
+	clean := &Settlement{Bills: []float64{2, 3}}
+	attacked := &Settlement{Bills: []float64{3, 4.5}}
+	deltas, rel, err := BillDelta(clean, attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0] != 1 || deltas[1] != 1.5 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	if math.Abs(rel-0.5) > 1e-12 {
+		t.Fatalf("relative increase = %v", rel)
+	}
+}
+
+func TestBillDeltaErrors(t *testing.T) {
+	if _, _, err := BillDelta(nil, &Settlement{}); err == nil {
+		t.Error("nil settlement accepted")
+	}
+	if _, _, err := BillDelta(&Settlement{Bills: []float64{1}}, &Settlement{Bills: []float64{1, 2}}); err == nil {
+		t.Error("mismatched settlements accepted")
+	}
+}
+
+func TestBillDeltaZeroBase(t *testing.T) {
+	clean := &Settlement{Bills: []float64{1, -1}}
+	attacked := &Settlement{Bills: []float64{2, 0}}
+	_, rel, err := BillDelta(clean, attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 0 {
+		t.Fatalf("zero-base relative = %v", rel)
+	}
+}

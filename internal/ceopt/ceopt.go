@@ -1,0 +1,215 @@
+// Package ceopt implements the cross-entropy (CE) stochastic optimization
+// method of Section 3.2 (after Botev, Kroese, Rubinstein [3]), which the
+// paper uses to optimize each customer's battery-storage trajectory — the
+// non-convex part of Problem P1.
+//
+// CE maintains a parametric sampling density ρ(b, p) over the feasible box;
+// here the density is an independent truncated Gaussian per coordinate. Each
+// iteration draws K samples, evaluates the objective, keeps the elite
+// fraction (the importance-sampling update that minimizes the Kullback-
+// Leibler distance to the optimal density reduces, for Gaussians, to the
+// elite sample mean and standard deviation), and smooths the parameters. The
+// standard deviation shrinking below tolerance signals convergence.
+package ceopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nmdetect/internal/rng"
+)
+
+// Objective evaluates a candidate point. Lower is better.
+type Objective func(x []float64) float64
+
+// Options tunes the optimizer.
+type Options struct {
+	// Samples is the population size K per iteration.
+	Samples int
+	// EliteFrac is the fraction of best samples used for the update.
+	EliteFrac float64
+	// MaxIter bounds the number of iterations.
+	MaxIter int
+	// InitStdFrac sets the initial per-coordinate standard deviation as a
+	// fraction of the box width.
+	InitStdFrac float64
+	// Smoothing is the parameter-update smoothing α in (0, 1]: new = α·elite
+	// + (1−α)·old. 1 means no smoothing.
+	Smoothing float64
+	// StdTol declares convergence when every coordinate's std falls below
+	// StdTol times the box width.
+	StdTol float64
+	// MinStd floors the standard deviation to avoid premature collapse
+	// (fraction of box width).
+	MinStd float64
+}
+
+// DefaultOptions returns the configuration used by the battery optimizer:
+// small populations tuned for the 24-dimensional trajectory problem.
+func DefaultOptions() Options {
+	return Options{
+		Samples:     60,
+		EliteFrac:   0.15,
+		MaxIter:     40,
+		InitStdFrac: 0.3,
+		Smoothing:   0.7,
+		StdTol:      0.01,
+		MinStd:      0.001,
+	}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.Samples < 2 {
+		return fmt.Errorf("ceopt: need at least 2 samples, got %d", o.Samples)
+	}
+	if o.EliteFrac <= 0 || o.EliteFrac > 1 {
+		return fmt.Errorf("ceopt: elite fraction %v out of (0,1]", o.EliteFrac)
+	}
+	if int(o.EliteFrac*float64(o.Samples)) < 1 {
+		return fmt.Errorf("ceopt: elite fraction %v of %d samples yields no elites", o.EliteFrac, o.Samples)
+	}
+	if o.MaxIter < 1 {
+		return fmt.Errorf("ceopt: max iterations %d must be positive", o.MaxIter)
+	}
+	if o.InitStdFrac <= 0 {
+		return fmt.Errorf("ceopt: initial std fraction %v must be positive", o.InitStdFrac)
+	}
+	if o.Smoothing <= 0 || o.Smoothing > 1 {
+		return fmt.Errorf("ceopt: smoothing %v out of (0,1]", o.Smoothing)
+	}
+	if o.StdTol < 0 || o.MinStd < 0 {
+		return fmt.Errorf("ceopt: negative tolerance")
+	}
+	return nil
+}
+
+// Result reports the outcome of a Minimize call.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective at X.
+	F float64
+	// Iterations is the number of CE iterations performed.
+	Iterations int
+	// Converged reports whether the std-tolerance criterion fired (as
+	// opposed to hitting MaxIter).
+	Converged bool
+	// Evaluations counts objective calls.
+	Evaluations int
+}
+
+// Minimize runs cross-entropy optimization of f over the box [lo, hi]^d.
+// The initial sampling mean may be supplied via init (nil means box center).
+// The source must not be nil.
+func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, opts Options) (Result, error) {
+	if f == nil {
+		return Result{}, errors.New("ceopt: nil objective")
+	}
+	if src == nil {
+		return Result{}, errors.New("ceopt: nil random source")
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	d := len(lo)
+	if d == 0 || len(hi) != d {
+		return Result{}, fmt.Errorf("ceopt: box dimensions %d/%d invalid", len(lo), len(hi))
+	}
+	if init != nil && len(init) != d {
+		return Result{}, fmt.Errorf("ceopt: init dimension %d != %d", len(init), d)
+	}
+	width := make([]float64, d)
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return Result{}, fmt.Errorf("ceopt: box [%v,%v] inverted at dim %d", lo[i], hi[i], i)
+		}
+		width[i] = hi[i] - lo[i]
+	}
+
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for i := range mean {
+		if init != nil {
+			mean[i] = rng.Clamp(init[i], lo[i], hi[i])
+		} else {
+			mean[i] = (lo[i] + hi[i]) / 2
+		}
+		std[i] = opts.InitStdFrac * width[i]
+		if std[i] == 0 {
+			std[i] = opts.InitStdFrac // degenerate box: fixed coordinate
+		}
+	}
+
+	nElite := int(opts.EliteFrac * float64(opts.Samples))
+	type sample struct {
+		x []float64
+		f float64
+	}
+	pop := make([]sample, opts.Samples)
+	for i := range pop {
+		pop[i].x = make([]float64, d)
+	}
+
+	res := Result{X: make([]float64, d), F: math.Inf(1)}
+	// Seed the incumbent with the initial mean so a degenerate run still
+	// returns a feasible point.
+	copy(res.X, mean)
+	res.F = f(res.X)
+	res.Evaluations++
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		for k := range pop {
+			for i := 0; i < d; i++ {
+				if width[i] == 0 {
+					pop[k].x[i] = lo[i]
+					continue
+				}
+				pop[k].x[i] = src.TruncNormal(mean[i], std[i], lo[i], hi[i])
+			}
+			pop[k].f = f(pop[k].x)
+			res.Evaluations++
+		}
+		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+		if pop[0].f < res.F {
+			res.F = pop[0].f
+			copy(res.X, pop[0].x)
+		}
+
+		// Elite statistics with smoothing.
+		for i := 0; i < d; i++ {
+			m := 0.0
+			for k := 0; k < nElite; k++ {
+				m += pop[k].x[i]
+			}
+			m /= float64(nElite)
+			v := 0.0
+			for k := 0; k < nElite; k++ {
+				dv := pop[k].x[i] - m
+				v += dv * dv
+			}
+			sd := math.Sqrt(v / float64(nElite))
+			mean[i] = opts.Smoothing*m + (1-opts.Smoothing)*mean[i]
+			std[i] = opts.Smoothing*sd + (1-opts.Smoothing)*std[i]
+			if floor := opts.MinStd * width[i]; std[i] < floor {
+				std[i] = floor
+			}
+		}
+
+		converged := true
+		for i := 0; i < d; i++ {
+			if width[i] > 0 && std[i] > opts.StdTol*width[i] {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,400 @@
+// Package community is the end-to-end simulation engine: the 500-customer
+// neighborhood of Section 5 with its utility, PV fleet, attack campaign and
+// detectors.
+//
+// A day in the engine proceeds as the paper describes:
+//
+//  1. The utility forms the next day's guideline price from its demand
+//     forecast (and, with net metering deployed, the community renewable
+//     forecast) and publishes it to every smart meter.
+//  2. The attack campaign compromises meters hour by hour; hacked meters
+//     receive the manipulated price instead.
+//  3. Customers run smart home scheduling against the price their meter
+//     received (package game), producing the realized community load.
+//  4. A detector predicts the price independently, derives the expected
+//     per-meter profiles, flags deviating meters each hour, and feeds the
+//     counts to the POMDP long-term detector, which may order an inspection
+//     that repairs every hacked meter.
+//
+// Hacked meters re-schedule from the hour of compromise, so a meter's
+// realized profile is its clean schedule before the hack and its attacked
+// schedule after (the day-start task energies are preserved by both
+// schedules individually; the splice is the standard approximation).
+package community
+
+import (
+	"errors"
+	"fmt"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/forecast"
+	"nmdetect/internal/game"
+	"nmdetect/internal/household"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/solar"
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// N is the community size (500 in the paper).
+	N int
+	// Seed drives every stochastic component through derived streams.
+	Seed uint64
+	// Generator draws the synthetic households.
+	Generator household.Generator
+	// Solar is the PV generation model.
+	Solar solar.Model
+	// Formation is the utility's guideline-price process.
+	Formation tariff.Formation
+	// Tariff is the quadratic cost model.
+	Tariff tariff.Quadratic
+	// SolarForecastSigma is the relative noise of the day-ahead renewable
+	// forecast ("approximately known in advance").
+	SolarForecastSigma float64
+	// MeasurementNoise is the per-meter, per-slot load measurement noise
+	// (kW, truncated normal).
+	MeasurementNoise float64
+	// GameSweeps bounds best-response sweeps per solve (speed knob).
+	GameSweeps int
+	// UseDemandForecast upgrades the utility's demand basis from
+	// "yesterday's realized load" to an SVR demand forecaster retrained on
+	// the accumulated history (package forecast). Off by default: the
+	// paper-scale experiments were calibrated against the simple basis.
+	UseDemandForecast bool
+}
+
+// DefaultConfig mirrors the paper's simulation setup.
+func DefaultConfig(n int, seed uint64) Config {
+	q, err := tariff.NewQuadratic(1.5)
+	if err != nil {
+		panic(err) // W=1.5 is statically valid
+	}
+	return Config{
+		N:         n,
+		Seed:      seed,
+		Generator: household.DefaultGenerator(),
+		Solar:     solar.DefaultModel(),
+		Formation: tariff.DefaultFormation(),
+		Tariff:    q,
+		// The paper assumes θ is "approximately known in advance through
+		// prediction"; the default makes the day-ahead PV forecast exact.
+		// Non-zero values are an ablation knob: the cross-entropy battery
+		// optimizer is sensitive to its inputs, so forecast error feeds
+		// straight into the deviation channel's false positives.
+		SolarForecastSigma: 0,
+		MeasurementNoise:   0.05,
+		GameSweeps:         3,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("community: size %d must be positive", c.N)
+	}
+	if c.SolarForecastSigma < 0 || c.MeasurementNoise < 0 {
+		return errors.New("community: negative noise parameter")
+	}
+	if c.GameSweeps < 1 {
+		return fmt.Errorf("community: game sweeps %d must be positive", c.GameSweeps)
+	}
+	if err := c.Solar.Validate(); err != nil {
+		return err
+	}
+	return c.Formation.Validate()
+}
+
+// Engine is the live simulation state.
+type Engine struct {
+	cfg       Config
+	customers []*household.Customer
+	src       *rng.Source
+	hist      tariff.History
+	day       int
+	// lastLoad is the utility's demand forecast basis: the most recent
+	// realized community consumption profile (24 slots).
+	lastLoad timeseries.Series
+}
+
+// NewEngine draws the community and prepares the utility state.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	customers, err := cfg.Generator.Generate(cfg.N, src.Derive("community"))
+	if err != nil {
+		return nil, err
+	}
+	// Initial demand-forecast basis: base loads plus evenly spread task
+	// energy (the utility's cold-start heuristic).
+	last := make(timeseries.Series, 24)
+	for _, c := range customers {
+		perSlot := c.TotalTaskEnergy() / 24
+		for h := 0; h < 24; h++ {
+			last[h] += c.BaseLoadAt(h) + perSlot
+		}
+	}
+	return &Engine{cfg: cfg, customers: customers, src: src, hist: tariff.History{}, lastLoad: last}, nil
+}
+
+// Customers exposes the community (read-only use expected).
+func (e *Engine) Customers() []*household.Customer { return e.customers }
+
+// History returns the accumulated (price, renewable, demand) history.
+func (e *Engine) History() tariff.History { return e.hist }
+
+// Day returns the number of simulated days.
+func (e *Engine) Day() int { return e.day }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ControllerSeed is the seed of every smart controller's cross-entropy
+// optimizer. Household controllers are deterministic functions of the price
+// they receive: the engine's own solves and any detector's expected-profile
+// solves share this seed, so a perfect price prediction reproduces a meter's
+// behavior exactly. The deviation channel's noise therefore comes from price
+// prediction error and measurement noise — the paper's mechanism — rather
+// than from solver randomness.
+func (e *Engine) ControllerSeed() uint64 { return e.cfg.Seed ^ 0xc0117011e5 }
+
+// GameConfig builds the scheduling-game solver configuration the engine uses
+// for the given community model (exported so harnesses can run load
+// predictions consistent with the engine's own solves).
+func (e *Engine) GameConfig(netMetering bool) game.Config {
+	cfg := game.DefaultConfig(e.cfg.Tariff, netMetering)
+	cfg.MaxSweeps = e.cfg.GameSweeps
+	return cfg
+}
+
+// gameConfig is the internal alias.
+func (e *Engine) gameConfig(netMetering bool) game.Config { return e.GameConfig(netMetering) }
+
+// DayEnvironment is the exogenous state of one simulated day.
+type DayEnvironment struct {
+	// Weather is the community-wide cloud state for the day.
+	Weather solar.Weather
+	// Published is the utility's guideline price for the day.
+	Published timeseries.Series
+	// PV holds each customer's realized generation (24 slots).
+	PV [][]float64
+	// PVForecast holds the day-ahead forecasts the predictors see.
+	PVForecast [][]float64
+	// Renewable is the realized community total Θ.
+	Renewable timeseries.Series
+	// RenewableForecast is the community-total forecast Θ̂.
+	RenewableForecast timeseries.Series
+}
+
+// PrepareDay draws the day's weather and PV generation and publishes the
+// guideline price. netMetering controls whether the utility discounts the
+// renewable forecast when pricing (true reproduces the paper's deployed-net-
+// metering setting).
+func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
+	daySrc := e.src.Derive(fmt.Sprintf("day-%d", e.day))
+	env := &DayEnvironment{
+		Weather:    e.cfg.Solar.DrawWeather(daySrc.Derive("weather")),
+		PV:         make([][]float64, len(e.customers)),
+		PVForecast: make([][]float64, len(e.customers)),
+	}
+	for i, c := range e.customers {
+		csrc := daySrc.Derive(fmt.Sprintf("pv-%d", c.ID))
+		if c.HasPV() {
+			trace := e.cfg.Solar.GenerateDay(c.Panel, env.Weather, csrc)
+			env.PV[i] = trace
+			env.PVForecast[i] = solar.Forecast(trace, e.cfg.SolarForecastSigma, csrc.Derive("forecast"))
+		} else {
+			env.PV[i] = make([]float64, 24)
+			env.PVForecast[i] = make([]float64, 24)
+		}
+	}
+	env.Renewable = solar.Aggregate(toSeries(env.PV))
+	env.RenewableForecast = solar.Aggregate(toSeries(env.PVForecast))
+	env.Published = e.cfg.Formation.Publish(e.demandBasis(), env.RenewableForecast, e.cfg.N, netMetering, daySrc.Derive("price-noise"))
+	return env, nil
+}
+
+// demandBasis returns the utility's demand forecast for pricing: yesterday's
+// realized load by default, or the SVR demand forecaster's prediction when
+// enabled and enough history has accumulated.
+func (e *Engine) demandBasis() timeseries.Series {
+	if !e.cfg.UseDemandForecast {
+		return e.lastLoad
+	}
+	opts := forecast.DefaultOptions()
+	if e.hist.Len() < (opts.LagDays+1)*24 {
+		return e.lastLoad // cold start: not enough history to train
+	}
+	df, err := forecast.TrainDemandForecaster(e.hist, opts)
+	if err != nil {
+		return e.lastLoad
+	}
+	pred, err := df.PredictDay(e.hist)
+	if err != nil {
+		return e.lastLoad
+	}
+	return pred
+}
+
+func toSeries(rows [][]float64) []timeseries.Series {
+	out := make([]timeseries.Series, len(rows))
+	for i, r := range rows {
+		out[i] = timeseries.Series(r)
+	}
+	return out
+}
+
+// DayTrace is the realized outcome of one simulated day.
+type DayTrace struct {
+	Env *DayEnvironment
+	// CleanMeter[n][h] is meter n's net flow under the published price.
+	CleanMeter [][]float64
+	// AttackedMeter[n][h] is its net flow under the manipulated price (only
+	// meaningful for meters that were hacked at some point).
+	AttackedMeter [][]float64
+	// RealizedMeter[n][h] is the spliced, noise-corrupted measurement the
+	// utility actually records.
+	RealizedMeter [][]float64
+	// Load is the realized community consumption Σlₙ.
+	Load timeseries.Series
+	// GridDemand is the realized community net purchase Σyₙ (clamped at 0
+	// for PAR purposes by callers; raw here).
+	GridDemand timeseries.Series
+	// TrueHacked[h] is the number of compromised meters during slot h.
+	TrueHacked []int
+	// RepairedAt records slots where an inspection repaired the fleet (-1
+	// entries elsewhere are absent; this is a list of slot indices).
+	RepairedAt []int
+}
+
+// InspectFn is consulted after each slot with the slot index and the per-slot
+// flagged counts gathered so far; returning true triggers an immediate
+// inspection (repair). Pass nil for no detection.
+type InspectFn func(slot int, realized *DayTrace) bool
+
+// SimulateDay runs one day under the campaign. The campaign's state persists
+// across calls; inspections repair it. netMetering selects the community
+// model (PV+battery vs plain consumption).
+func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMetering bool, inspect InspectFn) (*DayTrace, error) {
+	if env == nil {
+		return nil, errors.New("community: nil day environment")
+	}
+	if camp != nil && camp.N != e.cfg.N {
+		return nil, fmt.Errorf("community: campaign size %d != community %d", camp.N, e.cfg.N)
+	}
+	daySrc := e.src.Derive(fmt.Sprintf("sim-%d", e.day))
+
+	cfg := e.gameConfig(netMetering)
+	var gameSrc *rng.Source
+	if netMetering {
+		gameSrc = rng.New(e.ControllerSeed())
+	}
+	pv := env.PV
+	if !netMetering {
+		pv = nil
+	}
+	clean, err := game.Solve(e.customers, env.Published, pv, cfg, gameSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	trace := &DayTrace{
+		Env:           env,
+		CleanMeter:    meterFlows(clean, netMetering),
+		RealizedMeter: make([][]float64, len(e.customers)),
+		Load:          make(timeseries.Series, 24),
+		GridDemand:    make(timeseries.Series, 24),
+		TrueHacked:    make([]int, 24),
+	}
+
+	// Attacked solution: every meter sees the manipulated price. Spliced per
+	// meter from its hack hour. Solved only if a campaign exists.
+	cleanCons := clean.CustomerLoad
+	attackedCons := cleanCons
+	if camp != nil {
+		attackedPrice := camp.Attack.Apply(env.Published)
+		var atkSrc *rng.Source
+		if netMetering {
+			atkSrc = rng.New(e.ControllerSeed())
+		}
+		attacked, err := game.Solve(e.customers, attackedPrice, pv, cfg, atkSrc)
+		if err != nil {
+			return nil, err
+		}
+		trace.AttackedMeter = meterFlows(attacked, netMetering)
+		attackedCons = attacked.CustomerLoad
+	}
+
+	for n := range e.customers {
+		trace.RealizedMeter[n] = make([]float64, 24)
+	}
+
+	noiseSrc := daySrc.Derive("measurement")
+
+	for h := 0; h < 24; h++ {
+		if camp != nil {
+			camp.Step(daySrc.Derive(fmt.Sprintf("campaign-%d", h)))
+			trace.TrueHacked[h] = camp.Count()
+		}
+		sumY, sumL := 0.0, 0.0
+		for n := range e.customers {
+			v := trace.CleanMeter[n][h]
+			l := cleanCons[n][h]
+			if camp != nil && camp.Hacked(n) {
+				v = trace.AttackedMeter[n][h]
+				l = attackedCons[n][h]
+			}
+			noisy := v + noiseSrc.Normal(0, e.cfg.MeasurementNoise)
+			trace.RealizedMeter[n][h] = noisy
+			sumY += v
+			sumL += l
+		}
+		trace.GridDemand[h] = sumY
+		trace.Load[h] = sumL
+		if inspect != nil && inspect(h, trace) {
+			if camp != nil {
+				camp.Repair()
+			}
+			trace.RepairedAt = append(trace.RepairedAt, h)
+		}
+	}
+
+	// Advance utility state: record history and refresh the demand forecast
+	// basis with the realized consumption.
+	for h := 0; h < 24; h++ {
+		e.hist.Append(env.Published[h], env.Renewable[h], trace.Load[h])
+	}
+	e.lastLoad = trace.Load.Clone()
+	e.day++
+	return trace, nil
+}
+
+// meterFlows extracts what each meter records from a game solution: the net
+// flow yₙ under net metering, the consumption lₙ otherwise.
+func meterFlows(res *game.Result, netMetering bool) [][]float64 {
+	if netMetering {
+		return res.CustomerTrading
+	}
+	return res.CustomerLoad
+}
+
+// Bootstrap simulates `days` clean (attack-free) days to accumulate the
+// history the forecasters train on.
+func (e *Engine) Bootstrap(days int, netMetering bool) error {
+	if days < 1 {
+		return fmt.Errorf("community: bootstrap days %d must be positive", days)
+	}
+	for d := 0; d < days; d++ {
+		env, err := e.PrepareDay(netMetering)
+		if err != nil {
+			return err
+		}
+		if _, err := e.SimulateDay(env, nil, netMetering, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+// Package core assembles the paper's contribution into one system: the
+// net-metering-aware smart home pricing cyberattack detection pipeline of
+// Figure 2.
+//
+// A System owns a simulated community (package community) and two fully
+// constructed detector variants:
+//
+//   - the net-metering-aware detector (this paper): G(p, V, D) price
+//     forecasting + Algorithm-1 load prediction + POMDP long-term monitoring
+//     calibrated against the NM-aware observation channel;
+//   - the NM-blind baseline ([7]/[8]): price-only SVR forecasting + the
+//     no-PV/no-battery community model + the same POMDP machinery calibrated
+//     against its (noisier) channel.
+//
+// Construction performs the entire offline phase end to end: bootstrap
+// history, train the SVR forecasters, calibrate the per-meter deviation
+// channels, build the POMDP ⟨S, O, A, T, R, Ω⟩, and solve the policy.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/community"
+	"nmdetect/internal/detect"
+	"nmdetect/internal/forecast"
+	"nmdetect/internal/metrics"
+	"nmdetect/internal/pomdp"
+	"nmdetect/internal/timeseries"
+)
+
+// PolicySolver selects the POMDP solution method.
+type PolicySolver string
+
+// Available solvers.
+const (
+	// SolverPBVI is point-based value iteration — the faithful long-term
+	// detection solver.
+	SolverPBVI PolicySolver = "pbvi"
+	// SolverQMDP is the fast QMDP approximation (ablation baseline).
+	SolverQMDP PolicySolver = "qmdp"
+	// SolverThreshold is a myopic expected-state threshold (ablation).
+	SolverThreshold PolicySolver = "threshold"
+)
+
+// Options configures NewSystem.
+type Options struct {
+	// Community is the simulation configuration.
+	Community community.Config
+	// BootstrapDays is the clean history length the forecasters train on.
+	BootstrapDays int
+	// BaselineDays is the number of clean days used to learn each kit's
+	// per-meter baseline correction.
+	BaselineDays int
+	// Forecast configures both SVR forecasters.
+	Forecast forecast.Options
+	// FlagTau is the per-meter deviation threshold (kW).
+	FlagTau float64
+	// DeltaPAR is the single-event threshold δ_P.
+	DeltaPAR float64
+	// Attack is the price manipulation used for channel calibration and as
+	// the campaign payload.
+	Attack attack.Attack
+	// HackProb, BatchLo, BatchHi parameterize the campaign dynamics the
+	// POMDP is trained against.
+	HackProb         float64
+	BatchLo, BatchHi int
+	// CalibFrac is the hacked fraction used for channel calibration.
+	CalibFrac float64
+	// Solver picks the POMDP policy solver.
+	Solver PolicySolver
+	// PBVI tunes the PBVI solver when selected.
+	PBVI pomdp.PBVIOptions
+}
+
+// DefaultOptions mirrors the paper's setup for a community of n meters.
+func DefaultOptions(n int, seed uint64) Options {
+	return Options{
+		Community:     community.DefaultConfig(n, seed),
+		BootstrapDays: 6,
+		BaselineDays:  2,
+		Forecast:      forecast.DefaultOptions(),
+		FlagTau:       0.5,
+		DeltaPAR:      0.05,
+		Attack:        attack.ZeroWindow{From: 16, To: 17},
+		// Campaign dynamics: a batchy, slow intrusion (one strike attempt
+		// every ~10 slots compromising a few percent of the fleet) — fast
+		// enough to sweep through several POMDP states within the 48 h
+		// window, slow enough that states persist across the load-response
+		// observation lag.
+		HackProb:  0.10,
+		BatchLo:   maxInt(1, n/20),
+		BatchHi:   maxInt(2, n/8),
+		CalibFrac: 0.4,
+		Solver:    SolverPBVI,
+		PBVI:      pomdp.DefaultPBVIOptions(),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Community.Validate(); err != nil {
+		return err
+	}
+	if o.BootstrapDays < o.Forecast.LagDays+1 {
+		return fmt.Errorf("core: bootstrap days %d insufficient for %d lag days", o.BootstrapDays, o.Forecast.LagDays)
+	}
+	if o.BaselineDays < 1 {
+		return fmt.Errorf("core: baseline days %d must be positive", o.BaselineDays)
+	}
+	if o.FlagTau <= 0 || o.DeltaPAR <= 0 {
+		return errors.New("core: thresholds must be positive")
+	}
+	if o.Attack == nil {
+		return errors.New("core: nil attack")
+	}
+	if o.CalibFrac <= 0 || o.CalibFrac >= 1 {
+		return fmt.Errorf("core: calibration fraction %v out of (0,1)", o.CalibFrac)
+	}
+	switch o.Solver {
+	case SolverPBVI, SolverQMDP, SolverThreshold:
+	default:
+		return fmt.Errorf("core: unknown solver %q", o.Solver)
+	}
+	return nil
+}
+
+// System is the assembled pipeline.
+type System struct {
+	// Engine is the simulated world (net metering deployed).
+	Engine *community.Engine
+	// Aware is the net-metering-aware detector kit.
+	Aware *community.DetectorKit
+	// Blind is the NM-blind baseline kit.
+	Blind *community.DetectorKit
+	// Buckets is the shared state/observation quantizer.
+	Buckets detect.Bucketizer
+	// Channel rates measured during calibration, for diagnostics.
+	AwareFP, AwareFN, BlindFP, BlindFN float64
+
+	opts Options
+}
+
+// NewSystem runs the full offline phase and returns a ready pipeline.
+func NewSystem(opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	engine, err := community.NewEngine(opts.Community)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.Bootstrap(opts.BootstrapDays, true); err != nil {
+		return nil, err
+	}
+
+	fAware, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, opts.Forecast)
+	if err != nil {
+		return nil, err
+	}
+	fBlind, err := forecast.Train(engine.History(), forecast.ModePriceOnly, opts.Forecast)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{
+		Engine: engine,
+		Aware:  &community.DetectorKit{Name: "net-metering-aware", NetMetering: true, Forecaster: fAware, FlagTau: opts.FlagTau},
+		Blind:  &community.DetectorKit{Name: "nm-blind", NetMetering: false, Forecaster: fBlind, FlagTau: opts.FlagTau},
+		opts:   opts,
+	}
+
+	// Baseline learning: both kits observe the same clean days, recording
+	// their systematic per-meter expectation errors.
+	if err := engine.LearnBaselines(opts.BaselineDays, sys.Aware, sys.Blind); err != nil {
+		return nil, fmt.Errorf("core: baseline learning: %w", err)
+	}
+
+	sys.AwareFP, sys.AwareFN, err = engine.ChannelRates(sys.Aware, opts.CalibFrac, opts.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("core: aware channel calibration: %w", err)
+	}
+	sys.Aware.FP, sys.Aware.FN = sys.AwareFP, sys.AwareFN
+	sys.BlindFP, sys.BlindFN, err = engine.ChannelRates(sys.Blind, opts.CalibFrac, opts.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("core: blind channel calibration: %w", err)
+	}
+	sys.Blind.FP, sys.Blind.FN = sys.BlindFP, sys.BlindFN
+
+	params := detect.DefaultModelParams(opts.Community.N, sys.AwareFP, sys.AwareFN)
+	params.HackProb = opts.HackProb
+	params.BatchLo, params.BatchHi = opts.BatchLo, opts.BatchHi
+	sys.Buckets = params.Buckets
+
+	sys.Aware.LongTerm, err = sys.buildLongTerm(params, sys.AwareFP, sys.AwareFN)
+	if err != nil {
+		return nil, err
+	}
+	sys.Blind.LongTerm, err = sys.buildLongTerm(params, sys.BlindFP, sys.BlindFN)
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func (s *System) buildLongTerm(base detect.ModelParams, fp, fn float64) (*detect.LongTerm, error) {
+	params := base
+	params.FalsePos, params.FalseNeg = fp, fn
+	model, err := detect.BuildModel(params)
+	if err != nil {
+		return nil, err
+	}
+	var policy pomdp.Policy
+	switch s.opts.Solver {
+	case SolverPBVI:
+		policy, err = pomdp.SolvePBVI(model, s.opts.PBVI)
+	case SolverQMDP:
+		policy, err = pomdp.SolveQMDP(model, 1e-9, 5000)
+	case SolverThreshold:
+		policy = pomdp.ThresholdPolicy{
+			InspectAction:  detect.ActionInspect,
+			ContinueAction: detect.ActionContinue,
+			Threshold:      1.0,
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return detect.NewLongTerm(model, policy, params.Buckets)
+}
+
+// NewCampaign builds a fresh attack campaign with the system's configured
+// dynamics and payload.
+func (s *System) NewCampaign() (*attack.Campaign, error) {
+	return attack.NewCampaign(s.opts.Community.N, s.opts.HackProb, s.opts.BatchLo, s.opts.BatchHi, s.opts.Attack)
+}
+
+// MonitorDays runs `days` consecutive monitored days with the given kit and
+// campaign; enforce controls whether inspect actions repair the fleet.
+func (s *System) MonitorDays(kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool) ([]*community.MonitorDayResult, error) {
+	if days < 1 {
+		return nil, fmt.Errorf("core: days %d must be positive", days)
+	}
+	results := make([]*community.MonitorDayResult, 0, days)
+	for d := 0; d < days; d++ {
+		res, err := s.Engine.MonitorDay(kit, camp, s.Buckets, enforce)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ObservationAccuracy is the Figure-6 metric: the fraction of monitored
+// slots where the detector's state estimate (the POMDP's MAP belief, which
+// fuses the slot's observation with the campaign dynamics) matches the true
+// hacked-count bucket.
+func ObservationAccuracy(results []*community.MonitorDayResult) float64 {
+	var obs, truth []int
+	for _, r := range results {
+		obs = append(obs, r.BeliefBucket...)
+		truth = append(truth, r.TrueBucket...)
+	}
+	return metrics.Accuracy(obs, truth)
+}
+
+// RawObservationAccuracy scores the raw (pre-belief) bucketed observations
+// against the truth — the ablation counterpart of ObservationAccuracy.
+func RawObservationAccuracy(results []*community.MonitorDayResult) float64 {
+	var obs, truth []int
+	for _, r := range results {
+		obs = append(obs, r.ObsBucket...)
+		truth = append(truth, r.TrueBucket...)
+	}
+	return metrics.Accuracy(obs, truth)
+}
+
+// RealizedPAR computes the PAR of the realized community energy load
+// Lₕ = Σₙ lₙʰ over the monitored window (the paper's Table 1 metric).
+func RealizedPAR(results []*community.MonitorDayResult) float64 {
+	var load timeseries.Series
+	for _, r := range results {
+		load = append(load, r.Trace.Load...)
+	}
+	return load.PAR()
+}
+
+// TotalInspections sums the inspect actions across the monitored window.
+func TotalInspections(results []*community.MonitorDayResult) int {
+	n := 0
+	for _, r := range results {
+		for _, a := range r.Actions {
+			if a == detect.ActionInspect {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DetectionDelays measures response latency: for every intrusion episode
+// (a maximal run of slots with a non-zero true hacked count), the number of
+// slots from the episode's start until the first inspect action within it.
+// Episodes never answered by an inspection report a delay of −1. The mean of
+// the non-negative delays is returned alongside the per-episode list (NaN
+// when no episode was answered).
+func DetectionDelays(results []*community.MonitorDayResult) (delays []int, mean float64) {
+	inEpisode := false
+	start, slot := 0, 0
+	answered := false
+	flush := func() {
+		if !inEpisode {
+			return
+		}
+		if !answered {
+			delays = append(delays, -1)
+		}
+		inEpisode = false
+	}
+	for _, r := range results {
+		for h := range r.Actions {
+			hacked := r.Trace.TrueHacked[h] > 0
+			switch {
+			case hacked && !inEpisode:
+				inEpisode, answered, start = true, false, slot
+			case !hacked:
+				flush()
+			}
+			if inEpisode && !answered && r.Actions[h] == detect.ActionInspect {
+				delays = append(delays, slot-start)
+				answered = true
+			}
+			slot++
+		}
+	}
+	flush()
+	sum, n := 0, 0
+	for _, d := range delays {
+		if d >= 0 {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return delays, math.NaN()
+	}
+	return delays, float64(sum) / float64(n)
+}

@@ -1,0 +1,105 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Flagger is the stateful per-meter observation channel used by long-term
+// monitoring. A meter is flagged once any single slot's absolute deviation
+// between its expected and realized load has exceeded Tau, and stays flagged
+// until the channel is reset (after a repair).
+//
+// The sticky flag implements the "cumulative impact" the paper's long-term
+// detection targets: a hacked meter's rescheduling produces a few large
+// hourly deviations — once one is seen the meter remains suspect — while an
+// intact meter whose behavior is predicted correctly never crosses the
+// threshold.
+type Flagger struct {
+	// Tau is the single-slot deviation threshold (kW).
+	Tau float64
+
+	maxDev []float64
+	slots  int
+}
+
+// NewFlagger builds a channel for n meters.
+func NewFlagger(n int, tau float64) (*Flagger, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("detect: flagger size %d must be positive", n)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("detect: flagger threshold %v must be positive", tau)
+	}
+	return &Flagger{Tau: tau, maxDev: make([]float64, n)}, nil
+}
+
+// Observe ingests slot h of the expected and realized per-meter profiles and
+// returns the number of currently flagged meters.
+func (f *Flagger) Observe(expected, realized [][]float64, h int) (int, error) {
+	if len(expected) != len(f.maxDev) || len(realized) != len(f.maxDev) {
+		return 0, fmt.Errorf("detect: flagger expects %d meters, got %d/%d", len(f.maxDev), len(expected), len(realized))
+	}
+	for n := range f.maxDev {
+		if h < 0 || h >= len(expected[n]) || h >= len(realized[n]) {
+			return 0, fmt.Errorf("detect: slot %d out of range for meter %d", h, n)
+		}
+		if d := math.Abs(expected[n][h] - realized[n][h]); d > f.maxDev[n] {
+			f.maxDev[n] = d
+		}
+	}
+	f.slots++
+	return f.Count(), nil
+}
+
+// Count returns the number of meters whose peak deviation has exceeded Tau.
+func (f *Flagger) Count() int {
+	count := 0
+	for _, d := range f.maxDev {
+		if d > f.Tau {
+			count++
+		}
+	}
+	return count
+}
+
+// Flagged reports whether meter i is currently flagged.
+func (f *Flagger) Flagged(i int) bool { return f.maxDev[i] > f.Tau }
+
+// Size returns the number of meters the flagger tracks.
+func (f *Flagger) Size() int { return len(f.maxDev) }
+
+// Reset clears the accumulated deviations (called after a repair, when past
+// deviations no longer reflect the fleet's state).
+func (f *Flagger) Reset() {
+	for i := range f.maxDev {
+		f.maxDev[i] = 0
+	}
+	f.slots = 0
+}
+
+// EstimateHacked debiases a flagged count using the channel's calibrated
+// per-slot marginal error rates: E[flagged] = (1−fn)·h + fp·(n−h), solved
+// for h and clamped to [0, n]. When the channel is too noisy to invert
+// (1−fp−fn ≤ 0.05) the raw count is returned.
+func EstimateHacked(flagged, n int, fp, fn float64) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("detect: estimate over empty fleet")
+	}
+	if flagged < 0 || flagged > n {
+		return 0, fmt.Errorf("detect: flagged %d out of [0,%d]", flagged, n)
+	}
+	denom := 1 - fp - fn
+	if denom <= 0.05 {
+		return flagged, nil
+	}
+	est := (float64(flagged) - fp*float64(n)) / denom
+	if est < 0 {
+		est = 0
+	}
+	if est > float64(n) {
+		est = float64(n)
+	}
+	return int(est + 0.5), nil
+}

@@ -1,0 +1,182 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nmdetect/internal/rng"
+)
+
+func TestNewFlaggerValidation(t *testing.T) {
+	if _, err := NewFlagger(0, 0.5); err == nil {
+		t.Error("zero meters accepted")
+	}
+	if _, err := NewFlagger(5, 0); err == nil {
+		t.Error("zero tau accepted")
+	}
+	f, err := NewFlagger(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 5 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestFlaggerSticky(t *testing.T) {
+	f, err := NewFlagger(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := [][]float64{{1, 1, 1}, {1, 1, 1}}
+	realized := [][]float64{{1, 3, 1}, {1, 1, 1}} // meter 0 deviates at slot 1 only
+
+	n, err := f.Observe(expected, realized, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("slot 0 flagged %d", n)
+	}
+	n, err = f.Observe(expected, realized, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !f.Flagged(0) || f.Flagged(1) {
+		t.Fatalf("slot 1 flagged %d", n)
+	}
+	// Deviation gone at slot 2 — the flag must stick.
+	n, err = f.Observe(expected, realized, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("slot 2 flagged %d, want sticky 1", n)
+	}
+
+	f.Reset()
+	if f.Count() != 0 || f.Flagged(0) {
+		t.Fatal("Reset did not clear flags")
+	}
+}
+
+func TestFlaggerThresholdIsStrict(t *testing.T) {
+	f, err := NewFlagger(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deviation exactly at tau does not flag.
+	if _, err := f.Observe([][]float64{{1}}, [][]float64{{1.5}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 0 {
+		t.Fatal("deviation == tau flagged")
+	}
+}
+
+func TestFlaggerErrors(t *testing.T) {
+	f, err := NewFlagger(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Observe([][]float64{{1}}, [][]float64{{1}, {1}}, 0); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := f.Observe([][]float64{{1}, {1}}, [][]float64{{1}, {1}}, 3); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestEstimateHackedExactChannel(t *testing.T) {
+	// Perfect channel: estimate equals the flagged count.
+	got, err := EstimateHacked(17, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 17 {
+		t.Fatalf("est = %d", got)
+	}
+}
+
+func TestEstimateHackedDebiases(t *testing.T) {
+	// fp=0.1, fn=0.2 over 100 meters with 20 hacked: E[flagged] =
+	// 0.8·20 + 0.1·80 = 24 → the estimator must invert back to 20.
+	got, err := EstimateHacked(24, 100, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("est = %d, want 20", got)
+	}
+}
+
+func TestEstimateHackedClamps(t *testing.T) {
+	// Fewer flags than the fp baseline → clamp at 0.
+	got, err := EstimateHacked(2, 100, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("est = %d, want 0", got)
+	}
+	// Huge flag count → clamp at n.
+	got, err = EstimateHacked(100, 100, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("est = %d, want 100", got)
+	}
+}
+
+func TestEstimateHackedFallback(t *testing.T) {
+	// Uninvertible channel (1−fp−fn ≤ 0.05): raw count returned.
+	got, err := EstimateHacked(42, 100, 0.6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("est = %d, want raw 42", got)
+	}
+}
+
+func TestEstimateHackedErrors(t *testing.T) {
+	if _, err := EstimateHacked(0, 0, 0, 0); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := EstimateHacked(-1, 10, 0, 0); err == nil {
+		t.Error("negative flags accepted")
+	}
+	if _, err := EstimateHacked(11, 10, 0, 0); err == nil {
+		t.Error("flags > n accepted")
+	}
+}
+
+func TestEstimateHackedRoundTripProperty(t *testing.T) {
+	// Property: for invertible channels, estimating the expected flag count
+	// of h hacked meters recovers h within rounding.
+	s := rng.New(3)
+	f := func() bool {
+		n := 10 + s.Intn(490)
+		h := s.Intn(n + 1)
+		fp := s.Range(0, 0.3)
+		fn := s.Range(0, 0.3)
+		if 1-fp-fn <= 0.05 {
+			return true
+		}
+		expFlagged := (1-fn)*float64(h) + fp*float64(n-h)
+		est, err := EstimateHacked(int(expFlagged+0.5), n, fp, fn)
+		if err != nil {
+			return false
+		}
+		diff := est - h
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding the expected count costs at most 1/(1−fp−fn) ≈ 2.5 meters.
+		return diff <= 3
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

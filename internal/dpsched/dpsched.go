@@ -1,0 +1,190 @@
+// Package dpsched implements the dynamic-programming appliance scheduler the
+// paper adopts from Liu et al. [6] ("Dynamic programming based game theoretic
+// algorithm for economical multi-user smart home scheduling", MWSCAS 2014).
+//
+// One appliance m with power-level set 𝒳ₘ, task energy Eₘ and window
+// [αₘ, βₘ] is scheduled against an arbitrary per-slot cost function. Energy
+// is quantized on the greatest common granularity of the levels (package
+// appliance), making the problem an exact DP over (slot, remaining-energy)
+// states:
+//
+//	V(h, e) = min over x ∈ 𝒳ₘ ∪ {0}, x ≤ e of  cost(h, x) + V(h+1, e − x)
+//
+// with V(βₘ+1, 0) = 0 and V(βₘ+1, e>0) = +∞. The cost callback lets the game
+// layer express the quadratic-pricing marginal cost (which depends on the
+// community load at each slot) without this package knowing about tariffs.
+package dpsched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nmdetect/internal/appliance"
+)
+
+// CostFn returns the cost of running at power level powerKW (possibly 0)
+// during slot h. It must be finite for feasible inputs.
+type CostFn func(h int, powerKW float64) float64
+
+// ErrInfeasible is returned when no schedule can meet the energy requirement.
+var ErrInfeasible = errors.New("dpsched: no feasible schedule")
+
+// Schedule computes a minimum-cost schedule for the appliance over a horizon
+// of H slots. The returned schedule has length H with non-zero entries only
+// inside the appliance's window; the second result is the optimal cost
+// (excluding slots outside the window, where the appliance is off and the
+// cost of power 0 is not charged).
+func Schedule(a *appliance.Appliance, horizon int, cost CostFn) (appliance.Schedule, float64, error) {
+	if err := a.Validate(horizon); err != nil {
+		return nil, 0, fmt.Errorf("dpsched: %w", err)
+	}
+	if cost == nil {
+		return nil, 0, errors.New("dpsched: nil cost function")
+	}
+	if a.Contiguous {
+		return scheduleContiguous(a, horizon, cost)
+	}
+
+	q := appliance.Quantum(a.Levels)
+	target := int(a.Energy/q + 0.5)
+	window := a.WindowLen()
+
+	// Level step sizes, deduplicated, including "off".
+	type lvl struct {
+		steps int
+		power float64
+	}
+	levels := []lvl{{0, 0}}
+	seen := map[int]bool{0: true}
+	for _, p := range a.Levels {
+		st := int(p/q + 0.5)
+		if !seen[st] {
+			seen[st] = true
+			levels = append(levels, lvl{st, p})
+		}
+	}
+
+	// value[w][e]: minimum cost from window-slot w onward with e energy
+	// steps still to deliver. choice[w][e]: index into levels.
+	inf := math.Inf(1)
+	value := make([][]float64, window+1)
+	choice := make([][]int, window)
+	for w := range value {
+		value[w] = make([]float64, target+1)
+		for e := range value[w] {
+			value[w][e] = inf
+		}
+	}
+	for w := range choice {
+		choice[w] = make([]int, target+1)
+		for e := range choice[w] {
+			choice[w][e] = -1
+		}
+	}
+	value[window][0] = 0
+
+	for w := window - 1; w >= 0; w-- {
+		h := a.Start + w
+		for e := 0; e <= target; e++ {
+			best := inf
+			bestIdx := -1
+			for i, l := range levels {
+				if l.steps > e {
+					continue
+				}
+				next := value[w+1][e-l.steps]
+				if math.IsInf(next, 1) {
+					continue
+				}
+				c := cost(h, l.power) + next
+				if c < best {
+					best = c
+					bestIdx = i
+				}
+			}
+			value[w][e] = best
+			choice[w][e] = bestIdx
+		}
+	}
+
+	if math.IsInf(value[0][target], 1) {
+		return nil, 0, fmt.Errorf("%w: %q cannot deliver %.3f kWh in window [%d,%d]",
+			ErrInfeasible, a.Name, a.Energy, a.Start, a.Deadline)
+	}
+
+	sched := make(appliance.Schedule, horizon)
+	e := target
+	for w := 0; w < window; w++ {
+		idx := choice[w][e]
+		if idx < 0 {
+			return nil, 0, fmt.Errorf("%w: broken DP back-pointer", ErrInfeasible)
+		}
+		l := levels[idx]
+		sched[a.Start+w] = l.power
+		e -= l.steps
+	}
+	if e != 0 {
+		return nil, 0, fmt.Errorf("%w: reconstruction left %d steps", ErrInfeasible, e)
+	}
+	return sched, value[0][target], nil
+}
+
+// scheduleContiguous finds the cheapest single consecutive run for a
+// non-preemptible appliance: it enumerates every feasible (level, start)
+// pair — the run's duration is Energy/level whole slots — and picks the
+// minimum total cost. O(|levels| · window) cost evaluations.
+func scheduleContiguous(a *appliance.Appliance, horizon int, cost CostFn) (appliance.Schedule, float64, error) {
+	if a.Energy == 0 {
+		return make(appliance.Schedule, horizon), 0, nil
+	}
+	bestCost := math.Inf(1)
+	bestLevel, bestStart, bestDur := 0.0, -1, 0
+	for _, l := range a.Levels {
+		slots := a.Energy / l
+		dur := int(slots + 0.5)
+		if dur < 1 || math.Abs(slots-float64(dur)) > 1e-9 || dur > a.WindowLen() {
+			continue // this level cannot deliver the energy in whole slots
+		}
+		for start := a.Start; start+dur-1 <= a.Deadline; start++ {
+			total := 0.0
+			for h := start; h < start+dur; h++ {
+				total += cost(h, l)
+			}
+			if total < bestCost {
+				bestCost, bestLevel, bestStart, bestDur = total, l, start, dur
+			}
+		}
+	}
+	if bestStart < 0 {
+		return nil, 0, fmt.Errorf("%w: %q has no feasible contiguous run for %.3f kWh in [%d,%d]",
+			ErrInfeasible, a.Name, a.Energy, a.Start, a.Deadline)
+	}
+	sched := make(appliance.Schedule, horizon)
+	for h := bestStart; h < bestStart+bestDur; h++ {
+		sched[h] = bestLevel
+	}
+	return sched, bestCost, nil
+}
+
+// ScheduleAll schedules each appliance of a set in sequence, accumulating the
+// per-slot load so that later appliances see the congestion created by
+// earlier ones through the cost function. makeCost receives the current
+// accumulated schedulable load (length horizon) and must return the marginal
+// cost function for the next appliance. It returns the per-appliance
+// schedules and the total load profile they imply.
+func ScheduleAll(apps []*appliance.Appliance, horizon int, makeCost func(current []float64) CostFn) ([]appliance.Schedule, []float64, error) {
+	load := make([]float64, horizon)
+	scheds := make([]appliance.Schedule, len(apps))
+	for i, a := range apps {
+		sched, _, err := Schedule(a, horizon, makeCost(load))
+		if err != nil {
+			return nil, nil, err
+		}
+		scheds[i] = sched
+		for h, x := range sched {
+			load[h] += x
+		}
+	}
+	return scheds, load, nil
+}

@@ -1,0 +1,327 @@
+package dpsched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nmdetect/internal/appliance"
+	"nmdetect/internal/rng"
+)
+
+// flatCost charges proportional to energy regardless of slot.
+func flatCost(h int, p float64) float64 { return p }
+
+func TestScheduleMeetsEnergy(t *testing.T) {
+	a := &appliance.Appliance{Name: "w", Levels: []float64{0.5, 1.0}, Energy: 2.0, Start: 3, Deadline: 8}
+	sched, _, err := Schedule(a, 24, flatCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckSchedule(sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulePrefersCheapSlots(t *testing.T) {
+	a := &appliance.Appliance{Name: "w", Levels: []float64{1.0}, Energy: 2.0, Start: 0, Deadline: 5}
+	prices := []float64{10, 1, 10, 10, 1, 10}
+	cost := func(h int, p float64) float64 { return prices[h] * p }
+	sched, c, err := Schedule(a, 6, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[1] != 1.0 || sched[4] != 1.0 {
+		t.Fatalf("schedule = %v, want energy in slots 1 and 4", sched)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Fatalf("cost = %v, want 2", c)
+	}
+}
+
+func TestScheduleRespectsWindow(t *testing.T) {
+	a := &appliance.Appliance{Name: "w", Levels: []float64{1.0}, Energy: 1.0, Start: 10, Deadline: 12}
+	// Slot 0 is free but outside the window.
+	cost := func(h int, p float64) float64 {
+		if h == 0 {
+			return 0
+		}
+		return p * 100
+	}
+	sched, _, err := Schedule(a, 24, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, x := range sched {
+		if x != 0 && (h < 10 || h > 12) {
+			t.Fatalf("energy scheduled outside window at slot %d", h)
+		}
+	}
+}
+
+func TestScheduleUsesConvexSplitting(t *testing.T) {
+	// With convex per-slot cost (quadratic in power), splitting across slots
+	// at the low level beats one slot at the high level.
+	a := &appliance.Appliance{Name: "w", Levels: []float64{1.0, 2.0}, Energy: 2.0, Start: 0, Deadline: 1}
+	cost := func(h int, p float64) float64 { return p * p }
+	sched, c, err := Schedule(a, 2, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0] != 1.0 || sched[1] != 1.0 {
+		t.Fatalf("schedule = %v, want 1.0 in both slots", sched)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Fatalf("cost = %v, want 2", c)
+	}
+}
+
+func TestScheduleZeroEnergy(t *testing.T) {
+	a := &appliance.Appliance{Name: "idle", Levels: []float64{1.0}, Energy: 0, Start: 0, Deadline: 3}
+	sched, c, err := Schedule(a, 4, flatCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Energy() != 0 || c != 0 {
+		t.Fatalf("zero-energy schedule = %v cost %v", sched, c)
+	}
+}
+
+func TestScheduleInfeasible(t *testing.T) {
+	a := &appliance.Appliance{Name: "w", Levels: []float64{1.0}, Energy: 10, Start: 0, Deadline: 2}
+	_, _, err := Schedule(a, 24, flatCost)
+	if err == nil {
+		t.Fatal("infeasible task scheduled")
+	}
+}
+
+func TestScheduleNilCost(t *testing.T) {
+	a := &appliance.Appliance{Name: "w", Levels: []float64{1.0}, Energy: 1, Start: 0, Deadline: 2}
+	if _, _, err := Schedule(a, 24, nil); err == nil {
+		t.Fatal("nil cost accepted")
+	}
+}
+
+func TestScheduleLatticeInfeasibleEnergy(t *testing.T) {
+	// 3.0 kWh is not reachable with levels {2.0} in 2 slots (0,2,4 only).
+	a := &appliance.Appliance{Name: "w", Levels: []float64{2.0}, Energy: 3.0, Start: 0, Deadline: 1}
+	_, _, err := Schedule(a, 24, flatCost)
+	if err == nil {
+		t.Fatal("lattice-infeasible task scheduled")
+	}
+	if !errors.Is(err, ErrInfeasible) && err == nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScheduleOptimalityAgainstBruteForce(t *testing.T) {
+	// Exhaustively enumerate all level assignments for small instances and
+	// verify the DP matches the brute-force optimum.
+	s := rng.New(50)
+	levels := []float64{0.5, 1.0}
+	for trial := 0; trial < 50; trial++ {
+		window := 2 + s.Intn(3) // 2..4 slots
+		prices := make([]float64, window)
+		for i := range prices {
+			prices[i] = s.Range(0.1, 5)
+		}
+		// Random reachable target.
+		steps := s.Intn(2*window + 1) // in units of 0.5
+		energy := float64(steps) * 0.5
+		a := &appliance.Appliance{Name: "bf", Levels: levels, Energy: energy, Start: 0, Deadline: window - 1}
+		if !a.Feasible() {
+			continue
+		}
+		cost := func(h int, p float64) float64 { return prices[h] * p }
+
+		// Brute force over {0, 0.5, 1.0}^window.
+		best := math.Inf(1)
+		options := []float64{0, 0.5, 1.0}
+		var rec func(slot int, remaining, acc float64)
+		rec = func(slot int, remaining, acc float64) {
+			if slot == window {
+				if math.Abs(remaining) < 1e-9 && acc < best {
+					best = acc
+				}
+				return
+			}
+			for _, x := range options {
+				if x > remaining+1e-9 {
+					continue
+				}
+				rec(slot+1, remaining-x, acc+cost(slot, x))
+			}
+		}
+		rec(0, energy, 0)
+
+		_, dpCost, err := Schedule(a, window, cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(dpCost-best) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %v != brute force %v", trial, dpCost, best)
+		}
+	}
+}
+
+func TestScheduleContiguousPicksCheapestRun(t *testing.T) {
+	// 2 kWh at 1 kW = a 2-slot run; window 0–5 with slots 3,4 cheap.
+	a := &appliance.Appliance{Name: "washer", Levels: []float64{1.0}, Energy: 2.0,
+		Start: 0, Deadline: 5, Contiguous: true}
+	prices := []float64{5, 5, 5, 1, 1, 5}
+	cost := func(h int, p float64) float64 { return prices[h] * p }
+	sched, c, err := Schedule(a, 6, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[3] != 1 || sched[4] != 1 {
+		t.Fatalf("schedule = %v, want run at 3-4", sched)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Fatalf("cost = %v", c)
+	}
+	if err := a.CheckSchedule(sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleContiguousNeverSplits(t *testing.T) {
+	// Cheap slots 0 and 5 are non-adjacent: a preemptible task would split;
+	// the contiguous one must take a consecutive pair instead.
+	a := &appliance.Appliance{Name: "dryer", Levels: []float64{2.0}, Energy: 4.0,
+		Start: 0, Deadline: 5, Contiguous: true}
+	prices := []float64{1, 10, 10, 3, 3, 1}
+	cost := func(h int, p float64) float64 { return prices[h] * p }
+	sched, c, err := Schedule(a, 6, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckSchedule(sched); err != nil {
+		t.Fatalf("split run: %v (schedule %v)", err, sched)
+	}
+	// Best consecutive pair is 4,5 at cost (3+1)·2 = 8 (the split 0,5 pair
+	// at cost 4 is forbidden).
+	if sched[4] != 2 || sched[5] != 2 {
+		t.Fatalf("schedule = %v, want run at 4-5", sched)
+	}
+	if math.Abs(c-8) > 1e-12 {
+		t.Fatalf("cost = %v, want 8", c)
+	}
+}
+
+func TestScheduleContiguousLevelChoice(t *testing.T) {
+	// 6 kWh: 3 slots at 2 kW or 2 slots at 3 kW. With a price spike in the
+	// middle, the shorter high-power run dodges it.
+	a := &appliance.Appliance{Name: "oven", Levels: []float64{2.0, 3.0}, Energy: 6.0,
+		Start: 0, Deadline: 4, Contiguous: true}
+	prices := []float64{1, 1, 10, 1, 1}
+	cost := func(h int, p float64) float64 { return prices[h] * p }
+	sched, _, err := Schedule(a, 5, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0] != 3 || sched[1] != 3 {
+		t.Fatalf("schedule = %v, want 3 kW run at 0-1", sched)
+	}
+}
+
+func TestScheduleContiguousInfeasible(t *testing.T) {
+	// 3 kWh with only a 2 kW level: 1.5 slots is not a whole-slot run.
+	a := &appliance.Appliance{Name: "x", Levels: []float64{2.0}, Energy: 3.0,
+		Start: 0, Deadline: 5, Contiguous: true}
+	if _, _, err := Schedule(a, 6, flatCost); err == nil {
+		t.Fatal("non-integral contiguous run accepted")
+	}
+	if !a.Feasible() == false {
+		// Feasible() must agree with the scheduler.
+		t.Log("feasibility agrees")
+	}
+	if a.Feasible() {
+		t.Fatal("Feasible() disagrees with the scheduler")
+	}
+}
+
+func TestScheduleContiguousZeroEnergy(t *testing.T) {
+	a := &appliance.Appliance{Name: "idle", Levels: []float64{1.0}, Energy: 0,
+		Start: 0, Deadline: 3, Contiguous: true}
+	sched, c, err := Schedule(a, 4, flatCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Energy() != 0 || c != 0 {
+		t.Fatalf("zero-energy contiguous = %v, %v", sched, c)
+	}
+}
+
+func TestScheduleAllAccumulatesLoad(t *testing.T) {
+	apps := []*appliance.Appliance{
+		{Name: "a", Levels: []float64{1.0}, Energy: 1.0, Start: 0, Deadline: 1},
+		{Name: "b", Levels: []float64{1.0}, Energy: 1.0, Start: 0, Deadline: 1},
+	}
+	// Marginal cost grows with current load: the second appliance should
+	// avoid the slot the first one picked.
+	makeCost := func(current []float64) CostFn {
+		snapshot := make([]float64, len(current))
+		copy(snapshot, current)
+		return func(h int, p float64) float64 {
+			return (1 + snapshot[h]) * p
+		}
+	}
+	scheds, load, err := ScheduleAll(apps, 2, makeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 2 {
+		t.Fatalf("schedules = %d", len(scheds))
+	}
+	if load[0] != 1 || load[1] != 1 {
+		t.Fatalf("load = %v, want balanced {1,1}", load)
+	}
+}
+
+func TestScheduleAllPropagatesError(t *testing.T) {
+	apps := []*appliance.Appliance{
+		{Name: "bad", Levels: []float64{1.0}, Energy: 100, Start: 0, Deadline: 1},
+	}
+	if _, _, err := ScheduleAll(apps, 2, func([]float64) CostFn { return flatCost }); err == nil {
+		t.Fatal("infeasible appliance accepted")
+	}
+}
+
+func TestSchedulePropertyEnergyConservation(t *testing.T) {
+	// Property: any successfully scheduled appliance delivers exactly its
+	// task energy inside its window.
+	s := rng.New(51)
+	f := func() bool {
+		window := 1 + s.Intn(8)
+		start := s.Intn(24 - window)
+		levelSets := [][]float64{{0.5, 1.0}, {1.0, 2.0}, {0.3}, {1.5, 3.0, 6.0}}
+		levels := levelSets[s.Intn(len(levelSets))]
+		q := appliance.Quantum(levels)
+		maxLv := 0.0
+		for _, l := range levels {
+			if l > maxLv {
+				maxLv = l
+			}
+		}
+		maxSteps := int(maxLv/q+0.5) * window
+		energy := float64(s.Intn(maxSteps+1)) * q
+		a := &appliance.Appliance{Name: "p", Levels: levels, Energy: energy, Start: start, Deadline: start + window - 1}
+		if !a.Feasible() {
+			return true
+		}
+		prices := make([]float64, 24)
+		for i := range prices {
+			prices[i] = s.Range(0.05, 2)
+		}
+		sched, _, err := Schedule(a, 24, func(h int, p float64) float64 { return prices[h] * p })
+		if err != nil {
+			return false
+		}
+		return a.CheckSchedule(sched) == nil
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

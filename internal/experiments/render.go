@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"nmdetect/internal/timeseries"
+)
+
+// RenderChart draws an ASCII line chart of one or more equally-long series
+// (the harness's stand-in for the paper's figures). Each series is plotted
+// with its own glyph; overlapping points show the later series' glyph.
+func RenderChart(w io.Writer, title string, labels []string, series ...timeseries.Series) error {
+	if len(series) == 0 || len(labels) != len(series) {
+		return fmt.Errorf("experiments: %d labels for %d series", len(labels), len(series))
+	}
+	n := len(series[0])
+	for i, s := range series {
+		if len(s) != n {
+			return fmt.Errorf("experiments: series %d has %d points, want %d", i, len(s), n)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("experiments: empty series")
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		mn, _ := s.Min()
+		mx, _ := s.Max()
+		lo = math.Min(lo, mn)
+		hi = math.Max(hi, mx)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	const rows = 16
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for x, v := range s {
+			r := int((hi - v) / (hi - lo) * float64(rows-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= rows {
+				r = rows - 1
+			}
+			grid[r][x] = g
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for si, l := range labels {
+		fmt.Fprintf(w, "  %c = %s\n", glyphs[si%len(glyphs)], l)
+	}
+	for r, row := range grid {
+		val := hi - (hi-lo)*float64(r)/float64(rows-1)
+		fmt.Fprintf(w, "%10.4f |%s|\n", val, string(row))
+	}
+	fmt.Fprintf(w, "%10s +%s+\n", "", strings.Repeat("-", n))
+	// Hour ruler (one digit per slot, tens place).
+	ruler := make([]byte, n)
+	for x := range ruler {
+		if x%6 == 0 {
+			ruler[x] = byte('0' + (x/10)%10)
+		} else {
+			ruler[x] = ' '
+		}
+	}
+	fmt.Fprintf(w, "%10s  %s  (slot)\n", "", string(ruler))
+	return nil
+}
+
+// WriteCSV emits aligned series as CSV with a header row.
+func WriteCSV(w io.Writer, header []string, series ...timeseries.Series) error {
+	if len(series) == 0 || len(header) != len(series)+1 {
+		return fmt.Errorf("experiments: header must name slot plus each of %d series", len(series))
+	}
+	n := len(series[0])
+	for i, s := range series {
+		if len(s) != n {
+			return fmt.Errorf("experiments: series %d has %d points, want %d", i, len(s), n)
+		}
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for t := 0; t < n; t++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%d", t))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.6f", s[t]))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	return nil
+}
+
+// Comparison is one paper-vs-measured record for EXPERIMENTS.md.
+type Comparison struct {
+	ID       string // "fig3", "table1-par-aware", ...
+	Quantity string
+	Paper    float64
+	Measured float64
+}
+
+// RenderComparisons prints a fixed-width paper-vs-measured table.
+func RenderComparisons(w io.Writer, rows []Comparison) {
+	fmt.Fprintf(w, "%-24s %-38s %12s %12s\n", "experiment", "quantity", "paper", "measured")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 90))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-38s %12.4f %12.4f\n", r.ID, r.Quantity, r.Paper, r.Measured)
+	}
+}

@@ -1,0 +1,465 @@
+// Package game implements the Net Metering Aware Energy Consumption
+// Scheduling Game of Section 3.1 and its iterative solution (Algorithm 1).
+//
+// Each customer n minimizes the monetary cost Σₕ Cₙʰ of Problem P1 by
+// choosing appliance power levels xₘʰ (via the dynamic-programming scheduler,
+// package dpsched) and a battery-storage trajectory bₙ (via cross-entropy
+// optimization, package ceopt), while the community total trading Σᵢ yᵢʰ —
+// the shared information of the game — is held at its latest value. Customers
+// update in Gauss-Seidel sweeps until the total trading vector converges;
+// each best response can only lower that customer's cost, which empirically
+// drives the quadratic-pricing game to a stable point in a handful of sweeps
+// (Mohsenian-Rad et al. [9] prove convergence for the purchase-only convex
+// case).
+//
+// Disabling net metering (Config.NetMetering = false) removes PV, battery and
+// selling from the model: each customer's trading equals their consumption,
+// which is the community model of [9] and [8] — the baseline the paper's
+// NM-blind detector reasons with.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nmdetect/internal/appliance"
+	"nmdetect/internal/battery"
+	"nmdetect/internal/ceopt"
+	"nmdetect/internal/dpsched"
+	"nmdetect/internal/household"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/tariff"
+	"nmdetect/internal/timeseries"
+)
+
+// Config tunes the game solver.
+type Config struct {
+	// Tariff is the quadratic cost model (with its sell-back divisor W).
+	Tariff tariff.Quadratic
+	// NetMetering enables PV generation, battery scheduling and selling.
+	NetMetering bool
+	// BatteryInitFrac is the initial state of charge as a fraction of
+	// capacity at slot 0.
+	BatteryInitFrac float64
+	// MaxSweeps bounds the Gauss-Seidel best-response sweeps.
+	MaxSweeps int
+	// Tol is the convergence tolerance on the per-slot total trading change
+	// (kW) between consecutive sweeps.
+	Tol float64
+	// CE configures the battery trajectory optimizer.
+	CE ceopt.Options
+}
+
+// DefaultConfig returns the solver configuration used by the experiments.
+func DefaultConfig(t tariff.Quadratic, netMetering bool) Config {
+	ce := ceopt.DefaultOptions()
+	ce.Samples = 40
+	ce.MaxIter = 25
+	return Config{
+		Tariff:          t,
+		NetMetering:     netMetering,
+		BatteryInitFrac: 0.3,
+		MaxSweeps:       4,
+		Tol:             1.0,
+		CE:              ce,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BatteryInitFrac < 0 || c.BatteryInitFrac > 1 {
+		return fmt.Errorf("game: battery init fraction %v out of [0,1]", c.BatteryInitFrac)
+	}
+	if c.MaxSweeps < 1 {
+		return fmt.Errorf("game: max sweeps %d must be positive", c.MaxSweeps)
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("game: tolerance %v must be positive", c.Tol)
+	}
+	if c.Tariff.W < 1 {
+		return fmt.Errorf("game: tariff sell-back divisor %v must be >= 1", c.Tariff.W)
+	}
+	return c.CE.Validate()
+}
+
+// Result holds the solved community schedule.
+type Result struct {
+	// Load is the community consumption Lₕ = Σₙ lₙʰ per slot.
+	Load timeseries.Series
+	// GridDemand is the community net purchase Σₙ yₙʰ per slot (equals Load
+	// minus renewable self-use and battery shifting; equals Load exactly
+	// when net metering is disabled).
+	GridDemand timeseries.Series
+	// CustomerLoad[n][h] is lₙʰ.
+	CustomerLoad [][]float64
+	// CustomerTrading[n][h] is yₙʰ.
+	CustomerTrading [][]float64
+	// BatteryTraj[n] is bₙ (length H+1); nil entries for customers without
+	// batteries or with net metering disabled.
+	BatteryTraj [][]float64
+	// Cost[n] is customer n's final monetary cost.
+	Cost []float64
+	// Sweeps is the number of best-response sweeps performed.
+	Sweeps int
+	// Converged reports whether the trading vector stabilized within Tol.
+	Converged bool
+}
+
+// Solve runs Algorithm 1. price is the guideline price over the horizon
+// (len == H ≥ 24); pv[n] is customer n's renewable forecast θₙ (ignored when
+// net metering is disabled; may be nil then). The source drives CE sampling
+// and must not be nil when net metering is enabled.
+func Solve(customers []*household.Customer, price timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+	if len(customers) == 0 {
+		return nil, errors.New("game: empty community")
+	}
+	prices := make([]timeseries.Series, len(customers))
+	for i := range prices {
+		prices[i] = price
+	}
+	return SolveMixed(customers, prices, pv, cfg, src)
+}
+
+// SolveMixed runs Algorithm 1 with per-customer guideline prices — the
+// situation under a pricing cyberattack, where hacked meters receive a
+// manipulated price while intact meters receive the published one. Each
+// customer best-responds to their own price; all interact through the shared
+// community trading total.
+func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(customers) == 0 {
+		return nil, errors.New("game: empty community")
+	}
+	if len(prices) != len(customers) {
+		return nil, fmt.Errorf("game: %d price vectors for %d customers", len(prices), len(customers))
+	}
+	h := len(prices[0])
+	if h < 24 {
+		return nil, fmt.Errorf("game: horizon %d shorter than a day", h)
+	}
+	for n, p := range prices {
+		if len(p) != h {
+			return nil, fmt.Errorf("game: price vector %d has length %d, want %d", n, len(p), h)
+		}
+	}
+	if cfg.NetMetering {
+		if src == nil {
+			return nil, errors.New("game: nil random source with net metering enabled")
+		}
+		if len(pv) != len(customers) {
+			return nil, fmt.Errorf("game: pv traces %d != customers %d", len(pv), len(customers))
+		}
+		for n, tr := range pv {
+			if len(tr) != h {
+				return nil, fmt.Errorf("game: pv trace %d has length %d, want %d", n, len(tr), h)
+			}
+		}
+	}
+
+	n := len(customers)
+	res := &Result{
+		Load:            make(timeseries.Series, h),
+		GridDemand:      make(timeseries.Series, h),
+		CustomerLoad:    make([][]float64, n),
+		CustomerTrading: make([][]float64, n),
+		BatteryTraj:     make([][]float64, n),
+		Cost:            make([]float64, n),
+	}
+
+	// Initialization: base load plus earliest-feasible appliance placement;
+	// trading = load − θ (flat battery).
+	totalY := make([]float64, h)
+	for i, c := range customers {
+		load := make([]float64, h)
+		for t := 0; t < h; t++ {
+			load[t] = c.BaseLoadAt(t)
+		}
+		for _, a := range c.Appliances {
+			greedyFill(a, load)
+		}
+		res.CustomerLoad[i] = load
+		y := make([]float64, h)
+		for t := 0; t < h; t++ {
+			y[t] = load[t]
+			if cfg.NetMetering {
+				y[t] -= pv[i][t]
+			}
+		}
+		res.CustomerTrading[i] = y
+		for t := 0; t < h; t++ {
+			totalY[t] += y[t]
+		}
+	}
+
+	// Gauss-Seidel best-response sweeps.
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		res.Sweeps = sweep + 1
+		maxDelta := 0.0
+		for i, c := range customers {
+			var csrc *rng.Source
+			if cfg.NetMetering {
+				csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
+			}
+			oldY := res.CustomerTrading[i]
+			// Remove this customer's trading from the shared total.
+			for t := 0; t < h; t++ {
+				totalY[t] -= oldY[t]
+			}
+			newLoad, newY, traj, cost, err := bestResponse(c, prices[i], pvRow(pv, i, cfg.NetMetering, h), totalY, cfg, csrc)
+			if err != nil {
+				return nil, fmt.Errorf("game: customer %d: %w", i, err)
+			}
+			for t := 0; t < h; t++ {
+				if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
+					maxDelta = d
+				}
+				totalY[t] += newY[t]
+			}
+			res.CustomerLoad[i] = newLoad
+			res.CustomerTrading[i] = newY
+			res.BatteryTraj[i] = traj
+			res.Cost[i] = cost
+		}
+		if maxDelta < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	for t := 0; t < h; t++ {
+		sumL, sumY := 0.0, 0.0
+		for i := range customers {
+			sumL += res.CustomerLoad[i][t]
+			sumY += res.CustomerTrading[i][t]
+		}
+		res.Load[t] = sumL
+		res.GridDemand[t] = sumY
+	}
+	return res, nil
+}
+
+func pvRow(pv [][]float64, i int, netMetering bool, h int) []float64 {
+	if !netMetering || pv == nil {
+		return make([]float64, h)
+	}
+	return pv[i]
+}
+
+// projectTrajectory walks a storage trajectory and clamps each step to the
+// battery's rate limits and state bounds, making the CE solution physically
+// feasible exactly (the CE penalty only discourages violations). No-op for
+// unlimited batteries.
+func projectTrajectory(traj []float64, b battery.Battery) {
+	for t := 1; t < len(traj); t++ {
+		delta := traj[t] - traj[t-1]
+		if b.MaxCharge > 0 && delta > b.MaxCharge {
+			delta = b.MaxCharge
+		}
+		if b.MaxDischarge > 0 && -delta > b.MaxDischarge {
+			delta = -b.MaxDischarge
+		}
+		v := traj[t-1] + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > b.Capacity {
+			v = b.Capacity
+		}
+		traj[t] = v
+	}
+}
+
+// EquilibriumGap measures how far a solved game is from a Nash point: for
+// each customer it computes one more best response against the others'
+// current trading and returns the largest cost improvement any customer
+// could still realize (and that customer's index). A small gap certifies the
+// Gauss-Seidel iteration converged to an ε-equilibrium; the paper's
+// Algorithm 1 relies on this behavior without proving it for the
+// battery-extended game, so the library makes it checkable.
+func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, res *Result, src *rng.Source) (gap float64, worst int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if res == nil || len(res.CustomerTrading) != len(customers) {
+		return 0, 0, errors.New("game: result does not match the community")
+	}
+	if len(prices) != len(customers) {
+		return 0, 0, fmt.Errorf("game: %d price vectors for %d customers", len(prices), len(customers))
+	}
+	h := len(prices[0])
+
+	totalY := make([]float64, h)
+	for i := range customers {
+		for t := 0; t < h; t++ {
+			totalY[t] += res.CustomerTrading[i][t]
+		}
+	}
+
+	worst = -1
+	for i, c := range customers {
+		yOther := make([]float64, h)
+		for t := 0; t < h; t++ {
+			yOther[t] = totalY[t] - res.CustomerTrading[i][t]
+		}
+		var csrc *rng.Source
+		if cfg.NetMetering {
+			if src == nil {
+				return 0, 0, errors.New("game: nil source with net metering enabled")
+			}
+			csrc = src.Derive(fmt.Sprintf("gap-%d", i))
+		}
+		_, _, _, cost, err := bestResponse(c, prices[i], pvRow(pv, i, cfg.NetMetering, h), yOther, cfg, csrc)
+		if err != nil {
+			return 0, 0, fmt.Errorf("game: customer %d: %w", i, err)
+		}
+		if improvement := res.Cost[i] - cost; improvement > gap {
+			gap = improvement
+			worst = i
+		}
+	}
+	return gap, worst, nil
+}
+
+// greedyFill places an appliance's energy into the earliest window slots at
+// the maximum level — the pre-smart-home placement used as the game's
+// starting point. Residual energy below the maximum level is dropped into the
+// next slot at the largest level that does not overshoot (close enough for an
+// initial guess; the DP step immediately replaces it).
+func greedyFill(a *appliance.Appliance, load []float64) {
+	remaining := a.Energy
+	maxLv := a.MaxLevel()
+	for t := a.Start; t <= a.Deadline && remaining > 1e-9; t++ {
+		x := maxLv
+		if x > remaining {
+			x = remaining
+		}
+		load[t] += x
+		remaining -= x
+	}
+}
+
+// bestResponse solves customer n's Problem P1 given the other customers'
+// total trading yOther, alternating the DP appliance step and the CE battery
+// step (the inner while-loop of Algorithm 1).
+func bestResponse(c *household.Customer, price timeseries.Series, pv []float64, yOther []float64, cfg Config, src *rng.Source) (load, y []float64, traj []float64, cost float64, err error) {
+	h := len(price)
+
+	// tradeCost evaluates the customer's per-slot cost Cₙʰ for trading v at
+	// slot t given the others' total.
+	tradeCost := func(t int, v float64) float64 {
+		return cfg.Tariff.CustomerCost(price[t], yOther[t]+v, v)
+	}
+
+	useBattery := cfg.NetMetering && c.HasBattery()
+	b0 := 0.0
+	if useBattery {
+		b0 = cfg.BatteryInitFrac * c.Battery.Capacity
+	}
+	// Battery trajectory points b[0..H]; flat start.
+	curTraj := make([]float64, h+1)
+	for i := range curTraj {
+		curTraj[i] = b0
+	}
+
+	// batteryShift[t] = b[t+1] − b[t]: extra energy the customer must buy
+	// (or may sell, if negative) at slot t beyond consumption − generation.
+	batteryShift := func(tr []float64, t int) float64 { return tr[t+1] - tr[t] }
+
+	baseLoad := make([]float64, h)
+	for t := 0; t < h; t++ {
+		baseLoad[t] = c.BaseLoadAt(t)
+	}
+
+	// Inner alternation: DP appliances with battery fixed, then CE battery
+	// with appliances fixed. Two rounds suffice in practice; the outer game
+	// sweeps provide further refinement.
+	var schedLoad []float64
+	const innerRounds = 2
+	for round := 0; round < innerRounds; round++ {
+		// --- Appliance step (line 4 of Algorithm 1). ---
+		makeCost := func(current []float64) dpsched.CostFn {
+			snapshot := make([]float64, h)
+			copy(snapshot, current)
+			return func(t int, x float64) float64 {
+				// Trading without this appliance's candidate power.
+				base := baseLoad[t] + snapshot[t] - pv[t] + batteryShift(curTraj, t)
+				return tradeCost(t, base+x) - tradeCost(t, base)
+			}
+		}
+		var sErr error
+		_, schedLoad, sErr = dpsched.ScheduleAll(c.Appliances, h, makeCost)
+		if sErr != nil {
+			return nil, nil, nil, 0, sErr
+		}
+
+		// --- Battery step (line 5 of Algorithm 1). ---
+		if !useBattery {
+			break
+		}
+		// Rate limits (when configured) enter the CE objective as steep
+		// penalties and are enforced exactly by projection afterwards.
+		maxCharge, maxDischarge := c.Battery.MaxCharge, c.Battery.MaxDischarge
+		penaltyScale := 0.0
+		if maxCharge > 0 || maxDischarge > 0 {
+			for t := 0; t < h; t++ {
+				if p := price[t]; p > penaltyScale {
+					penaltyScale = p
+				}
+			}
+			penaltyScale = 100 * (penaltyScale + 1)
+		}
+		objective := func(x []float64) float64 {
+			// x is b[1..H]; b[0] is pinned at b0.
+			total := 0.0
+			prev := b0
+			for t := 0; t < h; t++ {
+				shift := x[t] - prev
+				v := baseLoad[t] + schedLoad[t] - pv[t] + shift
+				total += tradeCost(t, v)
+				if maxCharge > 0 && shift > maxCharge {
+					total += penaltyScale * (shift - maxCharge)
+				}
+				if maxDischarge > 0 && -shift > maxDischarge {
+					total += penaltyScale * (-shift - maxDischarge)
+				}
+				prev = x[t]
+			}
+			return total
+		}
+		lo := make([]float64, h)
+		hi := make([]float64, h)
+		init := make([]float64, h)
+		for t := 0; t < h; t++ {
+			hi[t] = c.Battery.Capacity
+			init[t] = curTraj[t+1]
+		}
+		ceRes, ceErr := ceopt.Minimize(objective, lo, hi, init, src, cfg.CE)
+		if ceErr != nil {
+			return nil, nil, nil, 0, ceErr
+		}
+		curTraj[0] = b0
+		copy(curTraj[1:], ceRes.X)
+		projectTrajectory(curTraj, c.Battery)
+	}
+
+	load = make([]float64, h)
+	y = make([]float64, h)
+	cost = 0.0
+	for t := 0; t < h; t++ {
+		load[t] = baseLoad[t] + schedLoad[t]
+		y[t] = load[t] - pv[t] + batteryShift(curTraj, t)
+		if !cfg.NetMetering && y[t] < 0 {
+			// Without net metering there is no selling; consumption is the
+			// trade (pv is zero in that mode, so this is defensive only).
+			y[t] = load[t]
+		}
+		cost += tradeCost(t, y[t])
+	}
+	if useBattery {
+		traj = curTraj
+	}
+	return load, y, traj, cost, nil
+}

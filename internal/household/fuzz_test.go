@@ -1,0 +1,30 @@
+package household
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec exercises the household-spec parser with arbitrary JSON: it
+// must never panic, and every accepted spec must yield a customer that
+// passes validation.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`{"appliances": [{"name": "a", "levels": [1], "energy_kwh": 1, "earliest": 0, "deadline": 3}]}`)
+	f.Add(`{"appliances": [], "pv_kw": -1}`)
+	f.Add(`{`)
+	f.Add(`{"appliances": [{"name": "a", "levels": [0.5, 1.0], "energy_kwh": 2, "earliest": 8, "deadline": 14}], "pv_kw": 3.5, "battery_kwh": 6}`)
+	f.Add(`{"base_load": [1,2,3]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseSpec(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(24); err != nil {
+			t.Fatalf("accepted spec fails validation: %v", err)
+		}
+		if len(c.BaseLoad) != 24 {
+			t.Fatalf("accepted spec has %d base-load slots", len(c.BaseLoad))
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package household assembles the per-customer model of Section 2: a set of
+// schedulable appliances 𝒜ₙ, a PV panel, a battery, and a smart meter that
+// receives the (possibly manipulated) guideline price.
+//
+// The paper's community setup follows its companion works [8, 7], whose
+// appliance traces are not published; the Generator here draws a synthetic
+// community from the archetype catalog with seeded randomness (see the
+// substitution table in DESIGN.md).
+package household
+
+import (
+	"fmt"
+
+	"nmdetect/internal/appliance"
+	"nmdetect/internal/battery"
+	"nmdetect/internal/rng"
+	"nmdetect/internal/solar"
+)
+
+// Customer is one household in the community.
+type Customer struct {
+	// ID is the customer's index in the community.
+	ID int
+	// Appliances is the schedulable task set 𝒜ₙ.
+	Appliances []*appliance.Appliance
+	// Panel is the home PV installation; CapacityKW == 0 means no panel.
+	Panel solar.Panel
+	// Battery is the home storage; Capacity == 0 means no battery.
+	Battery battery.Battery
+	// BaseLoad is the non-schedulable per-slot load in kW (fridge,
+	// lighting, electronics), length 24.
+	BaseLoad []float64
+}
+
+// Validate checks the customer model against a scheduling horizon.
+func (c *Customer) Validate(horizon int) error {
+	if len(c.BaseLoad) != 24 {
+		return fmt.Errorf("household %d: base load has %d slots, want 24", c.ID, len(c.BaseLoad))
+	}
+	for h, v := range c.BaseLoad {
+		if v < 0 {
+			return fmt.Errorf("household %d: negative base load %v at slot %d", c.ID, v, h)
+		}
+	}
+	for _, a := range c.Appliances {
+		if err := a.Validate(horizon); err != nil {
+			return fmt.Errorf("household %d: %w", c.ID, err)
+		}
+	}
+	if err := c.Panel.Validate(); err != nil {
+		return fmt.Errorf("household %d: %w", c.ID, err)
+	}
+	// A zero-capacity battery means "no battery"; its other zero-value
+	// fields (efficiency 0) are not meaningful and are not validated.
+	if c.HasBattery() {
+		if err := c.Battery.Validate(); err != nil {
+			return fmt.Errorf("household %d: %w", c.ID, err)
+		}
+	}
+	return nil
+}
+
+// TotalTaskEnergy returns the sum of appliance task energies Eₘ.
+func (c *Customer) TotalTaskEnergy() float64 {
+	t := 0.0
+	for _, a := range c.Appliances {
+		t += a.Energy
+	}
+	return t
+}
+
+// BaseLoadAt returns the non-schedulable load for absolute slot t (the 24-slot
+// profile tiles across days).
+func (c *Customer) BaseLoadAt(t int) float64 { return c.BaseLoad[t%24] }
+
+// HasPV reports whether the customer generates renewable energy.
+func (c *Customer) HasPV() bool { return c.Panel.CapacityKW > 0 }
+
+// HasBattery reports whether the customer has storage.
+func (c *Customer) HasBattery() bool { return c.Battery.Capacity > 0 }
+
+// Generator draws synthetic communities.
+type Generator struct {
+	// Horizon is the scheduling horizon H in slots (24 in the paper).
+	Horizon int
+	// PVProb is the probability a household has a PV panel (net metering
+	// participation rate).
+	PVProb float64
+	// PVCapLo/PVCapHi bound panel nameplate capacity in kW.
+	PVCapLo, PVCapHi float64
+	// BatteryProb is the probability a PV household also has a battery.
+	BatteryProb float64
+	// BatteryCapLo/BatteryCapHi bound battery capacity in kWh.
+	BatteryCapLo, BatteryCapHi float64
+	// BaseLoadScale scales the standard base-load profile per household.
+	BaseLoadScaleLo, BaseLoadScaleHi float64
+	// Archetypes is the appliance catalog to draw from.
+	Archetypes []appliance.Archetype
+}
+
+// DefaultGenerator returns the community configuration used by the
+// experiments: PV on ~40% of homes with 2–4 kW panels and 4–8 kWh batteries.
+// The renewable fraction is sized so that midday solar *shaves* the
+// community's grid demand without zeroing it — the paper's 2015-era setting,
+// in which net metering lowers the demand peak (and hence PAR) rather than
+// turning the community into a net exporter.
+func DefaultGenerator() Generator {
+	return Generator{
+		Horizon:         24,
+		PVProb:          0.4,
+		PVCapLo:         2,
+		PVCapHi:         4,
+		BatteryProb:     0.7,
+		BatteryCapLo:    4,
+		BatteryCapHi:    8,
+		BaseLoadScaleLo: 0.7,
+		BaseLoadScaleHi: 1.3,
+		Archetypes:      appliance.Catalog(),
+	}
+}
+
+// baseProfile is the normalized non-schedulable load shape: overnight trough,
+// morning ramp, evening peak (kW for a scale-1.0 household).
+var baseProfile = [24]float64{
+	0.35, 0.32, 0.30, 0.30, 0.32, 0.40, // 00–05
+	0.55, 0.70, 0.65, 0.55, 0.50, 0.50, // 06–11
+	0.52, 0.50, 0.50, 0.55, 0.70, 0.90, // 12–17
+	1.05, 1.10, 1.00, 0.80, 0.60, 0.45, // 18–23
+}
+
+// Generate draws a community of n customers. Every returned customer
+// validates against the generator's horizon.
+func (g Generator) Generate(n int, src *rng.Source) ([]*Customer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("household: community size %d must be positive", n)
+	}
+	if g.Horizon < 24 {
+		return nil, fmt.Errorf("household: horizon %d shorter than a day", g.Horizon)
+	}
+	customers := make([]*Customer, n)
+	for i := 0; i < n; i++ {
+		hsrc := src.Derive(fmt.Sprintf("household-%d", i))
+		c, err := g.generateOne(i, hsrc)
+		if err != nil {
+			return nil, err
+		}
+		customers[i] = c
+	}
+	return customers, nil
+}
+
+func (g Generator) generateOne(id int, src *rng.Source) (*Customer, error) {
+	c := &Customer{ID: id}
+
+	scale := src.Range(g.BaseLoadScaleLo, g.BaseLoadScaleHi)
+	c.BaseLoad = make([]float64, 24)
+	for h := range c.BaseLoad {
+		c.BaseLoad[h] = baseProfile[h] * scale * src.TruncNormal(1, 0.05, 0.8, 1.2)
+	}
+
+	for _, arch := range g.Archetypes {
+		if !src.Bernoulli(arch.Prob) {
+			continue
+		}
+		a := g.drawAppliance(arch, src)
+		if err := a.Validate(g.Horizon); err != nil {
+			return nil, fmt.Errorf("household: generated invalid appliance: %w", err)
+		}
+		c.Appliances = append(c.Appliances, a)
+	}
+
+	if src.Bernoulli(g.PVProb) {
+		c.Panel = solar.Panel{
+			CapacityKW:  src.Range(g.PVCapLo, g.PVCapHi),
+			Orientation: src.Range(0.8, 1.0),
+		}
+		if src.Bernoulli(g.BatteryProb) {
+			c.Battery = battery.New(src.Range(g.BatteryCapLo, g.BatteryCapHi))
+		}
+	}
+
+	if err := c.Validate(g.Horizon); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// drawAppliance instantiates an archetype with sampled energy and window,
+// snapping the energy onto the level lattice and shrinking it if the sampled
+// window cannot host it.
+func (g Generator) drawAppliance(arch appliance.Archetype, src *rng.Source) *appliance.Appliance {
+	start := arch.StartLo
+	if arch.StartHi > arch.StartLo {
+		start += src.Intn(arch.StartHi - arch.StartLo + 1)
+	}
+	window := arch.MinWindow
+	if arch.MaxWindow > arch.MinWindow {
+		window += src.Intn(arch.MaxWindow - arch.MinWindow + 1)
+	}
+	deadline := start + window - 1
+	if deadline >= g.Horizon {
+		deadline = g.Horizon - 1
+		if deadline-start+1 < arch.MinWindow {
+			start = deadline - arch.MinWindow + 1
+		}
+		window = deadline - start + 1
+	}
+
+	q := appliance.Quantum(arch.Levels)
+	maxLv := 0.0
+	for _, l := range arch.Levels {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	energy := src.Range(arch.EnergyLo, arch.EnergyHi)
+	if cap := maxLv * float64(window); energy > cap {
+		energy = cap
+	}
+	// Snap to the lattice (floor, but at least one quantum).
+	steps := int(energy / q)
+	if steps < 1 {
+		steps = 1
+	}
+	energy = float64(steps) * q
+
+	a := &appliance.Appliance{
+		Name:     arch.Name,
+		Levels:   arch.Levels,
+		Energy:   energy,
+		Start:    start,
+		Deadline: deadline,
+	}
+	// Quantum multiples below the smallest level (e.g. 1.0 kWh for levels
+	// {2, 3}) are unreachable, so search downward for the nearest feasible
+	// energy and fall back to a single slot at the smallest level, which is
+	// always schedulable.
+	for !a.Feasible() && steps > 1 {
+		steps--
+		a.Energy = float64(steps) * q
+	}
+	if !a.Feasible() {
+		minLv := arch.Levels[0]
+		for _, l := range arch.Levels {
+			if l < minLv {
+				minLv = l
+			}
+		}
+		a.Energy = minLv
+	}
+	return a
+}
+
+// CommunityPVTraces generates realized per-customer PV traces for `days`
+// days. Customers without PV get all-zero traces of matching length.
+func CommunityPVTraces(customers []*Customer, model solar.Model, days int, src *rng.Source) [][]float64 {
+	traces := make([][]float64, len(customers))
+	for i, c := range customers {
+		csrc := src.Derive(fmt.Sprintf("solar-%d", c.ID))
+		if c.HasPV() {
+			traces[i] = model.Generate(c.Panel, days, csrc)
+		} else {
+			traces[i] = make([]float64, days*24)
+		}
+	}
+	return traces
+}

@@ -1,0 +1,105 @@
+package household
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nmdetect/internal/appliance"
+	"nmdetect/internal/battery"
+	"nmdetect/internal/solar"
+)
+
+// Spec is the JSON description of one household, the input format of the
+// nmsched command. Example:
+//
+//	{
+//	  "base_load": [0.4, 0.4, ...24 values...],
+//	  "appliances": [
+//	    {"name": "ev", "levels": [1.5, 3.0], "energy_kwh": 9,
+//	     "earliest": 17, "deadline": 23}
+//	  ],
+//	  "pv_kw": 3.5,
+//	  "battery_kwh": 6
+//	}
+type Spec struct {
+	// BaseLoad is the non-schedulable per-slot load (24 values; omitted
+	// means zero).
+	BaseLoad []float64 `json:"base_load,omitempty"`
+	// Appliances lists the schedulable tasks.
+	Appliances []ApplianceSpec `json:"appliances"`
+	// PVKW is the PV nameplate capacity (0 = no panel).
+	PVKW float64 `json:"pv_kw,omitempty"`
+	// PVOrientation derates the panel (default 1.0).
+	PVOrientation float64 `json:"pv_orientation,omitempty"`
+	// BatteryKWh is the storage capacity (0 = no battery).
+	BatteryKWh float64 `json:"battery_kwh,omitempty"`
+}
+
+// ApplianceSpec is the JSON form of one appliance.
+type ApplianceSpec struct {
+	Name      string    `json:"name"`
+	Levels    []float64 `json:"levels"`
+	EnergyKWh float64   `json:"energy_kwh"`
+	Earliest  int       `json:"earliest"`
+	Deadline  int       `json:"deadline"`
+	// Contiguous marks a non-preemptible cycle (washer, dryer): the
+	// scheduler must run it in consecutive slots at one power level.
+	Contiguous bool `json:"contiguous,omitempty"`
+}
+
+// ParseSpec reads and validates a household spec, returning the customer it
+// describes (with the given ID) for a 24-slot horizon.
+func ParseSpec(r io.Reader, id int) (*Customer, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("household: parse spec: %w", err)
+	}
+	return spec.Build(id)
+}
+
+// Build converts the spec into a validated Customer.
+func (s Spec) Build(id int) (*Customer, error) {
+	c := &Customer{ID: id}
+
+	switch len(s.BaseLoad) {
+	case 0:
+		c.BaseLoad = make([]float64, 24)
+	case 24:
+		c.BaseLoad = append([]float64(nil), s.BaseLoad...)
+	default:
+		return nil, fmt.Errorf("household: base_load has %d values, want 24 (or omit)", len(s.BaseLoad))
+	}
+
+	if len(s.Appliances) == 0 {
+		return nil, fmt.Errorf("household: spec has no appliances")
+	}
+	for _, a := range s.Appliances {
+		c.Appliances = append(c.Appliances, &appliance.Appliance{
+			Name:       a.Name,
+			Levels:     a.Levels,
+			Energy:     a.EnergyKWh,
+			Start:      a.Earliest,
+			Deadline:   a.Deadline,
+			Contiguous: a.Contiguous,
+		})
+	}
+
+	if s.PVKW > 0 {
+		orientation := s.PVOrientation
+		if orientation == 0 {
+			orientation = 1
+		}
+		c.Panel = solar.Panel{CapacityKW: s.PVKW, Orientation: orientation}
+	}
+	if s.BatteryKWh > 0 {
+		c.Battery = battery.New(s.BatteryKWh)
+	}
+
+	if err := c.Validate(24); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,99 @@
+package household
+
+import (
+	"strings"
+	"testing"
+)
+
+const validSpec = `{
+  "appliances": [
+    {"name": "washer", "levels": [0.5, 1.0], "energy_kwh": 2, "earliest": 8, "deadline": 14},
+    {"name": "ev", "levels": [1.5, 3.0], "energy_kwh": 9, "earliest": 17, "deadline": 23}
+  ],
+  "pv_kw": 3.5,
+  "battery_kwh": 6
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	c, err := ParseSpec(strings.NewReader(validSpec), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != 7 {
+		t.Fatalf("id = %d", c.ID)
+	}
+	if len(c.Appliances) != 2 || c.Appliances[1].Name != "ev" {
+		t.Fatalf("appliances = %+v", c.Appliances)
+	}
+	if !c.HasPV() || c.Panel.CapacityKW != 3.5 || c.Panel.Orientation != 1 {
+		t.Fatalf("panel = %+v", c.Panel)
+	}
+	if !c.HasBattery() || c.Battery.Capacity != 6 {
+		t.Fatalf("battery = %+v", c.Battery)
+	}
+	// Omitted base load defaults to 24 zeros.
+	if len(c.BaseLoad) != 24 || c.BaseLoad[0] != 0 {
+		t.Fatalf("base load = %v", c.BaseLoad)
+	}
+}
+
+func TestParseSpecBaseLoad(t *testing.T) {
+	spec := `{"base_load": [` + strings.Repeat("0.4,", 23) + `0.4],
+	  "appliances": [{"name": "a", "levels": [1], "energy_kwh": 1, "earliest": 0, "deadline": 3}]}`
+	c, err := ParseSpec(strings.NewReader(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseLoadAt(5) != 0.4 {
+		t.Fatalf("base load = %v", c.BaseLoad)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"unknown field":  `{"appliancez": []}`,
+		"no appliances":  `{"appliances": []}`,
+		"short baseload": `{"base_load": [1, 2], "appliances": [{"name": "a", "levels": [1], "energy_kwh": 1, "earliest": 0, "deadline": 3}]}`,
+		"bad window":     `{"appliances": [{"name": "a", "levels": [1], "energy_kwh": 1, "earliest": 9, "deadline": 3}]}`,
+		"no levels":      `{"appliances": [{"name": "a", "levels": [], "energy_kwh": 1, "earliest": 0, "deadline": 3}]}`,
+		"infeasible":     `{"appliances": [{"name": "a", "levels": [1], "energy_kwh": 99, "earliest": 0, "deadline": 3}]}`,
+	}
+	for name, spec := range cases {
+		if _, err := ParseSpec(strings.NewReader(spec), 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseSpecContiguous(t *testing.T) {
+	spec := `{"appliances": [
+	  {"name": "washer", "levels": [1.0], "energy_kwh": 2, "earliest": 8, "deadline": 14, "contiguous": true}
+	]}`
+	c, err := ParseSpec(strings.NewReader(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Appliances[0].Contiguous {
+		t.Fatal("contiguous flag lost")
+	}
+	// An infeasible contiguous spec (no whole-slot run) is rejected.
+	bad := `{"appliances": [
+	  {"name": "x", "levels": [2.0], "energy_kwh": 3, "earliest": 0, "deadline": 5, "contiguous": true}
+	]}`
+	if _, err := ParseSpec(strings.NewReader(bad), 0); err == nil {
+		t.Fatal("infeasible contiguous spec accepted")
+	}
+}
+
+func TestSpecOrientationDefault(t *testing.T) {
+	spec := `{"appliances": [{"name": "a", "levels": [1], "energy_kwh": 1, "earliest": 0, "deadline": 3}],
+	  "pv_kw": 2, "pv_orientation": 0.85}`
+	c, err := ParseSpec(strings.NewReader(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Panel.Orientation != 0.85 {
+		t.Fatalf("orientation = %v", c.Panel.Orientation)
+	}
+}

@@ -1,0 +1,218 @@
+// Package metrics implements the evaluation metrics reported in the paper:
+// peak-to-average ratio (via package timeseries), forecast error measures,
+// detection/observation accuracy, and confusion-matrix summaries for the
+// POMDP observation channel.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nmdetect/internal/timeseries"
+)
+
+// RMSE returns the root-mean-square error between predicted and actual.
+func RMSE(pred, actual []float64) float64 {
+	checkLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) float64 {
+	checkLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for i := range pred {
+		acc += math.Abs(pred[i] - actual[i])
+	}
+	return acc / float64(len(pred))
+}
+
+// MAPE returns the mean absolute percentage error in percent. Slots where
+// the actual value is zero are skipped; if every slot is zero it returns 0.
+func MAPE(pred, actual []float64) float64 {
+	checkLen(pred, actual)
+	acc, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		acc += math.Abs((pred[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * acc / float64(n)
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(a), len(b)))
+	}
+}
+
+// PAR returns the peak-to-average ratio of load.
+func PAR(load []float64) float64 {
+	return timeseries.Series(load).PAR()
+}
+
+// Accuracy returns the fraction of slots where the observed state matches the
+// true state — the paper's "observation accuracy" (Figure 6). The slices hold
+// per-slot discrete states (e.g. number of hacked meters, possibly bucketed).
+func Accuracy(observed, truth []int) float64 {
+	if len(observed) != len(truth) {
+		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(observed), len(truth)))
+	}
+	if len(observed) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range observed {
+		if observed[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(observed))
+}
+
+// Confusion is a binary confusion matrix for attack detection events.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one (detected, attacked) pair.
+func (c *Confusion) Observe(detected, attacked bool) {
+	switch {
+	case detected && attacked:
+		c.TP++
+	case detected && !attacked:
+		c.FP++
+	case !detected && attacked:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 with no observations.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no attacks occurred.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP/(FP+TN), or 0 when no negatives occurred.
+func (c *Confusion) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// String renders the matrix compactly for logs.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.4f prec=%.4f rec=%.4f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.Precision(), c.Recall())
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: Quantile q=%v out of [0,1]", q))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BootstrapCI estimates a two-sided confidence interval for the mean of xs by
+// resampling. The draw function must return a uniform value in [0,1); nBoot
+// resamples are taken and the (alpha/2, 1-alpha/2) quantiles of the resampled
+// means are returned.
+func BootstrapCI(xs []float64, nBoot int, alpha float64, draw func() float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("metrics: BootstrapCI of empty slice")
+	}
+	if nBoot <= 0 {
+		panic("metrics: BootstrapCI with non-positive nBoot")
+	}
+	means := make([]float64, nBoot)
+	for b := 0; b < nBoot; b++ {
+		sum := 0.0
+		for range xs {
+			idx := int(draw() * float64(len(xs)))
+			if idx >= len(xs) {
+				idx = len(xs) - 1
+			}
+			sum += xs[idx]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	return Quantile(means, alpha/2), Quantile(means, 1-alpha/2)
+}
+
+// RelChange returns (a-b)/b as a signed fraction — the form the paper uses
+// for all its headline percentages (e.g. (1.9037-1.4700)/1.4700 = 29.50%).
+// It panics when b is zero.
+func RelChange(a, b float64) float64 {
+	if b == 0 {
+		panic("metrics: RelChange with zero base")
+	}
+	return (a - b) / b
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nmdetect/internal/rng"
+)
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("perfect RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 5}, []float64{2, 3}); got != 1.5 {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+	// Zero actuals are skipped.
+	got = MAPE([]float64{1, 110}, []float64{0, 100})
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE with zero actual = %v, want 10", got)
+	}
+	if MAPE([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("all-zero actuals should yield 0")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestPAR(t *testing.T) {
+	if got := PAR([]float64{1, 1, 1, 5}); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("PAR = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 2, 3}); got != 1 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := Accuracy([]int{1, 0, 3, 0}, []int{1, 2, 3, 4}); got != 0.5 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty Accuracy should be 0")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, true)  // FN
+	c.Observe(false, false) // TN
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("Accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-2.0/3.0) > 1e-12 {
+		t.Fatalf("Precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3.0) > 1e-12 {
+		t.Fatalf("Recall = %v", c.Recall())
+	}
+	if math.Abs(c.FalsePositiveRate()-0.5) > 1e-12 {
+		t.Fatalf("FPR = %v", c.FalsePositiveRate())
+	}
+	wantF1 := 2.0 / 3.0
+	if math.Abs(c.F1()-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", c.F1(), wantF1)
+	}
+	if c.String() == "" {
+		t.Fatal("String is empty")
+	}
+}
+
+func TestConfusionEmptyEdges(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.FalsePositiveRate() != 0 {
+		t.Fatal("empty confusion metrics should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Fatal("singleton quantile wrong")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	s := rng.New(1)
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 := s.Float64()
+		q2 := s.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(raw, q1) <= Quantile(raw, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapCIBracketsMean(t *testing.T) {
+	s := rng.New(2)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = s.Normal(10, 1)
+	}
+	lo, hi := BootstrapCI(xs, 300, 0.05, s.Float64)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] excludes true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	// The paper's own arithmetic: (1.9037-1.4700)/1.4700 = 29.50%.
+	got := RelChange(1.9037, 1.4700)
+	if math.Abs(got-0.2950) > 5e-4 {
+		t.Fatalf("RelChange = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero base did not panic")
+		}
+	}()
+	RelChange(1, 0)
+}

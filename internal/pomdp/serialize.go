@@ -1,0 +1,90 @@
+package pomdp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Solved policies are pure data (α-vectors or Q-tables), so the expensive
+// offline phase — Monte-Carlo model calibration plus PBVI — can be run once
+// and its result shipped to the online monitor. This file provides the JSON
+// round trip for both policy families.
+
+// serializedPolicy is the stable on-disk representation.
+type serializedPolicy struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"` // "pbvi" | "qmdp"
+	// Alphas/Actions encode PBVI α-vectors; Q encodes the QMDP table.
+	Alphas  [][]float64 `json:"alphas,omitempty"`
+	Actions []int       `json:"actions,omitempty"`
+	Q       [][]float64 `json:"q,omitempty"`
+}
+
+const policyVersion = 1
+
+// Save writes a PBVI policy as JSON.
+func (p *PBVIPolicy) Save(w io.Writer) error {
+	s := serializedPolicy{Version: policyVersion, Kind: "pbvi"}
+	for _, al := range p.alphas {
+		vec := make([]float64, len(al.v))
+		copy(vec, al.v)
+		s.Alphas = append(s.Alphas, vec)
+		s.Actions = append(s.Actions, al.action)
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// Save writes a QMDP policy as JSON.
+func (p *QMDPPolicy) Save(w io.Writer) error {
+	s := serializedPolicy{Version: policyVersion, Kind: "qmdp"}
+	for _, row := range p.q {
+		vec := make([]float64, len(row))
+		copy(vec, row)
+		s.Q = append(s.Q, vec)
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// LoadPolicy reads a policy previously written by one of the Save methods
+// and returns it as a Policy. numStates guards against loading a policy
+// solved for a different model shape.
+func LoadPolicy(r io.Reader, numStates int) (Policy, error) {
+	var s serializedPolicy
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("pomdp: decode policy: %w", err)
+	}
+	if s.Version != policyVersion {
+		return nil, fmt.Errorf("pomdp: unsupported policy version %d", s.Version)
+	}
+	switch s.Kind {
+	case "pbvi":
+		if len(s.Alphas) == 0 || len(s.Alphas) != len(s.Actions) {
+			return nil, fmt.Errorf("pomdp: malformed pbvi policy (%d vectors, %d actions)", len(s.Alphas), len(s.Actions))
+		}
+		p := &PBVIPolicy{}
+		for i, vec := range s.Alphas {
+			if len(vec) != numStates {
+				return nil, fmt.Errorf("pomdp: alpha vector %d has %d states, want %d", i, len(vec), numStates)
+			}
+			p.alphas = append(p.alphas, alphaVec{v: vec, action: s.Actions[i]})
+		}
+		return p, nil
+	case "qmdp":
+		if len(s.Q) != numStates {
+			return nil, fmt.Errorf("pomdp: q table has %d states, want %d", len(s.Q), numStates)
+		}
+		width := -1
+		for i, row := range s.Q {
+			if width == -1 {
+				width = len(row)
+			}
+			if len(row) != width || width == 0 {
+				return nil, fmt.Errorf("pomdp: q row %d has %d actions", i, len(row))
+			}
+		}
+		return &QMDPPolicy{q: s.Q}, nil
+	default:
+		return nil, fmt.Errorf("pomdp: unknown policy kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,210 @@
+package solar
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/rng"
+	"nmdetect/internal/timeseries"
+)
+
+func TestPanelValidate(t *testing.T) {
+	if err := (Panel{CapacityKW: 5, Orientation: 0.9}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Panel{CapacityKW: -1, Orientation: 0.9}).Validate(); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if err := (Panel{CapacityKW: 1, Orientation: 1.1}).Validate(); err == nil {
+		t.Fatal("orientation > 1 accepted")
+	}
+}
+
+func TestWeatherString(t *testing.T) {
+	if Clear.String() != "clear" || PartlyCloudy.String() != "partly-cloudy" || Overcast.String() != "overcast" {
+		t.Fatal("weather names wrong")
+	}
+	if Weather(9).String() == "" {
+		t.Fatal("unknown weather has empty name")
+	}
+}
+
+func TestClearSkyShape(t *testing.T) {
+	const sunrise, sunset = 6.0, 20.0
+	// Night slots are zero.
+	for _, h := range []int{0, 3, 5, 20, 23} {
+		if v := ClearSky(h, sunrise, sunset); v != 0 {
+			t.Errorf("ClearSky(%d) = %v, want 0", h, v)
+		}
+	}
+	// Daylight slots are positive and bounded by 1.
+	peak, peakH := 0.0, -1
+	for h := 6; h < 20; h++ {
+		v := ClearSky(h, sunrise, sunset)
+		if v <= 0 || v > 1 {
+			t.Errorf("ClearSky(%d) = %v out of (0,1]", h, v)
+		}
+		if v > peak {
+			peak, peakH = v, h
+		}
+	}
+	// Peak near solar noon (13:00 mid-slot for the 6–20 window).
+	if peakH < 12 || peakH > 13 {
+		t.Errorf("peak at slot %d, want near noon", peakH)
+	}
+	// Rising before noon, falling after.
+	if ClearSky(8, sunrise, sunset) >= ClearSky(11, sunrise, sunset) {
+		t.Error("morning not monotonically rising")
+	}
+	if ClearSky(15, sunrise, sunset) <= ClearSky(18, sunrise, sunset) {
+		t.Error("afternoon not monotonically falling")
+	}
+}
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	base := DefaultModel()
+	cases := []func(*Model){
+		func(m *Model) { m.Sunrise = -1 },
+		func(m *Model) { m.Sunset = m.Sunrise },
+		func(m *Model) { m.Sunset = 25 },
+		func(m *Model) { m.CloudSigma = -0.1 },
+		func(m *Model) { m.WeatherProbs = []float64{1} },
+		func(m *Model) { m.WeatherProbs = []float64{0.5, 0.5, 0.5} },
+		func(m *Model) { m.WeatherProbs = []float64{1.5, -0.5, 0} },
+	}
+	for i, mod := range cases {
+		m := base
+		mod(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	m := DefaultModel()
+	p := Panel{CapacityKW: 5, Orientation: 0.9}
+	src := rng.New(42)
+	trace := m.Generate(p, 3, src)
+	if len(trace) != 72 {
+		t.Fatalf("length = %d", len(trace))
+	}
+	for i, v := range trace {
+		if v < 0 || v > p.CapacityKW+1e-9 {
+			t.Fatalf("trace[%d] = %v outside [0, %v]", i, v, p.CapacityKW)
+		}
+		h := i % 24
+		if (h < 6 || h >= 20) && v != 0 {
+			t.Fatalf("night slot %d generates %v", i, v)
+		}
+	}
+	// Some daytime generation must exist.
+	if trace.Sum() <= 0 {
+		t.Fatal("no generation at all")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := DefaultModel()
+	p := Panel{CapacityKW: 4, Orientation: 1}
+	a := m.Generate(p, 2, rng.New(7))
+	b := m.Generate(p, 2, rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateZeroCapacity(t *testing.T) {
+	m := DefaultModel()
+	trace := m.Generate(Panel{CapacityKW: 0, Orientation: 1}, 1, rng.New(1))
+	if trace.Sum() != 0 {
+		t.Fatal("zero-capacity panel generated energy")
+	}
+}
+
+func TestGeneratePanicsOnBadDays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(0 days) did not panic")
+		}
+	}()
+	DefaultModel().Generate(Panel{CapacityKW: 1, Orientation: 1}, 0, rng.New(1))
+}
+
+func TestWeatherAffectsOutput(t *testing.T) {
+	// Force all-clear vs all-overcast models and compare energy.
+	clear := DefaultModel()
+	clear.WeatherProbs = []float64{1, 0, 0}
+	overcast := DefaultModel()
+	overcast.WeatherProbs = []float64{0, 0, 1}
+	p := Panel{CapacityKW: 5, Orientation: 1}
+	eClear := clear.Generate(p, 5, rng.New(3)).Sum()
+	eOver := overcast.Generate(p, 5, rng.New(3)).Sum()
+	if eOver >= eClear*0.5 {
+		t.Fatalf("overcast energy %v not well below clear %v", eOver, eClear)
+	}
+}
+
+func TestForecastTracksActual(t *testing.T) {
+	m := DefaultModel()
+	p := Panel{CapacityKW: 5, Orientation: 1}
+	actual := m.Generate(p, 2, rng.New(11))
+	fc := Forecast(actual, 0.05, rng.New(12))
+	if len(fc) != len(actual) {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+	for i := range actual {
+		if actual[i] == 0 {
+			if fc[i] != 0 {
+				t.Fatalf("forecast nonzero at dark slot %d", i)
+			}
+			continue
+		}
+		ratio := fc[i] / actual[i]
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Fatalf("forecast ratio %v at slot %d outside bounds", ratio, i)
+		}
+	}
+}
+
+func TestForecastZeroSigmaIsExact(t *testing.T) {
+	actual := timeseries.Series{0, 1, 2, 0}
+	fc := Forecast(actual, 0, rng.New(1))
+	for i := range actual {
+		if math.Abs(fc[i]-actual[i]) > 1e-12 {
+			t.Fatalf("zero-sigma forecast differs at %d", i)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := timeseries.Series{1, 2, 3}
+	b := timeseries.Series{10, 20, 30}
+	total := Aggregate([]timeseries.Series{a, b})
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if total[i] != want[i] {
+			t.Fatalf("Aggregate = %v", total)
+		}
+	}
+	if Aggregate(nil) != nil {
+		t.Fatal("Aggregate(nil) should be nil")
+	}
+}
+
+func TestAggregateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Aggregate([]timeseries.Series{{1, 2}, {1}})
+}

@@ -1,0 +1,205 @@
+package svr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EpsSVROptions configures the ε-insensitive SVR SMO trainer.
+type EpsSVROptions struct {
+	// C is the box constraint on the dual coefficients.
+	C float64
+	// Epsilon is the insensitive-tube half-width (in target units, applied
+	// after target standardization is NOT performed — callers pass raw y).
+	Epsilon float64
+	// Kernel to use; nil is rejected.
+	Kernel Kernel
+	// MaxSweeps bounds the number of full passes over the training set.
+	MaxSweeps int
+	// Tol is the minimum dual-variable step considered progress.
+	Tol float64
+}
+
+// DefaultEpsSVROptions returns defaults matching the forecaster's scale.
+func DefaultEpsSVROptions() EpsSVROptions {
+	return EpsSVROptions{
+		C:         10,
+		Epsilon:   0.01,
+		Kernel:    RBFKernel{Gamma: 0.5},
+		MaxSweeps: 200,
+		Tol:       1e-6,
+	}
+}
+
+// TrainEpsSVR fits ε-SVR by sequential minimal optimization on the dual
+//
+//	min_β  ½ βᵀKβ − βᵀy + ε‖β‖₁   s.t.  Σβ = 0,  −C ≤ βᵢ ≤ C
+//
+// (β = α − α*). Pairs (i, j) are optimized analytically: the pair objective
+// is piecewise quadratic in the transfer δ with breakpoints where βᵢ+δ or
+// βⱼ−δ changes sign, so the exact minimizer is found by evaluating each
+// segment's stationary point and the breakpoints. The gradient is maintained
+// incrementally, giving O(n) per pair update.
+func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error) {
+	if err := validateTrainingSet(x, y, opts.Kernel); err != nil {
+		return nil, err
+	}
+	if opts.C <= 0 {
+		return nil, fmt.Errorf("svr: eps-svr C %v must be positive", opts.C)
+	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("svr: eps-svr epsilon %v must be non-negative", opts.Epsilon)
+	}
+	if opts.MaxSweeps < 1 {
+		return nil, fmt.Errorf("svr: eps-svr max sweeps %d must be positive", opts.MaxSweeps)
+	}
+	if opts.Tol <= 0 {
+		return nil, fmt.Errorf("svr: eps-svr tolerance %v must be positive", opts.Tol)
+	}
+
+	scaler := FitScaler(x)
+	xs := scaler.TransformAll(x)
+	n := len(xs)
+	k := gram(opts.Kernel, xs)
+
+	beta := make([]float64, n)
+	// G_i = (Kβ)_i − y_i; starts at −y with β = 0.
+	grad := make([]float64, n)
+	for i := range grad {
+		grad[i] = -y[i]
+	}
+
+	eps, c := opts.Epsilon, opts.C
+
+	// pairObjective evaluates the change in the dual objective when moving δ
+	// from j to i (βᵢ += δ, βⱼ −= δ).
+	pairDelta := func(i, j int) float64 {
+		eta := k.At(i, i) + k.At(j, j) - 2*k.At(i, j)
+		if eta < 1e-12 {
+			return 0
+		}
+		gDiff := grad[i] - grad[j]
+		bi, bj := beta[i], beta[j]
+
+		dLo := math.Max(-c-bi, bj-c)
+		dHi := math.Min(c-bi, bj+c)
+		if dLo >= dHi {
+			return 0
+		}
+
+		phi := func(d float64) float64 {
+			return 0.5*eta*d*d + d*gDiff +
+				eps*(math.Abs(bi+d)-math.Abs(bi)) +
+				eps*(math.Abs(bj-d)-math.Abs(bj))
+		}
+
+		// Candidate minimizers: stationary points of each sign segment plus
+		// the breakpoints and box ends.
+		cands := []float64{dLo, dHi, clamp(-bi, dLo, dHi), clamp(bj, dLo, dHi)}
+		for _, si := range []float64{-1, 1} {
+			for _, sj := range []float64{-1, 1} {
+				d := -(gDiff + eps*si - eps*sj) / eta
+				cands = append(cands, clamp(d, dLo, dHi))
+			}
+		}
+		best, bestPhi := 0.0, 0.0
+		for _, d := range cands {
+			if p := phi(d); p < bestPhi {
+				bestPhi, best = p, d
+			}
+		}
+		return best
+	}
+
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		maxStep := 0.0
+		for i := 0; i < n; i++ {
+			// Second-choice heuristic: pair i with the point of maximal
+			// gradient gap — the steepest feasible transfer direction.
+			j, bestGap := -1, 0.0
+			for t := 0; t < n; t++ {
+				if t == i {
+					continue
+				}
+				if gap := math.Abs(grad[i] - grad[t]); gap > bestGap {
+					bestGap, j = gap, t
+				}
+			}
+			if j < 0 {
+				continue
+			}
+			d := pairDelta(i, j)
+			if math.Abs(d) < opts.Tol {
+				continue
+			}
+			beta[i] += d
+			beta[j] -= d
+			for t := 0; t < n; t++ {
+				grad[t] += d * (k.At(t, i) - k.At(t, j))
+			}
+			if math.Abs(d) > maxStep {
+				maxStep = math.Abs(d)
+			}
+		}
+		if maxStep < opts.Tol {
+			break
+		}
+	}
+
+	// Bias from interior support vectors: β>0 ⇒ b = −G−ε; β<0 ⇒ b = −G+ε.
+	var bs []float64
+	for i := 0; i < n; i++ {
+		interior := math.Abs(beta[i]) > 1e-9 && math.Abs(beta[i]) < c-1e-9
+		if !interior {
+			continue
+		}
+		if beta[i] > 0 {
+			bs = append(bs, -grad[i]-eps)
+		} else {
+			bs = append(bs, -grad[i]+eps)
+		}
+	}
+	var bias float64
+	if len(bs) > 0 {
+		sum := 0.0
+		for _, v := range bs {
+			sum += v
+		}
+		bias = sum / float64(len(bs))
+	} else {
+		// No interior SVs: −G_i approximates b within ε for inactive points.
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = -grad[i]
+		}
+		sort.Float64s(all)
+		bias = all[n/2]
+	}
+
+	// Zero out numerically-dead coefficients for sparsity.
+	for i := range beta {
+		if math.Abs(beta[i]) < 1e-9 {
+			beta[i] = 0
+		}
+	}
+
+	return &Model{
+		Kernel:  opts.Kernel,
+		Scaler:  scaler,
+		SV:      xs,
+		Coef:    beta,
+		Bias:    bias,
+		Trainer: "eps-svr",
+	}, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,72 @@
+package svr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model is a trained kernel regression model f(x) = Σᵢ coefᵢ·k(svᵢ, x) + b.
+type Model struct {
+	Kernel  Kernel
+	Scaler  *Scaler
+	SV      [][]float64 // support vectors (already standardized)
+	Coef    []float64   // dual coefficients (βᵢ = αᵢ − αᵢ* for ε-SVR)
+	Bias    float64
+	Trainer string // "ls-svm" or "eps-svr", for diagnostics
+}
+
+// Predict evaluates the model at one raw (unscaled) feature vector.
+func (m *Model) Predict(row []float64) float64 {
+	x := m.Scaler.Transform(row)
+	out := m.Bias
+	for i, sv := range m.SV {
+		if m.Coef[i] == 0 {
+			continue
+		}
+		out += m.Coef[i] * m.Kernel.Eval(sv, x)
+	}
+	return out
+}
+
+// PredictAll evaluates the model at every row.
+func (m *Model) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.Predict(r)
+	}
+	return out
+}
+
+// NumSupportVectors counts the non-zero dual coefficients.
+func (m *Model) NumSupportVectors() int {
+	n := 0
+	for _, c := range m.Coef {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// validateTrainingSet performs the shared input checks of both trainers.
+func validateTrainingSet(x [][]float64, y []float64, k Kernel) error {
+	if len(x) == 0 {
+		return errors.New("svr: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("svr: %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return errors.New("svr: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("svr: ragged row %d (%d features, want %d)", i, len(row), d)
+		}
+	}
+	if k == nil {
+		return errors.New("svr: nil kernel")
+	}
+	return nil
+}

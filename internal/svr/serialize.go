@@ -1,0 +1,112 @@
+package svr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// serializedModel is the stable on-disk representation of a trained model.
+type serializedModel struct {
+	Version    int         `json:"version"`
+	Trainer    string      `json:"trainer"`
+	KernelName string      `json:"kernel"`
+	KernelSpec kernelSpec  `json:"kernel_spec"`
+	Scaler     *Scaler     `json:"scaler"`
+	SV         [][]float64 `json:"support_vectors"`
+	Coef       []float64   `json:"coefficients"`
+	Bias       float64     `json:"bias"`
+}
+
+// kernelSpec captures kernel parameters for reconstruction.
+type kernelSpec struct {
+	Type   string  `json:"type"` // "linear" | "rbf" | "poly"
+	Gamma  float64 `json:"gamma,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Coef   float64 `json:"coef,omitempty"`
+}
+
+const serializationVersion = 1
+
+// specFor maps a Kernel to its serializable spec.
+func specFor(k Kernel) (kernelSpec, error) {
+	switch kk := k.(type) {
+	case LinearKernel:
+		return kernelSpec{Type: "linear"}, nil
+	case RBFKernel:
+		return kernelSpec{Type: "rbf", Gamma: kk.Gamma}, nil
+	case PolyKernel:
+		return kernelSpec{Type: "poly", Degree: kk.Degree, Coef: kk.Coef}, nil
+	default:
+		return kernelSpec{}, fmt.Errorf("svr: kernel %T is not serializable", k)
+	}
+}
+
+// kernelFor reconstructs a Kernel from its spec.
+func kernelFor(s kernelSpec) (Kernel, error) {
+	switch s.Type {
+	case "linear":
+		return LinearKernel{}, nil
+	case "rbf":
+		return RBFKernel{Gamma: s.Gamma}, nil
+	case "poly":
+		return PolyKernel{Degree: s.Degree, Coef: s.Coef}, nil
+	default:
+		return nil, fmt.Errorf("svr: unknown kernel type %q", s.Type)
+	}
+}
+
+// Save writes the model as JSON. Trained models are pure data (support
+// vectors, coefficients, scaler statistics), so a saved model reproduces
+// predictions bit-for-bit on load.
+func (m *Model) Save(w io.Writer) error {
+	if m.Kernel == nil {
+		return errors.New("svr: cannot save model without kernel")
+	}
+	spec, err := specFor(m.Kernel)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(serializedModel{
+		Version:    serializationVersion,
+		Trainer:    m.Trainer,
+		KernelName: m.Kernel.Name(),
+		KernelSpec: spec,
+		Scaler:     m.Scaler,
+		SV:         m.SV,
+		Coef:       m.Coef,
+		Bias:       m.Bias,
+	})
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var s serializedModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("svr: decode model: %w", err)
+	}
+	if s.Version != serializationVersion {
+		return nil, fmt.Errorf("svr: unsupported model version %d", s.Version)
+	}
+	k, err := kernelFor(s.KernelSpec)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.SV) != len(s.Coef) {
+		return nil, fmt.Errorf("svr: %d support vectors but %d coefficients", len(s.SV), len(s.Coef))
+	}
+	if s.Scaler == nil {
+		s.Scaler = &Scaler{}
+	}
+	return &Model{
+		Kernel:  k,
+		Scaler:  s.Scaler,
+		SV:      s.SV,
+		Coef:    s.Coef,
+		Bias:    s.Bias,
+		Trainer: s.Trainer,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package svr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTripLSSVM(t *testing.T) {
+	x, y := sine1D(40, 0.01, 9)
+	m, err := TrainLSSVM(x, y, DefaultLSSVMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must match bit-for-bit.
+	for _, probe := range [][]float64{{0.5}, {2.0}, {4.7}} {
+		if got, want := loaded.Predict(probe), m.Predict(probe); got != want {
+			t.Fatalf("Predict(%v) = %v, want %v", probe, got, want)
+		}
+	}
+	if loaded.Trainer != "ls-svm" {
+		t.Fatalf("trainer = %q", loaded.Trainer)
+	}
+	if loaded.Kernel.Name() != m.Kernel.Name() {
+		t.Fatalf("kernel = %q, want %q", loaded.Kernel.Name(), m.Kernel.Name())
+	}
+}
+
+func TestSaveLoadRoundTripEpsSVR(t *testing.T) {
+	x, y := sine1D(40, 0.01, 10)
+	m, err := TrainEpsSVR(x, y, DefaultEpsSVROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Predict([]float64{1.1}), m.Predict([]float64{1.1}); got != want {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+	if loaded.NumSupportVectors() != m.NumSupportVectors() {
+		t.Fatal("support-vector count changed")
+	}
+}
+
+func TestSaveLoadAllKernels(t *testing.T) {
+	x, y := sine1D(20, 0, 11)
+	for _, k := range []Kernel{LinearKernel{}, RBFKernel{Gamma: 0.3}, PolyKernel{Degree: 2, Coef: 1}} {
+		m, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 10, Kernel: k})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if got, want := loaded.Predict([]float64{2}), m.Predict([]float64{2}); got != want {
+			t.Fatalf("%s: prediction changed after round trip", k.Name())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1, "kernel_spec": {"type": "magic"}}`)); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Load(strings.NewReader(
+		`{"version": 1, "kernel_spec": {"type": "linear"}, "support_vectors": [[1]], "coefficients": []}`)); err == nil {
+		t.Error("mismatched SV/coef accepted")
+	}
+}
+
+func TestSaveRejectsNilKernel(t *testing.T) {
+	m := &Model{}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+func TestLoadMissingScalerDefaults(t *testing.T) {
+	m, err := Load(strings.NewReader(
+		`{"version": 1, "trainer": "x", "kernel_spec": {"type": "linear"}, "support_vectors": [[1]], "coefficients": [0.5], "bias": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass-through scaler: f(x) = 0.5·(1·x) + 1.
+	if got := m.Predict([]float64{4}); got != 3 {
+		t.Fatalf("Predict = %v, want 3", got)
+	}
+}

@@ -1,0 +1,338 @@
+package svr
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/metrics"
+	"nmdetect/internal/rng"
+)
+
+func TestKernels(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	if got := (LinearKernel{}).Eval(a, b); got != 11 {
+		t.Fatalf("linear = %v", got)
+	}
+	rbf := RBFKernel{Gamma: 0.5}
+	want := math.Exp(-0.5 * 8) // ‖a−b‖² = 8
+	if got := rbf.Eval(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rbf = %v, want %v", got, want)
+	}
+	if got := rbf.Eval(a, a); got != 1 {
+		t.Fatalf("rbf self = %v", got)
+	}
+	poly := PolyKernel{Degree: 2, Coef: 1}
+	if got := poly.Eval(a, b); got != 144 {
+		t.Fatalf("poly = %v", got)
+	}
+	for _, k := range []Kernel{LinearKernel{}, rbf, poly} {
+		if k.Name() == "" {
+			t.Error("empty kernel name")
+		}
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	s := FitScaler(x)
+	xs := s.TransformAll(x)
+	// First column: mean 3, standardized to mean 0.
+	sum := 0.0
+	for _, r := range xs {
+		sum += r[0]
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("standardized mean = %v", sum/3)
+	}
+	// Constant column: centered only, no division blow-up.
+	for _, r := range xs {
+		if r[1] != 0 {
+			t.Fatalf("constant column transformed to %v", r[1])
+		}
+	}
+}
+
+func TestScalerEmptyAndMismatch(t *testing.T) {
+	s := FitScaler(nil)
+	out := s.Transform([]float64{1, 2})
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatal("empty scaler should pass through")
+	}
+	s2 := FitScaler([][]float64{{1, 2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	s2.Transform([]float64{1})
+}
+
+// sine1D builds a noisy sine regression problem.
+func sine1D(n int, noise float64, seed uint64) ([][]float64, []float64) {
+	s := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 6 * float64(i) / float64(n)
+		x[i] = []float64{v}
+		y[i] = math.Sin(v) + s.Normal(0, noise)
+	}
+	return x, y
+}
+
+func TestLSSVMFitsSine(t *testing.T) {
+	x, y := sine1D(80, 0.02, 1)
+	m, err := TrainLSSVM(x, y, DefaultLSSVMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(x)
+	if rmse := metrics.RMSE(pred, y); rmse > 0.08 {
+		t.Fatalf("train RMSE = %v", rmse)
+	}
+	// Interpolation between training points.
+	if got := m.Predict([]float64{1.5707}); math.Abs(got-1.0) > 0.1 {
+		t.Fatalf("sin(π/2) predicted as %v", got)
+	}
+	if m.Trainer != "ls-svm" {
+		t.Fatalf("trainer = %q", m.Trainer)
+	}
+}
+
+func TestLSSVMLinearTrend(t *testing.T) {
+	// LS-SVM with a linear kernel recovers a linear function.
+	x := make([][]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		v := float64(i)
+		x[i] = []float64{v}
+		y[i] = 2*v + 5
+	}
+	opts := LSSVMOptions{Gamma: 1000, Kernel: LinearKernel{}}
+	m, err := TrainLSSVM(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{40}); math.Abs(got-85) > 1.5 {
+		t.Fatalf("extrapolated 40 -> %v, want ~85", got)
+	}
+}
+
+func TestLSSVMRegularizationControlsFit(t *testing.T) {
+	x, y := sine1D(60, 0.3, 2)
+	tight, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 1e4, Kernel: RBFKernel{Gamma: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 0.1, Kernel: RBFKernel{Gamma: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.RMSE(tight.PredictAll(x), y) >= metrics.RMSE(loose.PredictAll(x), y) {
+		t.Fatal("higher gamma should fit training data tighter")
+	}
+}
+
+func TestLSSVMErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := TrainLSSVM(nil, nil, DefaultLSSVMOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainLSSVM(x, y[:1], DefaultLSSVMOptions()); err == nil {
+		t.Error("mismatched targets accepted")
+	}
+	if _, err := TrainLSSVM([][]float64{{1}, {2, 3}}, y, DefaultLSSVMOptions()); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 0, Kernel: LinearKernel{}}); err == nil {
+		t.Error("zero gamma accepted")
+	}
+	if _, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 1, Kernel: nil}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := TrainLSSVM([][]float64{{}, {}}, y, DefaultLSSVMOptions()); err == nil {
+		t.Error("zero-dimensional features accepted")
+	}
+}
+
+func TestEpsSVRFitsSine(t *testing.T) {
+	x, y := sine1D(80, 0.02, 3)
+	opts := DefaultEpsSVROptions()
+	opts.Epsilon = 0.05
+	m, err := TrainEpsSVR(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(x)
+	// ε-SVR should fit within roughly the tube width.
+	if rmse := metrics.RMSE(pred, y); rmse > 0.12 {
+		t.Fatalf("train RMSE = %v", rmse)
+	}
+	if m.Trainer != "eps-svr" {
+		t.Fatalf("trainer = %q", m.Trainer)
+	}
+}
+
+func TestEpsSVRSparsity(t *testing.T) {
+	// With a wide tube, most points sit inside it and get zero coefficients.
+	x, y := sine1D(60, 0.0, 4)
+	opts := DefaultEpsSVROptions()
+	opts.Epsilon = 0.5
+	m, err := TrainEpsSVR(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsv := m.NumSupportVectors(); nsv >= len(x) {
+		t.Fatalf("no sparsity: %d support vectors of %d points", nsv, len(x))
+	}
+	// Tube-width accuracy must still hold.
+	pred := m.PredictAll(x)
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 0.6 {
+			t.Fatalf("point %d error %v beyond tube", i, math.Abs(pred[i]-y[i]))
+		}
+	}
+}
+
+func TestEpsSVRConstraintInvariants(t *testing.T) {
+	x, y := sine1D(50, 0.05, 5)
+	opts := DefaultEpsSVROptions()
+	m, err := TrainEpsSVR(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, b := range m.Coef {
+		if math.Abs(b) > opts.C+1e-9 {
+			t.Fatalf("coefficient %v exceeds box C=%v", b, opts.C)
+		}
+		sum += b
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("Σβ = %v, want 0", sum)
+	}
+}
+
+func TestEpsSVRErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	bad := func(mod func(*EpsSVROptions)) EpsSVROptions {
+		o := DefaultEpsSVROptions()
+		mod(&o)
+		return o
+	}
+	if _, err := TrainEpsSVR(x, y, bad(func(o *EpsSVROptions) { o.C = 0 })); err == nil {
+		t.Error("C=0 accepted")
+	}
+	if _, err := TrainEpsSVR(x, y, bad(func(o *EpsSVROptions) { o.Epsilon = -1 })); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := TrainEpsSVR(x, y, bad(func(o *EpsSVROptions) { o.MaxSweeps = 0 })); err == nil {
+		t.Error("zero sweeps accepted")
+	}
+	if _, err := TrainEpsSVR(x, y, bad(func(o *EpsSVROptions) { o.Tol = 0 })); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := TrainEpsSVR(x, y, bad(func(o *EpsSVROptions) { o.Kernel = nil })); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestEpsSVRKKTConditions(t *testing.T) {
+	// Verify the SMO solution satisfies the ε-SVR optimality conditions:
+	// residual r = f(x) − y must obey
+	//   β = 0        →  |r| ≤ ε (+tol)
+	//   0 < β < C    →  r ≈ −ε
+	//   β = C        →  r ≤ −ε (+tol)
+	//   −C < β < 0   →  r ≈ +ε
+	//   β = −C       →  r ≥ +ε (−tol)
+	x, y := sine1D(60, 0.05, 8)
+	opts := DefaultEpsSVROptions()
+	opts.Epsilon = 0.08
+	opts.MaxSweeps = 400
+	m, err := TrainEpsSVR(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.02
+	violations := 0
+	for i := range x {
+		r := m.Predict(x[i]) - y[i]
+		beta := m.Coef[i]
+		switch {
+		case beta == 0:
+			if math.Abs(r) > opts.Epsilon+tol {
+				violations++
+			}
+		case beta >= opts.C-1e-9:
+			if r > -opts.Epsilon+tol {
+				violations++
+			}
+		case beta > 0:
+			if math.Abs(r+opts.Epsilon) > tol {
+				violations++
+			}
+		case beta <= -opts.C+1e-9:
+			if r < opts.Epsilon-tol {
+				violations++
+			}
+		default: // −C < β < 0
+			if math.Abs(r-opts.Epsilon) > tol {
+				violations++
+			}
+		}
+	}
+	// A small number of boundary points may sit just outside tolerance due
+	// to the shared bias estimate; wholesale violations mean SMO failed.
+	if violations > len(x)/10 {
+		t.Fatalf("%d of %d KKT violations", violations, len(x))
+	}
+}
+
+func TestTrainersAgreeOnSmoothTarget(t *testing.T) {
+	// Both trainers should produce comparable predictions on clean data.
+	x, y := sine1D(60, 0.0, 6)
+	ls, err := TrainLSSVM(x, y, DefaultLSSVMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := TrainEpsSVR(x, y, DefaultEpsSVROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsPred := ls.PredictAll(x)
+	esPred := es.PredictAll(x)
+	if d := metrics.RMSE(lsPred, esPred); d > 0.15 {
+		t.Fatalf("trainer disagreement RMSE = %v", d)
+	}
+}
+
+func TestModelMultivariate(t *testing.T) {
+	// f(x) = x₀ + 2x₁ learned from 2-D samples.
+	s := rng.New(7)
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := s.Range(0, 5), s.Range(0, 5)
+		x[i] = []float64{a, b}
+		y[i] = a + 2*b
+	}
+	m, err := TrainLSSVM(x, y, LSSVMOptions{Gamma: 100, Kernel: RBFKernel{Gamma: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{2, 3})
+	if math.Abs(got-8) > 0.3 {
+		t.Fatalf("f(2,3) = %v, want ~8", got)
+	}
+}
+
+func TestNumSupportVectors(t *testing.T) {
+	m := &Model{Coef: []float64{0, 1, 0, -2}}
+	if m.NumSupportVectors() != 2 {
+		t.Fatalf("NumSupportVectors = %d", m.NumSupportVectors())
+	}
+}

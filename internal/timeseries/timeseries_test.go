@@ -1,0 +1,268 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicStats(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	if s.Sum() != 10 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if mx, i := s.Max(); mx != 4 || i != 3 {
+		t.Fatalf("Max = %v at %d", mx, i)
+	}
+	if mn, i := s.Min(); mn != 1 || i != 0 {
+		t.Fatalf("Min = %v at %d", mn, i)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Sum() != 0 || s.Std() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty series did not panic")
+		}
+	}()
+	s.Max()
+}
+
+func TestStd(t *testing.T) {
+	s := Series{2, 4, 4, 4, 5, 5, 7, 9}
+	if math.Abs(s.Std()-2.0) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s.Std())
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := Series{1, 2}
+	b := Series{3, 5}
+	if c := a.Add(b); c[0] != 4 || c[1] != 7 {
+		t.Fatalf("Add = %v", c)
+	}
+	if c := b.Sub(a); c[0] != 2 || c[1] != 3 {
+		t.Fatalf("Sub = %v", c)
+	}
+	if c := a.ScaleBy(10); c[0] != 10 || c[1] != 20 {
+		t.Fatalf("ScaleBy = %v", c)
+	}
+}
+
+func TestAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Series{1}.Add(Series{1, 2})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Series{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestPAR(t *testing.T) {
+	flat := Series{2, 2, 2, 2}
+	if flat.PAR() != 1 {
+		t.Fatalf("flat PAR = %v", flat.PAR())
+	}
+	peaky := Series{1, 1, 1, 5}
+	want := 5.0 / 2.0
+	if math.Abs(peaky.PAR()-want) > 1e-12 {
+		t.Fatalf("PAR = %v, want %v", peaky.PAR(), want)
+	}
+}
+
+func TestPARZeroMean(t *testing.T) {
+	if (Series{0, 0}).PAR() != 0 {
+		t.Fatal("all-zero PAR should be 0")
+	}
+	if !math.IsInf((Series{-1, 1}).PAR(), 1) {
+		t.Fatal("zero-mean nonzero-peak PAR should be +Inf")
+	}
+}
+
+func TestPARAtLeastOneProperty(t *testing.T) {
+	// For non-negative series with positive mean, PAR >= 1.
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Series, len(raw))
+		sum := 0.0
+		for i, v := range raw {
+			// Bound magnitudes so the sum cannot overflow to +Inf.
+			if math.IsNaN(v) || math.Abs(v) > 1e300 {
+				return true
+			}
+			s[i] = math.Abs(v)
+			sum += s[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		return s.PAR() >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRolling(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5}
+	r := s.Rolling(2)
+	want := Series{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("Rolling[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRollingWindowOne(t *testing.T) {
+	s := Series{3, 1, 4}
+	r := s.Rolling(1)
+	for i := range s {
+		if r[i] != s[i] {
+			t.Fatal("Rolling(1) should equal the series")
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := Series{1, 4, 9, 16}
+	d := s.Diff()
+	want := Series{3, 5, 7}
+	if len(d) != 3 {
+		t.Fatalf("Diff length = %d", len(d))
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Diff = %v", d)
+		}
+	}
+	if len((Series{1}).Diff()) != 0 {
+		t.Fatal("Diff of singleton should be empty")
+	}
+}
+
+func TestNormalizationRoundTrip(t *testing.T) {
+	s := Series{10, 20, 30}
+	n := FitNormalization(s)
+	for _, v := range s {
+		if got := n.Invert(n.Apply(v)); math.Abs(got-v) > 1e-12 {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if n.Apply(10) != 0 || n.Apply(30) != 1 {
+		t.Fatal("normalization endpoints wrong")
+	}
+}
+
+func TestNormalizationConstantSeries(t *testing.T) {
+	n := FitNormalization(Series{5, 5, 5})
+	if n.Apply(5) != 0.5 {
+		t.Fatalf("constant series Apply = %v", n.Apply(5))
+	}
+	if n.Invert(0.7) != 5 {
+		t.Fatalf("constant series Invert = %v", n.Invert(0.7))
+	}
+}
+
+func TestLagEmbed(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5}
+	rows, targets := LagEmbed(s, 2)
+	if len(rows) != 3 || len(targets) != 3 {
+		t.Fatalf("lengths = %d, %d", len(rows), len(targets))
+	}
+	if rows[0][0] != 1 || rows[0][1] != 2 || targets[0] != 3 {
+		t.Fatalf("row 0 = %v -> %v", rows[0], targets[0])
+	}
+	if rows[2][0] != 3 || rows[2][1] != 4 || targets[2] != 5 {
+		t.Fatalf("row 2 = %v -> %v", rows[2], targets[2])
+	}
+}
+
+func TestLagEmbedTooShort(t *testing.T) {
+	rows, targets := LagEmbed(Series{1, 2}, 5)
+	if rows != nil || targets != nil {
+		t.Fatal("short series should return nil")
+	}
+}
+
+func TestLagEmbedRowsAreCopies(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	rows, _ := LagEmbed(s, 2)
+	rows[0][0] = 99
+	if s[0] != 1 {
+		t.Fatal("LagEmbed rows alias the series")
+	}
+}
+
+func TestMultiLagEmbed(t *testing.T) {
+	p := Series{1, 2, 3, 4}
+	v := Series{10, 20, 30, 40}
+	rows, targets := MultiLagEmbed([]Series{p, v}, p, 2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Row 0: p lags [1,2], v lags [10,20], target p[2]=3.
+	want := []float64{1, 2, 10, 20}
+	for i := range want {
+		if rows[0][i] != want[i] {
+			t.Fatalf("row 0 = %v", rows[0])
+		}
+	}
+	if targets[0] != 3 {
+		t.Fatalf("target 0 = %v", targets[0])
+	}
+}
+
+func TestMultiLagEmbedLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched inputs did not panic")
+		}
+	}()
+	MultiLagEmbed([]Series{{1, 2}}, Series{1, 2, 3}, 1)
+}
+
+func TestRepeat(t *testing.T) {
+	s := Series{1, 2}
+	r := Repeat(s, 3)
+	if len(r) != 6 {
+		t.Fatalf("Repeat length = %d", len(r))
+	}
+	for i, want := range []float64{1, 2, 1, 2, 1, 2} {
+		if r[i] != want {
+			t.Fatalf("Repeat = %v", r)
+		}
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	s := Series{1, 2, 3}
+	sub := s.Slice(1, 3)
+	if len(sub) != 2 || sub[0] != 2 {
+		t.Fatalf("Slice = %v", sub)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Slice did not panic")
+		}
+	}()
+	s.Slice(0, 4)
+}

@@ -1,0 +1,66 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace exercises the community-trace parser with arbitrary input:
+// it must never panic, and anything it accepts must round-trip through
+// WriteTrace and parse to the same rows.
+func FuzzReadTrace(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := WriteTrace(&seedBuf, sampleRows()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	f.Add("day,slot,price,renewable,load,grid_demand,hacked\n")
+	f.Add("garbage")
+	f.Add("day,slot,price,renewable,load,grid_demand,hacked\n0,0,nan,0,0,0,0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		rows, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, rows); err != nil {
+			t.Fatalf("accepted rows failed to serialize: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("round trip changed row count %d -> %d", len(rows), len(again))
+		}
+		for i := range rows {
+			// NaN breaks equality; tolerate by comparing serialized forms.
+			if rows[i] != again[i] && !(rows[i].Price != rows[i].Price) &&
+				!(rows[i].Renewable != rows[i].Renewable) &&
+				!(rows[i].Load != rows[i].Load) &&
+				!(rows[i].GridDemand != rows[i].GridDemand) {
+				t.Fatalf("row %d changed: %+v -> %+v", i, rows[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadHistory exercises the history parser.
+func FuzzReadHistory(f *testing.F) {
+	f.Add("slot,price,renewable,demand\n0,0.05,0,40\n1,0.06,1,41\n")
+	f.Add("")
+	f.Add("slot,price,renewable,demand\nx\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := ReadHistory(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted histories must be internally consistent.
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted history fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,25 @@
+# Build / verification entry points. `make check` is the race-detector gate
+# for the concurrency layer: go vet plus -race tests over every package that
+# spawns or feeds the shared worker pool.
+
+GO ?= go
+
+.PHONY: build test vet race check bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt
+
+check: vet race
+
+# Regenerate the numbers behind BENCH_game_parallel.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkGameSolveParallel' -benchmem .

@@ -19,6 +19,7 @@ import (
 	"nmdetect/internal/appliance"
 	"nmdetect/internal/attack"
 	"nmdetect/internal/ceopt"
+	"nmdetect/internal/community"
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
 	"nmdetect/internal/dpsched"
@@ -145,6 +146,49 @@ func BenchmarkGameSolveBaseline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := game.Solve(customers, price, nil, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkGameSolveParallel measures the block-Jacobi solve of a
+// 24-customer net-metering community (JacobiBlock 8) at a given worker
+// count. Workers is a pure execution knob, so the three variants below solve
+// the exact same game to the same bits — the ratio of their wall-clock times
+// is the parallel speedup of the hot path (record baselines in
+// BENCH_game_parallel.json; a ≥ 2.5× Parallel1/Parallel8 ratio is expected
+// on ≥ 8 free cores).
+func benchmarkGameSolveParallel(b *testing.B, workers int) {
+	customers, pv := benchCommunity(b, 24)
+	q, _ := tariff.NewQuadratic(1.5)
+	cfg := game.DefaultConfig(q, true)
+	cfg.MaxSweeps = 2
+	cfg.JacobiBlock = 8
+	cfg.Workers = workers
+	price := benchPrice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Solve(customers, price, pv, cfg, rng.New(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGameSolveParallel1(b *testing.B) { benchmarkGameSolveParallel(b, 1) }
+func BenchmarkGameSolveParallel4(b *testing.B) { benchmarkGameSolveParallel(b, 4) }
+func BenchmarkGameSolveParallel8(b *testing.B) { benchmarkGameSolveParallel(b, 8) }
+
+// BenchmarkEnginePrepareDay measures the parallel per-customer PV generation
+// path of the engine's day preparation.
+func BenchmarkEnginePrepareDay(b *testing.B) {
+	cfg := community.DefaultConfig(100, 42)
+	engine, err := community.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PrepareDay(true); err != nil {
 			b.Fatal(err)
 		}
 	}

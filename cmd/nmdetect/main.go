@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-boot 6]
-//	         [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
+//	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-workers 0] [-jacobi 0]
+//	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
 package main
 
 import (
@@ -23,6 +23,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "seed")
 		days     = flag.Int("days", 2, "monitoring days")
 		sweeps   = flag.Int("sweeps", 3, "game best-response sweeps")
+		workers  = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
+		jacobi   = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		boot     = flag.Int("boot", 6, "bootstrap days")
 		detector = flag.String("detector", "aware", "aware|blind")
 		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
@@ -32,6 +34,8 @@ func main() {
 
 	opts := core.DefaultOptions(*n, *seed)
 	opts.Community.GameSweeps = *sweeps
+	opts.Community.Workers = *workers
+	opts.Community.GameJacobiBlock = *jacobi
 	opts.BootstrapDays = *boot
 	opts.Solver = core.PolicySolver(*solver)
 

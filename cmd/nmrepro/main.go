@@ -4,7 +4,7 @@
 // Usage:
 //
 //	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations] [-n 500]
-//	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2]
+//	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2] [-workers 0] [-jacobi 0]
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
@@ -35,6 +35,8 @@ func main() {
 		sweeps     = flag.Int("sweeps", 3, "game best-response sweeps")
 		days       = flag.Int("days", 2, "monitoring days (fig6/table1)")
 		solver     = flag.String("solver", "pbvi", "POMDP solver: pbvi|qmdp|threshold")
+		workers    = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
+		jacobi     = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
 	)
@@ -47,6 +49,8 @@ func main() {
 		GameSweeps:    *sweeps,
 		MonitorDays:   *days,
 		Solver:        core.PolicySolver(*solver),
+		Workers:       *workers,
+		JacobiBlock:   *jacobi,
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)

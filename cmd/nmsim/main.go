@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-nonm] [-attack zero|scale|invert|none]
-//	      [-from 16] [-to 17] [-factor 0.5]
+//	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-workers 0] [-jacobi 0]
+//	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
 //
 // With an attack selected, every meter is compromised on the final day and
 // the realized (attacked) trace is printed for that day.
@@ -28,6 +28,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		days     = flag.Int("days", 7, "days to simulate")
 		sweeps   = flag.Int("sweeps", 3, "game best-response sweeps")
+		workers  = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
+		jacobi   = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		noNM     = flag.Bool("nonm", false, "disable net metering in the world model")
 		atkStr   = flag.String("attack", "none", "attack on the final day: zero|scale|invert|none")
 		from     = flag.Int("from", 16, "attack window start slot")
@@ -40,6 +42,8 @@ func main() {
 
 	cfg := community.DefaultConfig(*n, *seed)
 	cfg.GameSweeps = *sweeps
+	cfg.Workers = *workers
+	cfg.GameJacobiBlock = *jacobi
 	engine, err := community.NewEngine(cfg)
 	if err != nil {
 		fatal(err)

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 )
 
@@ -44,6 +45,15 @@ type Options struct {
 	// MinStd floors the standard deviation to avoid premature collapse
 	// (fraction of box width).
 	MinStd float64
+	// Workers enables opt-in parallel candidate evaluation for large
+	// populations: values > 1 evaluate each iteration's K samples with up
+	// to Workers concurrent objective calls (bounded by the shared
+	// internal/parallel pool). Values <= 1 — the default — evaluate
+	// sequentially. Sample *drawing* always stays sequential on the single
+	// source, so the sampled candidates (and hence the result) are bitwise
+	// identical for every Workers setting; the objective must be safe for
+	// concurrent calls when Workers > 1.
+	Workers int
 }
 
 // DefaultOptions returns the configuration used by the battery optimizer:
@@ -160,8 +170,16 @@ func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, op
 	res.F = f(res.X)
 	res.Evaluations++
 
+	evalWorkers := opts.Workers
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iterations = iter + 1
+		// Draw the entire population first, sequentially on the single
+		// source — the stream (and therefore every candidate) is unchanged
+		// by the evaluation mode below.
 		for k := range pop {
 			for i := 0; i < d; i++ {
 				if width[i] == 0 {
@@ -170,9 +188,16 @@ func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, op
 				}
 				pop[k].x[i] = src.TruncNormal(mean[i], std[i], lo[i], hi[i])
 			}
-			pop[k].f = f(pop[k].x)
-			res.Evaluations++
 		}
+		// Evaluate candidates, fanning out when Workers > 1; each worker
+		// writes only its own sample's f field.
+		if err := parallel.ForEach(evalWorkers, len(pop), func(k int) error {
+			pop[k].f = f(pop[k].x)
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		res.Evaluations += len(pop)
 		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
 		if pop[0].f < res.F {
 			res.F = pop[0].f

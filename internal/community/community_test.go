@@ -7,6 +7,7 @@ import (
 	"nmdetect/internal/attack"
 	"nmdetect/internal/detect"
 	"nmdetect/internal/forecast"
+	"nmdetect/internal/parallel"
 	"nmdetect/internal/pomdp"
 )
 
@@ -478,5 +479,77 @@ func TestEngineDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("engine diverged at slot %d", i)
 		}
+	}
+}
+
+func TestEngineParallelismDoesNotChangeResults(t *testing.T) {
+	// The engine's Workers knob (concurrent clean/attacked solves, parallel
+	// PV generation, intra-block game fan-out) is a pure execution knob:
+	// for a fixed seed and Jacobi block size every realized trace must be
+	// bitwise identical whatever the worker budget.
+	prev := parallel.SetLimit(8)
+	defer parallel.SetLimit(prev)
+
+	run := func(workers int) *DayTrace {
+		t.Helper()
+		cfg := DefaultConfig(8, 77)
+		cfg.GameSweeps = 2
+		cfg.Workers = workers
+		cfg.GameJacobiBlock = 4
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := e.PrepareDay(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp, err := attack.NewCampaign(8, 0.5, 1, 4, attack.ZeroWindow{From: 16, To: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := e.SimulateDay(env, camp, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		for h := 0; h < 24; h++ {
+			if ref.Load[h] != got.Load[h] || ref.GridDemand[h] != got.GridDemand[h] {
+				t.Fatalf("workers=%d slot %d: load/grid diverged", workers, h)
+			}
+			if ref.Env.Published[h] != got.Env.Published[h] ||
+				ref.Env.Renewable[h] != got.Env.Renewable[h] {
+				t.Fatalf("workers=%d slot %d: environment diverged", workers, h)
+			}
+		}
+		for n := range ref.RealizedMeter {
+			for h := 0; h < 24; h++ {
+				if ref.RealizedMeter[n][h] != got.RealizedMeter[n][h] {
+					t.Fatalf("workers=%d meter %d slot %d: realized measurement diverged", workers, n, h)
+				}
+				if ref.CleanMeter[n][h] != got.CleanMeter[n][h] ||
+					ref.AttackedMeter[n][h] != got.AttackedMeter[n][h] {
+					t.Fatalf("workers=%d meter %d slot %d: solve output diverged", workers, n, h)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidateParallelKnobs(t *testing.T) {
+	bad := DefaultConfig(10, 1)
+	bad.Workers = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+	bad = DefaultConfig(10, 1)
+	bad.GameJacobiBlock = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Jacobi block accepted")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
+	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/solar"
 	"nmdetect/internal/tariff"
@@ -63,6 +64,22 @@ type Config struct {
 	// the accumulated history (package forecast). Off by default: the
 	// paper-scale experiments were calibrated against the simple basis.
 	UseDemandForecast bool
+	// Workers is the engine-wide concurrency budget: per-customer PV
+	// generation, the clean/attacked solve pair of SimulateDay and the game
+	// solver's intra-block fan-out all request workers from the shared
+	// bounded pool (package parallel) up to this bound. 0 selects
+	// runtime.NumCPU(); 1 runs fully sequentially. The value never affects
+	// results — every concurrent unit draws from its own derived stream and
+	// writes only its own slot (DESIGN.md "Parallel execution &
+	// determinism").
+	Workers int
+	// GameJacobiBlock is the game solver's block-Jacobi partition size
+	// (game.Config.JacobiBlock). 0 keeps the sequential Gauss-Seidel sweep
+	// semantics; values > 1 unlock intra-sweep parallelism at the price of
+	// slightly staler best-response totals. Unlike Workers this knob DOES
+	// select a (deterministically) different equilibrium path, and it flows
+	// through GameConfig so detectors reproduce the engine's solves exactly.
+	GameJacobiBlock int
 }
 
 // DefaultConfig mirrors the paper's simulation setup.
@@ -99,6 +116,12 @@ func (c Config) Validate() error {
 	}
 	if c.GameSweeps < 1 {
 		return fmt.Errorf("community: game sweeps %d must be positive", c.GameSweeps)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("community: negative worker count %d", c.Workers)
+	}
+	if c.GameJacobiBlock < 0 {
+		return fmt.Errorf("community: negative Jacobi block size %d", c.GameJacobiBlock)
 	}
 	if err := c.Solar.Validate(); err != nil {
 		return err
@@ -167,6 +190,8 @@ func (e *Engine) ControllerSeed() uint64 { return e.cfg.Seed ^ 0xc0117011e5 }
 func (e *Engine) GameConfig(netMetering bool) game.Config {
 	cfg := game.DefaultConfig(e.cfg.Tariff, netMetering)
 	cfg.MaxSweeps = e.cfg.GameSweeps
+	cfg.Workers = e.cfg.Workers
+	cfg.JacobiBlock = e.cfg.GameJacobiBlock
 	return cfg
 }
 
@@ -200,7 +225,11 @@ func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
 		PV:         make([][]float64, len(e.customers)),
 		PVForecast: make([][]float64, len(e.customers)),
 	}
-	for i, c := range e.customers {
+	// Per-customer generation is embarrassingly parallel: each customer
+	// draws from a stream derived from its own ID (derivation does not
+	// advance daySrc) and fills only its own row.
+	if err := parallel.ForEach(e.cfg.Workers, len(e.customers), func(i int) error {
+		c := e.customers[i]
 		csrc := daySrc.Derive(fmt.Sprintf("pv-%d", c.ID))
 		if c.HasPV() {
 			trace := e.cfg.Solar.GenerateDay(c.Panel, env.Weather, csrc)
@@ -210,6 +239,9 @@ func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
 			env.PV[i] = make([]float64, 24)
 			env.PVForecast[i] = make([]float64, 24)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	env.Renewable = solar.Aggregate(toSeries(env.PV))
 	env.RenewableForecast = solar.Aggregate(toSeries(env.PVForecast))
@@ -288,16 +320,36 @@ func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMete
 	daySrc := e.src.Derive(fmt.Sprintf("sim-%d", e.day))
 
 	cfg := e.gameConfig(netMetering)
-	var gameSrc *rng.Source
-	if netMetering {
-		gameSrc = rng.New(e.ControllerSeed())
-	}
 	pv := env.PV
 	if !netMetering {
 		pv = nil
 	}
-	clean, err := game.Solve(e.customers, env.Published, pv, cfg, gameSrc)
-	if err != nil {
+
+	// The clean and (with a campaign) attacked solves are independent
+	// deterministic functions of their price: each seeds its own source
+	// from the shared controller seed and only reads the community, so the
+	// pair runs concurrently under the engine's worker budget. The attacked
+	// solution is spliced per meter from its hack hour later.
+	solve := func(price timeseries.Series, dst **game.Result) func() error {
+		return func() error {
+			var src *rng.Source
+			if netMetering {
+				src = rng.New(e.ControllerSeed())
+			}
+			res, err := game.Solve(e.customers, price, pv, cfg, src)
+			if err != nil {
+				return err
+			}
+			*dst = res
+			return nil
+		}
+	}
+	var clean, attacked *game.Result
+	tasks := []func() error{solve(env.Published, &clean)}
+	if camp != nil {
+		tasks = append(tasks, solve(camp.Attack.Apply(env.Published), &attacked))
+	}
+	if err := parallel.Do(e.cfg.Workers, tasks...); err != nil {
 		return nil, err
 	}
 
@@ -310,20 +362,9 @@ func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMete
 		TrueHacked:    make([]int, 24),
 	}
 
-	// Attacked solution: every meter sees the manipulated price. Spliced per
-	// meter from its hack hour. Solved only if a campaign exists.
 	cleanCons := clean.CustomerLoad
 	attackedCons := cleanCons
-	if camp != nil {
-		attackedPrice := camp.Attack.Apply(env.Published)
-		var atkSrc *rng.Source
-		if netMetering {
-			atkSrc = rng.New(e.ControllerSeed())
-		}
-		attacked, err := game.Solve(e.customers, attackedPrice, pv, cfg, atkSrc)
-		if err != nil {
-			return nil, err
-		}
+	if attacked != nil {
 		trace.AttackedMeter = meterFlows(attacked, netMetering)
 		attackedCons = attacked.CustomerLoad
 	}

@@ -41,6 +41,13 @@ type Config struct {
 	MonitorDays int
 	// Solver picks the POMDP policy solver.
 	Solver core.PolicySolver
+	// Workers is the engine-wide worker budget (community.Config.Workers):
+	// 0 uses every core, 1 runs sequentially. Never affects results.
+	Workers int
+	// JacobiBlock is the game solver's block-Jacobi partition size
+	// (community.Config.GameJacobiBlock). 0 keeps the sequential
+	// Gauss-Seidel semantics the recorded results were produced with.
+	JacobiBlock int
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -66,6 +73,9 @@ func (c Config) Validate() error {
 	if c.GameSweeps < 1 || c.MonitorDays < 1 {
 		return fmt.Errorf("experiments: non-positive budget")
 	}
+	if c.Workers < 0 || c.JacobiBlock < 0 {
+		return fmt.Errorf("experiments: negative parallelism knob")
+	}
 	return nil
 }
 
@@ -73,6 +83,8 @@ func (c Config) Validate() error {
 func (c Config) options() core.Options {
 	opts := core.DefaultOptions(c.N, c.Seed)
 	opts.Community.GameSweeps = c.GameSweeps
+	opts.Community.Workers = c.Workers
+	opts.Community.GameJacobiBlock = c.JacobiBlock
 	opts.BootstrapDays = c.BootstrapDays
 	opts.Solver = c.Solver
 	return opts
@@ -243,5 +255,7 @@ func flipDay(engine *community.Engine) (*community.DayEnvironment, error) {
 func communityConfig(cfg Config) community.Config {
 	c := community.DefaultConfig(cfg.N, cfg.Seed)
 	c.GameSweeps = cfg.GameSweeps
+	c.Workers = cfg.Workers
+	c.GameJacobiBlock = cfg.JacobiBlock
 	return c
 }

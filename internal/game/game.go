@@ -12,6 +12,16 @@
 // (Mohsenian-Rad et al. [9] prove convergence for the purchase-only convex
 // case).
 //
+// The sweep schedule generalizes to block-Jacobi (Config.JacobiBlock): the
+// customer order is partitioned into fixed consecutive blocks, best responses
+// within a block are computed against the trading total frozen at block start
+// — and may therefore run concurrently (Config.Workers) — and the updates are
+// applied in index order. Block size 1 is exactly the sequential Gauss-Seidel
+// schedule. Because each customer's CE stream is derived from (sweep, index)
+// and updates are applied in index order, the solution is a function of the
+// block size only: for a fixed seed and block size the output is bitwise
+// identical for every worker count.
+//
 // Disabling net metering (Config.NetMetering = false) removes PV, battery and
 // selling from the model: each customer's trading equals their consumption,
 // which is the community model of [9] and [8] — the baseline the paper's
@@ -28,6 +38,7 @@ import (
 	"nmdetect/internal/ceopt"
 	"nmdetect/internal/dpsched"
 	"nmdetect/internal/household"
+	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/tariff"
 	"nmdetect/internal/timeseries"
@@ -49,6 +60,23 @@ type Config struct {
 	Tol float64
 	// CE configures the battery trajectory optimizer.
 	CE ceopt.Options
+	// Workers bounds the number of concurrent best-response computations
+	// inside one Jacobi block. 0 selects runtime.NumCPU(); 1 computes
+	// sequentially. The worker count is purely an execution knob: it never
+	// affects the solution (see JacobiBlock).
+	Workers int
+	// JacobiBlock is the block size of the best-response sweep partition.
+	// 0 or 1 selects the sequential Gauss-Seidel schedule (the reference
+	// semantics every existing result was produced with). Values > 1 freeze
+	// the community trading total at block start so the block's best
+	// responses are independent and can run concurrently; larger blocks
+	// expose more parallelism but use staler totals, which can cost extra
+	// sweeps — and a whole-community block may oscillate between
+	// cost-equivalent schedules without ever satisfying the trading-delta
+	// convergence test, so certify Jacobi solutions with EquilibriumGap
+	// rather than the Converged flag. The block size — never Workers —
+	// determines the solution.
+	JacobiBlock int
 }
 
 // DefaultConfig returns the solver configuration used by the experiments.
@@ -79,6 +107,12 @@ func (c Config) Validate() error {
 	}
 	if c.Tariff.W < 1 {
 		return fmt.Errorf("game: tariff sell-back divisor %v must be >= 1", c.Tariff.W)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("game: negative worker count %d", c.Workers)
+	}
+	if c.JacobiBlock < 0 {
+		return fmt.Errorf("game: negative Jacobi block size %d", c.JacobiBlock)
 	}
 	return c.CE.Validate()
 }
@@ -194,34 +228,106 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 		}
 	}
 
-	// Gauss-Seidel best-response sweeps.
+	// Best-response sweeps: Gauss-Seidel blocks of 1 (the reference
+	// schedule), block-Jacobi otherwise. zeroPV is the shared all-zero PV
+	// row used by every customer when net metering is off (read-only, so
+	// safe to share across concurrent best responses).
+	block := cfg.JacobiBlock
+	if block < 1 {
+		block = 1
+	}
+	zeroPV := make([]float64, h)
+	type response struct {
+		load, y, traj []float64
+		cost          float64
+	}
+	var outs []response
+	if block > 1 {
+		outs = make([]response, block)
+	}
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
 		res.Sweeps = sweep + 1
 		maxDelta := 0.0
-		for i, c := range customers {
-			var csrc *rng.Source
-			if cfg.NetMetering {
-				csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
+		for start := 0; start < n; start += block {
+			end := start + block
+			if end > n {
+				end = n
 			}
-			oldY := res.CustomerTrading[i]
-			// Remove this customer's trading from the shared total.
-			for t := 0; t < h; t++ {
-				totalY[t] -= oldY[t]
-			}
-			newLoad, newY, traj, cost, err := bestResponse(c, prices[i], pvRow(pv, i, cfg.NetMetering, h), totalY, cfg, csrc)
-			if err != nil {
-				return nil, fmt.Errorf("game: customer %d: %w", i, err)
-			}
-			for t := 0; t < h; t++ {
-				if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
-					maxDelta = d
+			if end-start == 1 {
+				// Single-customer block: the original Gauss-Seidel body,
+				// kept verbatim (including its floating-point update order)
+				// so JacobiBlock <= 1 reproduces historical results bitwise.
+				i := start
+				var csrc *rng.Source
+				if cfg.NetMetering {
+					csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
 				}
-				totalY[t] += newY[t]
+				oldY := res.CustomerTrading[i]
+				// Remove this customer's trading from the shared total.
+				for t := 0; t < h; t++ {
+					totalY[t] -= oldY[t]
+				}
+				newLoad, newY, traj, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc)
+				if err != nil {
+					return nil, fmt.Errorf("game: customer %d: %w", i, err)
+				}
+				for t := 0; t < h; t++ {
+					if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
+						maxDelta = d
+					}
+					totalY[t] += newY[t]
+				}
+				res.CustomerLoad[i] = newLoad
+				res.CustomerTrading[i] = newY
+				res.BatteryTraj[i] = traj
+				res.Cost[i] = cost
+				continue
 			}
-			res.CustomerLoad[i] = newLoad
-			res.CustomerTrading[i] = newY
-			res.BatteryTraj[i] = traj
-			res.Cost[i] = cost
+
+			// Block-Jacobi: each member best-responds to the total frozen at
+			// block start minus its own previous trading. Members only read
+			// shared state and write their own slot of outs, so the block is
+			// safe to fan out; per-customer CE streams are derived from
+			// (sweep, index), making the fan-out schedule irrelevant.
+			out := outs[:end-start]
+			err := parallel.ForEach(cfg.Workers, end-start, func(k int) error {
+				i := start + k
+				var csrc *rng.Source
+				if cfg.NetMetering {
+					csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
+				}
+				oldY := res.CustomerTrading[i]
+				yOther := make([]float64, h)
+				for t := 0; t < h; t++ {
+					yOther[t] = totalY[t] - oldY[t]
+				}
+				load, y, traj, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
+				if err != nil {
+					return fmt.Errorf("game: customer %d: %w", i, err)
+				}
+				out[k] = response{load: load, y: y, traj: traj, cost: cost}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Apply updates in index order (deterministic float accumulation).
+			for k := range out {
+				i := start + k
+				oldY := res.CustomerTrading[i]
+				newY := out[k].y
+				for t := 0; t < h; t++ {
+					if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
+						maxDelta = d
+					}
+					totalY[t] -= oldY[t]
+					totalY[t] += newY[t]
+				}
+				res.CustomerLoad[i] = out[k].load
+				res.CustomerTrading[i] = newY
+				res.BatteryTraj[i] = out[k].traj
+				res.Cost[i] = out[k].cost
+			}
 		}
 		if maxDelta < cfg.Tol {
 			res.Converged = true
@@ -241,9 +347,12 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 	return res, nil
 }
 
-func pvRow(pv [][]float64, i int, netMetering bool, h int) []float64 {
+// pvRow selects customer i's PV trace, or the caller's shared all-zero row
+// when net metering is off (hoisted to one allocation per solve; callers must
+// treat the returned slice as read-only).
+func pvRow(pv [][]float64, i int, netMetering bool, zero []float64) []float64 {
 	if !netMetering || pv == nil {
-		return make([]float64, h)
+		return zero
 	}
 	return pv[i]
 }
@@ -286,10 +395,41 @@ func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series,
 	if res == nil || len(res.CustomerTrading) != len(customers) {
 		return 0, 0, errors.New("game: result does not match the community")
 	}
+	if len(res.Cost) != len(customers) {
+		return 0, 0, fmt.Errorf("game: result has %d costs for %d customers", len(res.Cost), len(customers))
+	}
 	if len(prices) != len(customers) {
 		return 0, 0, fmt.Errorf("game: %d price vectors for %d customers", len(prices), len(customers))
 	}
+	if len(prices) == 0 {
+		return 0, 0, errors.New("game: empty community")
+	}
 	h := len(prices[0])
+	for i, p := range prices {
+		if len(p) != h {
+			return 0, 0, fmt.Errorf("game: price vector %d has length %d, want %d", i, len(p), h)
+		}
+	}
+	// A malformed Result must surface as an error, not an index panic.
+	for i := range customers {
+		if len(res.CustomerTrading[i]) != h {
+			return 0, 0, fmt.Errorf("game: result trading vector %d has length %d, want price horizon %d",
+				i, len(res.CustomerTrading[i]), h)
+		}
+	}
+	if cfg.NetMetering {
+		if src == nil {
+			return 0, 0, errors.New("game: nil source with net metering enabled")
+		}
+		if len(pv) != len(customers) {
+			return 0, 0, fmt.Errorf("game: pv traces %d != customers %d", len(pv), len(customers))
+		}
+		for i, tr := range pv {
+			if len(tr) != h {
+				return 0, 0, fmt.Errorf("game: pv trace %d has length %d, want %d", i, len(tr), h)
+			}
+		}
+	}
 
 	totalY := make([]float64, h)
 	for i := range customers {
@@ -298,25 +438,34 @@ func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series,
 		}
 	}
 
-	worst = -1
-	for i, c := range customers {
+	// Each customer's probe best response is independent of the others
+	// (streams are derived per index), so the gap scan parallelizes freely;
+	// the reduction below runs in index order either way.
+	zeroPV := make([]float64, h)
+	improvement := make([]float64, len(customers))
+	err = parallel.ForEach(cfg.Workers, len(customers), func(i int) error {
 		yOther := make([]float64, h)
 		for t := 0; t < h; t++ {
 			yOther[t] = totalY[t] - res.CustomerTrading[i][t]
 		}
 		var csrc *rng.Source
 		if cfg.NetMetering {
-			if src == nil {
-				return 0, 0, errors.New("game: nil source with net metering enabled")
-			}
 			csrc = src.Derive(fmt.Sprintf("gap-%d", i))
 		}
-		_, _, _, cost, err := bestResponse(c, prices[i], pvRow(pv, i, cfg.NetMetering, h), yOther, cfg, csrc)
+		_, _, _, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
 		if err != nil {
-			return 0, 0, fmt.Errorf("game: customer %d: %w", i, err)
+			return fmt.Errorf("game: customer %d: %w", i, err)
 		}
-		if improvement := res.Cost[i] - cost; improvement > gap {
-			gap = improvement
+		improvement[i] = res.Cost[i] - cost
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	worst = -1
+	for i, imp := range improvement {
+		if imp > gap {
+			gap = imp
 			worst = i
 		}
 	}
@@ -376,12 +525,17 @@ func bestResponse(c *household.Customer, price timeseries.Series, pv []float64, 
 	// Inner alternation: DP appliances with battery fixed, then CE battery
 	// with appliances fixed. Two rounds suffice in practice; the outer game
 	// sweeps provide further refinement.
+	//
+	// snapshot is the one scratch buffer behind every makeCost closure of
+	// this best response: ScheduleAll consumes each returned CostFn fully
+	// before requesting the next, so overwriting the buffer between
+	// appliances is safe and avoids a per-appliance allocation.
+	snapshot := make([]float64, h)
 	var schedLoad []float64
 	const innerRounds = 2
 	for round := 0; round < innerRounds; round++ {
 		// --- Appliance step (line 4 of Algorithm 1). ---
 		makeCost := func(current []float64) dpsched.CostFn {
-			snapshot := make([]float64, h)
 			copy(snapshot, current)
 			return func(t int, x float64) float64 {
 				// Trading without this appliance's candidate power.

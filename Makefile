@@ -1,10 +1,11 @@
-# Build / verification entry points. `make check` is the race-detector gate
-# for the concurrency layer: go vet plus -race tests over every package that
-# spawns or feeds the shared worker pool.
+# Build / verification entry points. `make check` is the verification gate:
+# go vet, the library panic lint (scripts/panic_lint.sh) and -race tests over
+# every package that spawns or feeds the shared worker pool — including the
+# cancellation tests, which assert that aborted solves leak no pool tokens.
 
 GO ?= go
 
-.PHONY: build test vet race check bench-parallel
+.PHONY: build test vet race check panic-lint bench-parallel
 
 build:
 	$(GO) build ./...
@@ -16,9 +17,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core
 
-check: vet race
+panic-lint:
+	sh scripts/panic_lint.sh
+
+check: vet panic-lint race
 
 # Regenerate the numbers behind BENCH_game_parallel.json.
 bench-parallel:

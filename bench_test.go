@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,7 +54,7 @@ func benchConfig() experiments.Config {
 func BenchmarkFig3PriceOnlyPrediction(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3(cfg); err != nil {
+		if _, err := experiments.Fig3(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func BenchmarkFig3PriceOnlyPrediction(b *testing.B) {
 func BenchmarkFig4NetMeteringPrediction(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4(cfg); err != nil {
+		if _, err := experiments.Fig4(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func BenchmarkFig4NetMeteringPrediction(b *testing.B) {
 func BenchmarkFig5Attack(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(cfg); err != nil {
+		if _, err := experiments.Fig5(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFig5Attack(b *testing.B) {
 func BenchmarkFig6ObservationAccuracy(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(cfg); err != nil {
+		if _, err := experiments.Fig6(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,7 +90,7 @@ func BenchmarkFig6ObservationAccuracy(b *testing.B) {
 func BenchmarkTable1DetectionComparison(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(cfg); err != nil {
+		if _, err := experiments.Table1(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +105,10 @@ func benchCommunity(b *testing.B, n int) ([]*household.Customer, [][]float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pv := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	pv, err := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	if err != nil {
+		b.Fatal(err)
+	}
 	return customers, pv
 }
 
@@ -129,7 +133,7 @@ func BenchmarkGameSolveNetMetering(b *testing.B) {
 	price := benchPrice()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := game.Solve(customers, price, pv, cfg, rng.New(7)); err != nil {
+		if _, err := game.Solve(context.Background(), customers, price, pv, cfg, rng.New(7)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +149,7 @@ func BenchmarkGameSolveBaseline(b *testing.B) {
 	price := benchPrice()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := game.Solve(customers, price, nil, cfg, nil); err != nil {
+		if _, err := game.Solve(context.Background(), customers, price, nil, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +172,7 @@ func benchmarkGameSolveParallel(b *testing.B, workers int) {
 	price := benchPrice()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := game.Solve(customers, price, pv, cfg, rng.New(7)); err != nil {
+		if _, err := game.Solve(context.Background(), customers, price, pv, cfg, rng.New(7)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +192,7 @@ func BenchmarkEnginePrepareDay(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.PrepareDay(true); err != nil {
+		if _, err := engine.PrepareDay(context.Background(), true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,7 +263,7 @@ func BenchmarkCEOptimizerBattery(b *testing.B) {
 	opts.MaxIter = 25
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ceopt.Minimize(objective, lo, hi, nil, rng.New(uint64(i+1)), opts); err != nil {
+		if _, err := ceopt.Minimize(context.Background(), objective, lo, hi, nil, rng.New(uint64(i+1)), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -332,7 +336,10 @@ func benchHistory(b *testing.B, days int) tariff.History {
 				ren[h] = 50 * scale
 			}
 		}
-		price := form.Publish(demand, ren, 100, true, src)
+		price, err := form.Publish(demand, ren, 100, true, src)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for h := 0; h < 24; h++ {
 			hist.Append(price[h], ren[h], demand[h])
 		}
@@ -362,7 +369,7 @@ func BenchmarkPolicyPBVI(b *testing.B) {
 	opts.Iterations = 30
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pomdp.SolvePBVI(m, opts); err != nil {
+		if _, err := pomdp.SolvePBVI(context.Background(), m, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -373,7 +380,7 @@ func BenchmarkPolicyQMDP(b *testing.B) {
 	m := benchDetectionModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pomdp.SolveQMDP(m, 1e-9, 5000); err != nil {
+		if _, err := pomdp.SolveQMDP(context.Background(), m, 1e-9, 5000); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -56,7 +56,10 @@ func main() {
 			ren[h] = float64(*n) * 0.9
 		}
 	}
-	price := form.Publish(demand, ren, *n, true, nil)
+	price, err := form.Publish(demand, ren, *n, true, nil)
+	if err != nil {
+		fatal(err)
+	}
 	manipulated := atk.Apply(price)
 
 	fmt.Printf("# manipulation: %s\n", atk.Name())

@@ -6,15 +6,27 @@
 //
 //	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
+//	         [-scenario file.json|preset] [-dump-scenario]
+//
+// With -scenario, the world is described by a scenario spec — a preset name
+// or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
+// -workers, -jacobi, -boot, -solver) are ignored; -detector and -noenforce
+// still apply. -dump-scenario prints the effective spec as JSON to stdout
+// (and its content ID to stderr) and exits. SIGINT/SIGTERM cancel the build
+// and the monitoring loop at the next sweep/day boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
+	"nmdetect/internal/scenario"
 )
 
 func main() {
@@ -29,18 +41,45 @@ func main() {
 		detector = flag.String("detector", "aware", "aware|blind")
 		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
 		noEnf    = flag.Bool("noenforce", false, "observe only, never repair")
+		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
+		dumpScen = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
 	)
 	flag.Parse()
 
-	opts := core.DefaultOptions(*n, *seed)
-	opts.Community.GameSweeps = *sweeps
-	opts.Community.Workers = *workers
-	opts.Community.GameJacobiBlock = *jacobi
-	opts.BootstrapDays = *boot
-	opts.Solver = core.PolicySolver(*solver)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec := scenario.Default(*n, *seed)
+	spec.Horizon.BootstrapDays = *boot
+	spec.Horizon.MonitorDays = *days
+	spec.Game.Sweeps = *sweeps
+	spec.Game.Workers = *workers
+	spec.Game.JacobiBlock = *jacobi
+	spec.Detector.Solver = *solver
+	if *scenRef != "" {
+		var err error
+		if spec, err = scenario.Resolve(*scenRef); err != nil {
+			fatal(err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dumpScen {
+		if err := spec.Save(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, spec.ID())
+		return
+	}
+
+	opts, err := spec.CoreOptions()
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Fprintln(os.Stderr, "nmdetect: building system (bootstrap + training + calibration)...")
-	sys, err := core.NewSystem(opts)
+	sys, err := core.NewSystem(ctx, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,7 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := sys.MonitorDays(kit, camp, *days, !*noEnf)
+	results, err := sys.MonitorDays(ctx, kit, camp, spec.Horizon.MonitorDays, !*noEnf)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,23 +6,35 @@
 //	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations] [-n 500]
 //	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2] [-workers 0] [-jacobi 0]
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
+//	        [-scenario file.json|preset] [-dump-scenario]
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
 // forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
 //
+// With -scenario, the world is described by a scenario spec — a preset name
+// (fig3, fig4, fig5, fig6, table1) or a JSON file — and the per-knob flags
+// (-n, -seed, -boot, -sweeps, -days, -solver, -workers, -jacobi) are
+// ignored. -dump-scenario prints the effective spec as JSON to stdout (and
+// its content ID to stderr) and exits, which is how a flag-built run is
+// turned into a reusable scenario file.
+//
 // With -csv, the raw series behind each figure are also written as CSV files
-// into DIR for external plotting.
+// into DIR for external plotting. SIGINT/SIGTERM cancel the run at the next
+// sweep/iteration boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
-	"nmdetect/internal/core"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/scenario"
 	"nmdetect/internal/timeseries"
 )
 
@@ -39,19 +51,39 @@ func main() {
 		jacobi     = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
+		scenRef    = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
+		dumpScen   = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{
-		N:             *n,
-		Seed:          *seed,
-		BootstrapDays: *boot,
-		GameSweeps:    *sweeps,
-		MonitorDays:   *days,
-		Solver:        core.PolicySolver(*solver),
-		Workers:       *workers,
-		JacobiBlock:   *jacobi,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec := scenario.Default(*n, *seed)
+	spec.Horizon.BootstrapDays = *boot
+	spec.Horizon.MonitorDays = *days
+	spec.Game.Sweeps = *sweeps
+	spec.Game.Workers = *workers
+	spec.Game.JacobiBlock = *jacobi
+	spec.Detector.Solver = *solver
+	if *scenRef != "" {
+		var err error
+		if spec, err = scenario.Resolve(*scenRef); err != nil {
+			fatal(err)
+		}
 	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dumpScen {
+		if err := spec.Save(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, spec.ID())
+		return
+	}
+
+	cfg := spec.ExperimentsConfig()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -72,21 +104,21 @@ func main() {
 
 	if want("fig3") {
 		fmt.Println("== Figure 3: prediction WITHOUT considering net metering ==")
-		if f3, err = experiments.Fig3(cfg); err != nil {
+		if f3, err = experiments.Fig3(ctx, cfg); err != nil {
 			fatal(err)
 		}
 		renderPrediction(f3, "fig3", *csvDir, 1.4700)
 	}
 	if want("fig4") {
 		fmt.Println("== Figure 4: prediction considering net metering ==")
-		if f4, err = experiments.Fig4(cfg); err != nil {
+		if f4, err = experiments.Fig4(ctx, cfg); err != nil {
 			fatal(err)
 		}
 		renderPrediction(f4, "fig4", *csvDir, 1.3986)
 	}
 	if want("fig5") {
 		fmt.Println("== Figure 5: zero-price cyberattack ==")
-		if f5, err = experiments.Fig5(cfg); err != nil {
+		if f5, err = experiments.Fig5(ctx, cfg); err != nil {
 			fatal(err)
 		}
 		if err := experiments.RenderChart(os.Stdout, "guideline price ($/unit)",
@@ -103,7 +135,7 @@ func main() {
 	}
 	if want("fig6") {
 		fmt.Println("== Figure 6: 48h observation accuracy ==")
-		if f6, err = experiments.Fig6(cfg); err != nil {
+		if f6, err = experiments.Fig6(ctx, cfg); err != nil {
 			fatal(err)
 		}
 		if err := experiments.RenderChart(os.Stdout, "cumulative observation accuracy",
@@ -118,7 +150,7 @@ func main() {
 	}
 	if want("table1") {
 		fmt.Println("== Table 1: detection comparison ==")
-		if t1, err = experiments.Table1(cfg); err != nil {
+		if t1, err = experiments.Table1(ctx, cfg); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-24s %10s %12s %12s\n", "technique", "PAR", "inspections", "labor(norm)")
@@ -129,7 +161,7 @@ func main() {
 	}
 
 	if want("ablations") && *experiment == "ablations" {
-		runAblations(cfg)
+		runAblations(ctx, cfg)
 		return
 	}
 
@@ -172,65 +204,65 @@ func main() {
 	}
 }
 
-func runAblations(cfg experiments.Config) {
+func runAblations(ctx context.Context, cfg experiments.Config) {
 	fmt.Println("== Ablation: POMDP policy solver ==")
-	solverRows, err := experiments.AblationSolver(cfg)
+	solverRows, err := experiments.AblationSolver(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderSolverAblation(os.Stdout, solverRows)
 
 	fmt.Println("\n== Ablation: forecaster kernel ==")
-	kernelRows, err := experiments.AblationKernel(cfg)
+	kernelRows, err := experiments.AblationKernel(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderKernelAblation(os.Stdout, kernelRows)
 
 	fmt.Println("\n== Ablation: PV-forecast noise vs channel quality ==")
-	noiseRows, err := experiments.AblationForecastNoise(cfg, []float64{0, 0.02, 0.05, 0.1, 0.2})
+	noiseRows, err := experiments.AblationForecastNoise(ctx, cfg, []float64{0, 0.02, 0.05, 0.1, 0.2})
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderForecastNoiseAblation(os.Stdout, noiseRows)
 
 	fmt.Println("\n== Ablation: flag threshold τ ==")
-	tauRows, err := experiments.AblationTau(cfg, []float64{0.25, 0.5, 1.0, 1.5, 2.5})
+	tauRows, err := experiments.AblationTau(ctx, cfg, []float64{0.25, 0.5, 1.0, 1.5, 2.5})
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderTauAblation(os.Stdout, tauRows)
 
 	fmt.Println("\n== Ablation: net-metering sell-back divisor W ==")
-	sellRows, err := experiments.AblationSellBack(cfg, []float64{1, 1.5, 2, 3, 5})
+	sellRows, err := experiments.AblationSellBack(ctx, cfg, []float64{1, 1.5, 2, 3, 5})
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderSellBackAblation(os.Stdout, sellRows)
 
 	fmt.Println("\n== Ablation: attack payloads ([8]'s PAR and bill attacks) ==")
-	atkRows, err := experiments.AblationAttacks(cfg)
+	atkRows, err := experiments.AblationAttacks(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderAttackAblation(os.Stdout, atkRows)
 
 	fmt.Println("\n== Ablation: zero-window position (the attacker's optimization) ==")
-	winRows, err := experiments.AblationAttackWindow(cfg, []int{2, 8, 12, 16, 20})
+	winRows, err := experiments.AblationAttackWindow(ctx, cfg, []int{2, 8, 12, 16, 20})
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderWindowSweep(os.Stdout, winRows)
 
 	fmt.Println("\n== Ablation: battery storage contribution ==")
-	battRows, err := experiments.AblationBattery(cfg)
+	battRows, err := experiments.AblationBattery(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	experiments.RenderBatteryAblation(os.Stdout, battRows)
 
 	fmt.Println("\n== Extension: meter-side price filter (package mitigate) ==")
-	mit, err := experiments.Mitigation(cfg)
+	mit, err := experiments.Mitigation(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}

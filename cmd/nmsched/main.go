@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
@@ -76,7 +79,9 @@ func main() {
 		src = rng.New(*seed)
 		pvIn = [][]float64{pv}
 	}
-	res, err := game.Solve([]*household.Customer{customer}, price, pvIn, cfg, src)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := game.Solve(ctx, []*household.Customer{customer}, price, pvIn, cfg, src)
 	if err != nil {
 		fatal(err)
 	}

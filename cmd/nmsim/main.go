@@ -6,19 +6,30 @@
 //
 //	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
+//	      [-scenario file.json|preset] [-dump-scenario]
 //
 // With an attack selected, every meter is compromised on the final day and
 // the realized (attacked) trace is printed for that day.
+//
+// With -scenario, the world is described by a scenario spec — a preset name
+// or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
+// -workers, -jacobi, -attack, -from, -to, -factor) are ignored; -nonm and the
+// output flags still apply. -dump-scenario prints the effective spec as JSON
+// to stdout (and its content ID to stderr) and exits. SIGINT/SIGTERM cancel
+// the simulation at the next per-customer solve boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nmdetect/internal/attack"
-	"nmdetect/internal/community"
 	"nmdetect/internal/rng"
+	"nmdetect/internal/scenario"
 	"nmdetect/internal/traceio"
 )
 
@@ -37,48 +48,67 @@ func main() {
 		factor   = flag.Float64("factor", 0.5, "scale attack factor")
 		out      = flag.String("o", "", "write the trace to this file instead of stdout")
 		histFile = flag.String("history", "", "also write the forecaster-training history CSV here")
+		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
+		dumpScen = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
 	)
 	flag.Parse()
 
-	cfg := community.DefaultConfig(*n, *seed)
-	cfg.GameSweeps = *sweeps
-	cfg.Workers = *workers
-	cfg.GameJacobiBlock = *jacobi
-	engine, err := community.NewEngine(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Flag-built spec: nmsim's -attack none means "no campaign at all",
+	// which the spec expresses as attack kind "none" (identity payload).
+	spec := scenario.Default(*n, *seed)
+	spec.Horizon.SimDays = *days
+	spec.Game.Sweeps = *sweeps
+	spec.Game.Workers = *workers
+	spec.Game.JacobiBlock = *jacobi
+	spec.Attack = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
+	campaignWanted := *atkStr != "none"
+	if *scenRef != "" {
+		var err error
+		if spec, err = scenario.Resolve(*scenRef); err != nil {
+			fatal(err)
+		}
+		campaignWanted = spec.Attack.Kind != "none"
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dumpScen {
+		if err := spec.Save(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, spec.ID())
+		return
+	}
+
+	engine, err := spec.NewEngine()
 	if err != nil {
 		fatal(err)
 	}
 
-	var atk attack.Attack
-	switch *atkStr {
-	case "zero":
-		atk = attack.ZeroWindow{From: *from, To: *to}
-	case "scale":
-		atk = attack.ScaleWindow{From: *from, To: *to, Factor: *factor}
-	case "invert":
-		atk = attack.Invert{}
-	case "none":
-		atk = nil
-	default:
-		fatal(fmt.Errorf("unknown attack %q", *atkStr))
-	}
-
 	netMetering := !*noNM
+	simDays := spec.Horizon.SimDays
 	var rows []traceio.Row
-	for d := 0; d < *days; d++ {
-		env, err := engine.PrepareDay(netMetering)
+	for d := 0; d < simDays; d++ {
+		env, err := engine.PrepareDay(ctx, netMetering)
 		if err != nil {
 			fatal(err)
 		}
 		var camp *attack.Campaign
-		if atk != nil && d == *days-1 {
-			camp, err = attack.NewCampaign(*n, 0, 1, 1, atk)
+		if campaignWanted && d == simDays-1 {
+			atk, err := spec.BuildAttack()
 			if err != nil {
 				fatal(err)
 			}
-			camp.HackNow(*n, rng.New(*seed).Derive("nmsim-attack"))
+			camp, err = attack.NewCampaign(spec.N, 0, 1, 1, atk)
+			if err != nil {
+				fatal(err)
+			}
+			camp.HackNow(spec.N, rng.New(spec.Seed).Derive("nmsim-attack"))
 		}
-		trace, err := engine.SimulateDay(env, camp, netMetering, nil)
+		trace, err := engine.SimulateDay(ctx, env, camp, netMetering, nil)
 		if err != nil {
 			fatal(err)
 		}

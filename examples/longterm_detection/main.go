@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,12 +17,13 @@ import (
 func main() {
 	const n = 60
 	const days = 2
+	ctx := context.Background()
 
 	run := func(aware bool) ([]*community.MonitorDayResult, *core.System) {
 		opts := core.DefaultOptions(n, 42)
 		opts.BootstrapDays = 5
 		opts.Solver = core.SolverPBVI
-		sys, err := core.NewSystem(opts)
+		sys, err := core.NewSystem(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +35,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := sys.MonitorDays(kit, camp, days, true)
+		results, err := sys.MonitorDays(ctx, kit, camp, days, true)
 		if err != nil {
 			log.Fatal(err)
 		}

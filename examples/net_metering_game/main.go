@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,21 +16,31 @@ import (
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
 	"nmdetect/internal/rng"
+	"nmdetect/internal/scenario"
 	"nmdetect/internal/solar"
-	"nmdetect/internal/tariff"
 	"nmdetect/internal/timeseries"
 )
 
 func main() {
 	const n = 30
+	ctx := context.Background()
 	src := rng.New(3)
+
+	// The world knobs come from one declarative scenario spec; its
+	// GameConfig lowering is what every detector and engine shares.
+	spec := scenario.Default(n, 3)
+	spec.Name = "net-metering-game"
+	spec.Game.Sweeps = 5
 
 	gen := household.DefaultGenerator()
 	customers, err := gen.Generate(n, src.Derive("community"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pv := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, src.Derive("solar"))
+	pv, err := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, src.Derive("solar"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A utility price with a pronounced evening peak.
 	price := make(timeseries.Series, 24)
@@ -44,21 +55,15 @@ func main() {
 		}
 	}
 
-	q, err := tariff.NewQuadratic(1.5)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	solve := func(netMetering bool) *game.Result {
-		cfg := game.DefaultConfig(q, netMetering)
-		cfg.MaxSweeps = 5
+		cfg := spec.GameConfig(netMetering)
 		var pvIn [][]float64
 		var gsrc *rng.Source
 		if netMetering {
 			pvIn = pv
 			gsrc = rng.New(99)
 		}
-		res, err := game.Solve(customers, price, pvIn, cfg, gsrc)
+		res, err := game.Solve(ctx, customers, price, pvIn, cfg, gsrc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	policy, err := pomdp.SolvePBVI(model, pomdp.DefaultPBVIOptions())
+	policy, err := pomdp.SolvePBVI(context.Background(), model, pomdp.DefaultPBVIOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 func main() {
 	const n = 40
+	ctx := context.Background()
 
 	cfg := community.DefaultConfig(n, 11)
 	engine, err := community.NewEngine(cfg)
@@ -29,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Build price history so the forecaster has something to train on.
-	if err := engine.Bootstrap(5, true); err != nil {
+	if err := engine.Bootstrap(ctx, 5, true); err != nil {
 		log.Fatal(err)
 	}
 	fc, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, forecast.DefaultOptions())
@@ -37,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	env, err := engine.PrepareDay(true)
+	env, err := engine.PrepareDay(ctx, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,13 +65,13 @@ func main() {
 		log.Fatal(err)
 	}
 	manipulated := atk.Apply(env.Published)
-	check, err := se.Check(predicted, manipulated)
+	check, err := se.Check(ctx, predicted, manipulated)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Simulate the attacked day for the realized community load.
-	trace, err := engine.SimulateDay(env, camp, true, nil)
+	trace, err := engine.SimulateDay(ctx, env, camp, true, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

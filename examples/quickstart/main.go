@@ -4,32 +4,46 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
+	"nmdetect/internal/scenario"
 )
 
 func main() {
-	// 1. Assemble the full pipeline for a 40-home community: synthetic
-	//    households with PV and batteries, a utility pricing process, SVR
-	//    price forecasters, calibrated observation channels and a solved
-	//    POMDP policy. Everything is seeded — rerunning reproduces this
-	//    output exactly.
-	opts := core.DefaultOptions(40, 7)
-	opts.BootstrapDays = 5
-	opts.Solver = core.SolverQMDP // fast approximate policy for the demo
+	ctx := context.Background()
 
+	// 1. Describe the run as a scenario: a 40-home community, seed 7, a
+	//    shorter bootstrap and the fast approximate QMDP policy for the
+	//    demo. The spec is plain data — Save it as JSON and any front end
+	//    (nmrepro/nmsim/nmdetect -scenario) reruns it bit for bit.
+	spec := scenario.Default(40, 7)
+	spec.Name = "quickstart"
+	spec.Horizon.BootstrapDays = 5
+	spec.Detector.Solver = "qmdp"
+	fmt.Printf("scenario %s (%s)\n", spec.Name, spec.ID())
+
+	// 2. Lower the spec into the full pipeline: synthetic households with
+	//    PV and batteries, a utility pricing process, SVR price
+	//    forecasters, calibrated observation channels and a solved POMDP
+	//    policy. Everything is seeded — rerunning reproduces this output
+	//    exactly.
+	opts, err := spec.CoreOptions()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("building pipeline (community, forecasters, POMDP)...")
-	sys, err := core.NewSystem(opts)
+	sys, err := core.NewSystem(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("calibrated channels: aware fp=%.3f fn=%.3f | blind fp=%.3f fn=%.3f\n",
 		sys.AwareFP, sys.AwareFN, sys.BlindFP, sys.BlindFN)
 
-	// 2. Launch the attack campaign: a hacker gradually compromises smart
+	// 3. Launch the attack campaign: a hacker gradually compromises smart
 	//    meters and zeroes the guideline price they see at 16:00-17:00,
 	//    luring their schedulable loads into a malicious peak.
 	camp, err := sys.NewCampaign()
@@ -37,14 +51,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Monitor two days (48 slots) with the net-metering-aware detector.
+	// 4. Monitor two days (48 slots) with the net-metering-aware detector.
 	//    Inspect actions repair the fleet.
-	results, err := sys.MonitorDays(sys.Aware, camp, 2, true)
+	results, err := sys.MonitorDays(ctx, sys.Aware, camp, spec.Horizon.MonitorDays, true)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Report what happened.
+	// 5. Report what happened.
 	inspections := core.TotalInspections(results)
 	fmt.Printf("\nmonitored %d slots: observation accuracy %.1f%%, realized PAR %.4f, %d inspections\n",
 		len(results)*24, 100*core.ObservationAccuracy(results), core.RealizedPAR(results), inspections)

@@ -7,28 +7,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"nmdetect/internal/core"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/scenario"
 )
 
 func main() {
-	cfg := experiments.Config{
-		N:             40,
-		Seed:          5,
-		BootstrapDays: 4,
-		GameSweeps:    3,
-		MonitorDays:   1,
-		Solver:        core.SolverQMDP,
-	}
+	// One declarative scenario describes the community; the sell-back
+	// divisor W is then swept over it.
+	spec := scenario.Default(40, 5)
+	spec.Name = "tariff-design"
+	spec.Horizon.BootstrapDays = 4
+	spec.Horizon.MonitorDays = 1
+	spec.Detector.Solver = "qmdp"
+	cfg := spec.ExperimentsConfig()
 
 	ws := []float64{1, 1.25, 1.5, 2, 3, 5, 10}
 	fmt.Printf("sweeping sell-back divisor W over %v on a %d-home community...\n\n", ws, cfg.N)
 
-	rows, err := experiments.AblationSellBack(cfg, ws)
+	rows, err := experiments.AblationSellBack(context.Background(), cfg, ws)
 	if err != nil {
 		log.Fatal(err)
 	}

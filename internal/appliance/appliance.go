@@ -104,7 +104,10 @@ func (a *Appliance) Feasible() bool {
 		return false
 	}
 	// Reachability on the quantized lattice used by the DP.
-	q := Quantum(a.Levels)
+	q, err := Quantum(a.Levels)
+	if err != nil {
+		return false // no levels: nothing can run
+	}
 	target := int(a.Energy/q + 0.5)
 	if absf(float64(target)*q-a.Energy) > 1e-6 {
 		return false // energy not representable on the level lattice
@@ -138,10 +141,10 @@ func (a *Appliance) Feasible() bool {
 
 // Quantum returns the energy quantization unit for a set of power levels: the
 // approximate greatest common divisor of the levels, floored at 0.1 kWh so DP
-// tables stay small. It panics on an empty level set.
-func Quantum(levels []float64) float64 {
+// tables stay small. An empty level set is an error.
+func Quantum(levels []float64) (float64, error) {
 	if len(levels) == 0 {
-		panic("appliance: Quantum of empty level set")
+		return 0, errors.New("appliance: Quantum of empty level set")
 	}
 	const unit = 0.1 // resolution of the integer GCD computation
 	g := 0
@@ -155,7 +158,7 @@ func Quantum(levels []float64) float64 {
 	if g <= 0 {
 		g = 1
 	}
-	return float64(g) * unit
+	return float64(g) * unit, nil
 }
 
 func gcd(a, b int) int {

@@ -97,19 +97,20 @@ func TestQuantum(t *testing.T) {
 		{[]float64{0.6, 1.0}, 0.2},
 	}
 	for _, c := range cases {
-		if got := Quantum(c.levels); math.Abs(got-c.want) > 1e-9 {
+		got, err := Quantum(c.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
 			t.Errorf("Quantum(%v) = %v, want %v", c.levels, got, c.want)
 		}
 	}
 }
 
-func TestQuantumPanicsEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Quantum(nil) did not panic")
-		}
-	}()
-	Quantum(nil)
+func TestQuantumErrorsEmpty(t *testing.T) {
+	if _, err := Quantum(nil); err == nil {
+		t.Fatal("Quantum(nil) did not error")
+	}
 }
 
 func TestCheckScheduleOK(t *testing.T) {
@@ -186,7 +187,10 @@ func TestCatalogValid(t *testing.T) {
 // maxRepresentable returns the largest lattice-representable energy <=
 // EnergyHi achievable in window slots.
 func maxRepresentable(arch Archetype, window int) float64 {
-	q := Quantum(arch.Levels)
+	q, err := Quantum(arch.Levels)
+	if err != nil {
+		return 0
+	}
 	maxLv := 0.0
 	for _, l := range arch.Levels {
 		if l > maxLv {
@@ -218,7 +222,10 @@ func TestFeasibleMatchesBruteForceProperty(t *testing.T) {
 	f := func() bool {
 		levels := []float64{0.5, 1.0, 2.0}
 		window := 1 + s.Intn(5)
-		q := Quantum(levels)
+		q, err := Quantum(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
 		maxSteps := int(2.0/q+0.5) * window
 		targetSteps := s.Intn(maxSteps + 2) // sometimes beyond capacity
 		target := float64(targetSteps) * q

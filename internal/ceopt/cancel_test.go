@@ -1,0 +1,86 @@
+package ceopt
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nmdetect/internal/parallel"
+	"nmdetect/internal/rng"
+)
+
+// countingCtx cancels itself after limit Err polls; Done returns nil so any
+// accidental blocking on Done deadlocks loudly instead of passing.
+type countingCtx struct {
+	polls atomic.Int64
+	limit int64
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool)       { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}             { return nil }
+func (c *countingCtx) Value(key interface{}) interface{} { return nil }
+func (c *countingCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += (v - 0.3) * (v - 0.3)
+	}
+	return s
+}
+
+func TestMinimizePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Minimize(ctx, sphere, []float64{0, 0}, []float64{1, 1}, nil, rng.New(1), DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out := parallel.Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked", out)
+	}
+}
+
+func TestMinimizeCancelledMidIteration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 50
+	opts.Samples = 40
+	opts.StdTol = 0 // disable early convergence so the poll budget is stable
+
+	// Budget one full run, then allow only a fraction: the optimizer must
+	// return ctx.Err() after roughly one iteration's worth of polls.
+	probe := &countingCtx{limit: 1 << 60}
+	if _, err := Minimize(probe, sphere, []float64{0, 0}, []float64{1, 1}, nil, rng.New(2), opts); err != nil {
+		t.Fatal(err)
+	}
+	full := probe.polls.Load()
+	perIter := full / int64(opts.MaxIter)
+	if perIter < 1 {
+		t.Fatalf("optimizer polled ctx only %d times over %d iterations", full, opts.MaxIter)
+	}
+
+	ctx := &countingCtx{limit: perIter * 3}
+	res, err := Minimize(ctx, sphere, []float64{0, 0}, []float64{1, 1}, nil, rng.New(2), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ctx.polls.Load(); got > perIter*6 {
+		t.Fatalf("cancelled optimizer kept polling: %d polls, one iteration is ~%d", got, perIter)
+	}
+	// The contract promises a feasible best-so-far point alongside ctx.Err().
+	for d, v := range res.X {
+		if v < 0 || v > 1 {
+			t.Fatalf("best-so-far X[%d] = %v outside bounds", d, v)
+		}
+	}
+	if out := parallel.Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked after cancelled optimize", out)
+	}
+}

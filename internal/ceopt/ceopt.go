@@ -13,6 +13,7 @@
 package ceopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -114,7 +115,12 @@ type Result struct {
 // Minimize runs cross-entropy optimization of f over the box [lo, hi]^d.
 // The initial sampling mean may be supplied via init (nil means box center).
 // The source must not be nil.
-func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, opts Options) (Result, error) {
+//
+// The context is polled once per CE iteration: cancelling it makes Minimize
+// return ctx.Err() together with the best result found so far (X is always a
+// feasible point once the initial evaluation has run). A nil ctx never
+// cancels.
+func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64, src *rng.Source, opts Options) (Result, error) {
 	if f == nil {
 		return Result{}, errors.New("ceopt: nil objective")
 	}
@@ -176,6 +182,11 @@ func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, op
 	}
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		res.Iterations = iter + 1
 		// Draw the entire population first, sequentially on the single
 		// source — the stream (and therefore every candidate) is unchanged
@@ -191,7 +202,7 @@ func Minimize(f Objective, lo, hi []float64, init []float64, src *rng.Source, op
 		}
 		// Evaluate candidates, fanning out when Workers > 1; each worker
 		// writes only its own sample's f field.
-		if err := parallel.ForEach(evalWorkers, len(pop), func(k int) error {
+		if err := parallel.ForEach(ctx, evalWorkers, len(pop), func(k int) error {
 			pop[k].f = f(pop[k].x)
 			return nil
 		}); err != nil {

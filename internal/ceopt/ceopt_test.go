@@ -1,6 +1,7 @@
 package ceopt
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestMinimizeSphere(t *testing.T) {
 		}
 		return s
 	}
-	res, err := Minimize(f, lo, hi, nil, rng.New(42), DefaultOptions())
+	res, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(42), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestMinimizeBoundaryOptimum(t *testing.T) {
 		}
 		return s
 	}
-	res, err := Minimize(f, lo, hi, nil, rng.New(1), DefaultOptions())
+	res, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(1), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMinimizeNonConvex(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Samples = 100
 	opts.MaxIter = 60
-	res, err := Minimize(f, []float64{0}, []float64{4}, nil, rng.New(7), opts)
+	res, err := Minimize(context.Background(), f, []float64{0}, []float64{4}, nil, rng.New(7), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestMinimizeRespectsInit(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.InitStdFrac = 0.05 // stay local
-	res, err := Minimize(f, []float64{0}, []float64{10}, []float64{9.2}, rng.New(3), opts)
+	res, err := Minimize(context.Background(), f, []float64{0}, []float64{10}, []float64{9.2}, rng.New(3), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestMinimizeRespectsInit(t *testing.T) {
 
 func TestMinimizeInitClamped(t *testing.T) {
 	f := func(x []float64) float64 { return x[0] }
-	res, err := Minimize(f, []float64{0}, []float64{1}, []float64{99}, rng.New(5), DefaultOptions())
+	res, err := Minimize(context.Background(), f, []float64{0}, []float64{1}, []float64{99}, rng.New(5), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +148,11 @@ func TestMinimizeInitClamped(t *testing.T) {
 func TestMinimizeDeterministic(t *testing.T) {
 	f := func(x []float64) float64 { return mat.Dot(x, x) }
 	lo, hi := box(3, -5, 5)
-	a, err := Minimize(f, lo, hi, nil, rng.New(11), DefaultOptions())
+	a, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(11), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Minimize(f, lo, hi, nil, rng.New(11), DefaultOptions())
+	b, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(11), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestMinimizeDeterministic(t *testing.T) {
 func TestMinimizeDegenerateBox(t *testing.T) {
 	// One coordinate is pinned (lo == hi).
 	f := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
-	res, err := Minimize(f, []float64{2, -1}, []float64{2, 1}, nil, rng.New(13), DefaultOptions())
+	res, err := Minimize(context.Background(), f, []float64{2, -1}, []float64{2, 1}, nil, rng.New(13), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,27 +183,27 @@ func TestMinimizeDegenerateBox(t *testing.T) {
 
 func TestMinimizeErrors(t *testing.T) {
 	f := func(x []float64) float64 { return 0 }
-	if _, err := Minimize(nil, []float64{0}, []float64{1}, nil, rng.New(1), DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), nil, []float64{0}, []float64{1}, nil, rng.New(1), DefaultOptions()); err == nil {
 		t.Error("nil objective accepted")
 	}
-	if _, err := Minimize(f, []float64{0}, []float64{1}, nil, nil, DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), f, []float64{0}, []float64{1}, nil, nil, DefaultOptions()); err == nil {
 		t.Error("nil source accepted")
 	}
-	if _, err := Minimize(f, nil, nil, nil, rng.New(1), DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), f, nil, nil, nil, rng.New(1), DefaultOptions()); err == nil {
 		t.Error("empty box accepted")
 	}
-	if _, err := Minimize(f, []float64{0, 0}, []float64{1}, nil, rng.New(1), DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), f, []float64{0, 0}, []float64{1}, nil, rng.New(1), DefaultOptions()); err == nil {
 		t.Error("mismatched box accepted")
 	}
-	if _, err := Minimize(f, []float64{1}, []float64{0}, nil, rng.New(1), DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), f, []float64{1}, []float64{0}, nil, rng.New(1), DefaultOptions()); err == nil {
 		t.Error("inverted box accepted")
 	}
-	if _, err := Minimize(f, []float64{0}, []float64{1}, []float64{0, 0}, rng.New(1), DefaultOptions()); err == nil {
+	if _, err := Minimize(context.Background(), f, []float64{0}, []float64{1}, []float64{0, 0}, rng.New(1), DefaultOptions()); err == nil {
 		t.Error("mismatched init accepted")
 	}
 	bad := DefaultOptions()
 	bad.Samples = 0
-	if _, err := Minimize(f, []float64{0}, []float64{1}, nil, rng.New(1), bad); err == nil {
+	if _, err := Minimize(context.Background(), f, []float64{0}, []float64{1}, nil, rng.New(1), bad); err == nil {
 		t.Error("invalid options accepted")
 	}
 }
@@ -212,7 +213,7 @@ func TestMinimizeConvergenceReported(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxIter = 200
 	opts.MinStd = 0 // allow full collapse so StdTol can fire
-	res, err := Minimize(f, []float64{-1}, []float64{1}, nil, rng.New(17), opts)
+	res, err := Minimize(context.Background(), f, []float64{-1}, []float64{1}, nil, rng.New(17), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestMinimizeEvaluationBudget(t *testing.T) {
 	opts.MaxIter = 5
 	opts.StdTol = 0 // never converge early
 	opts.MinStd = 0.01
-	res, err := Minimize(f, []float64{0}, []float64{1}, nil, rng.New(19), opts)
+	res, err := Minimize(context.Background(), f, []float64{0}, []float64{1}, nil, rng.New(19), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestMinimizeNeverWorseThanInitProperty(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Samples = 20
 		opts.MaxIter = 8
-		res, err := Minimize(obj, lo, hi, init, src.Derive("run"), opts)
+		res, err := Minimize(context.Background(), obj, lo, hi, init, src.Derive("run"), opts)
 		if err != nil {
 			return false
 		}
@@ -300,7 +301,7 @@ func TestMinimizeHighDimensionalTrajectory(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Samples = 200
 	opts.MaxIter = 80
-	res, err := Minimize(f, lo, hi, nil, rng.New(23), opts)
+	res, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(23), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,14 +334,14 @@ func TestMinimizeParallelEvaluationBitwiseIdentical(t *testing.T) {
 	opts.Samples = 40
 	opts.MaxIter = 15
 
-	seq, err := Minimize(f, lo, hi, nil, rng.New(99), opts)
+	seq, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(99), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
 		popts := opts
 		popts.Workers = workers
-		par, err := Minimize(f, lo, hi, nil, rng.New(99), popts)
+		par, err := Minimize(context.Background(), f, lo, hi, nil, rng.New(99), popts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package community
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestBootstrapAccumulatesHistory(t *testing.T) {
 	e := testEngine(t, 15, 42)
-	if err := e.Bootstrap(3, true); err != nil {
+	if err := e.Bootstrap(context.Background(), 3, true); err != nil {
 		t.Fatal(err)
 	}
 	if e.History().Len() != 72 {
@@ -67,7 +68,7 @@ func TestBootstrapAccumulatesHistory(t *testing.T) {
 
 func TestPrepareDayShapes(t *testing.T) {
 	e := testEngine(t, 10, 7)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestPrepareDayShapes(t *testing.T) {
 
 func TestSimulateDayCleanNoCampaign(t *testing.T) {
 	e := testEngine(t, 12, 9)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace, err := e.SimulateDay(env, nil, true, nil)
+	trace, err := e.SimulateDay(context.Background(), env, nil, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSimulateDayCleanNoCampaign(t *testing.T) {
 
 func TestSimulateDayWithCampaign(t *testing.T) {
 	e := testEngine(t, 12, 11)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSimulateDayWithCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace, err := e.SimulateDay(env, camp, true, nil)
+	trace, err := e.SimulateDay(context.Background(), env, camp, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSimulateDayWithCampaign(t *testing.T) {
 
 func TestSimulateDayCampaignSizeMismatch(t *testing.T) {
 	e := testEngine(t, 12, 11)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +157,14 @@ func TestSimulateDayCampaignSizeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.SimulateDay(env, camp, true, nil); err == nil {
+	if _, err := e.SimulateDay(context.Background(), env, camp, true, nil); err == nil {
 		t.Fatal("mismatched campaign accepted")
 	}
 }
 
 func TestInspectCallbackRepairs(t *testing.T) {
 	e := testEngine(t, 12, 13)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +173,8 @@ func TestInspectCallbackRepairs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Inspect at slot 10.
-	trace, err := e.SimulateDay(env, camp, true, func(h int, tr *DayTrace) bool {
-		return h == 10
+	trace, err := e.SimulateDay(context.Background(), env, camp, true, func(h int, tr *DayTrace) (bool, error) {
+		return h == 10, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +194,7 @@ func TestInspectCallbackRepairs(t *testing.T) {
 // buildKits boots an engine and assembles both detector variants.
 func buildKits(t *testing.T, e *Engine) (aware, blind *DetectorKit) {
 	t.Helper()
-	if err := e.Bootstrap(4, true); err != nil {
+	if err := e.Bootstrap(context.Background(), 4, true); err != nil {
 		t.Fatal(err)
 	}
 	fopts := forecast.DefaultOptions()
@@ -215,11 +216,11 @@ func TestChannelRatesAwareBeatsBlind(t *testing.T) {
 	aware, blind := buildKits(t, e)
 	atk := attack.ZeroWindow{From: 16, To: 17}
 
-	fpA, fnA, err := e.ChannelRates(aware, 0.5, atk)
+	fpA, fnA, err := e.ChannelRates(context.Background(), aware, 0.5, atk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fpB, fnB, err := e.ChannelRates(blind, 0.5, atk)
+	fpB, fnB, err := e.ChannelRates(context.Background(), blind, 0.5, atk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +242,14 @@ func TestChannelRatesAwareBeatsBlind(t *testing.T) {
 func TestChannelRatesValidation(t *testing.T) {
 	e := testEngine(t, 10, 23)
 	aware, _ := buildKits(t, e)
-	if _, _, err := e.ChannelRates(aware, 0, attack.None{}); err == nil {
+	if _, _, err := e.ChannelRates(context.Background(), aware, 0, attack.None{}); err == nil {
 		t.Error("zero fraction accepted")
 	}
-	if _, _, err := e.ChannelRates(aware, 1, attack.None{}); err == nil {
+	if _, _, err := e.ChannelRates(context.Background(), aware, 1, attack.None{}); err == nil {
 		t.Error("full fraction accepted")
 	}
 	bad := &DetectorKit{Name: "bad", FlagTau: 0.5}
-	if _, _, err := e.ChannelRates(bad, 0.5, attack.None{}); err == nil {
+	if _, _, err := e.ChannelRates(context.Background(), bad, 0.5, attack.None{}); err == nil {
 		t.Error("kit without forecaster accepted")
 	}
 }
@@ -263,7 +264,7 @@ func TestMonitorDayEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-8, 2000)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-8, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestMonitorDayEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.MonitorDay(aware, camp, params.Buckets, true)
+	res, err := e.MonitorDay(context.Background(), aware, camp, params.Buckets, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestMonitorDayStatePersistsAcrossDays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-8, 2000)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-8, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,14 +332,14 @@ func TestMonitorDayStatePersistsAcrossDays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.MonitorDay(aware, camp, params.Buckets, true); err != nil {
+	if _, err := e.MonitorDay(context.Background(), aware, camp, params.Buckets, true); err != nil {
 		t.Fatal(err)
 	}
 	stepsAfterDay1 := aware.LongTerm.Steps
 	if stepsAfterDay1 != 24 {
 		t.Fatalf("steps after day 1 = %d", stepsAfterDay1)
 	}
-	if _, err := e.MonitorDay(aware, camp, params.Buckets, true); err != nil {
+	if _, err := e.MonitorDay(context.Background(), aware, camp, params.Buckets, true); err != nil {
 		t.Fatal(err)
 	}
 	// The POMDP and the flagger carry across days: step counter accumulates.
@@ -351,7 +352,7 @@ func TestMonitorDayRequiresLongTerm(t *testing.T) {
 	e := testEngine(t, 10, 33)
 	aware, _ := buildKits(t, e)
 	buckets, _ := detect.NewBucketizer([]int{2})
-	if _, err := e.MonitorDay(aware, nil, buckets, true); err == nil {
+	if _, err := e.MonitorDay(context.Background(), aware, nil, buckets, true); err == nil {
 		t.Fatal("kit without long-term detector accepted")
 	}
 }
@@ -359,7 +360,7 @@ func TestMonitorDayRequiresLongTerm(t *testing.T) {
 func TestSingleEventKitDetectsCommunityAttack(t *testing.T) {
 	e := testEngine(t, 15, 35)
 	aware, _ := buildKits(t, e)
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,11 +372,11 @@ func TestSingleEventKitDetectsCommunityAttack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := aware.ExpectedProfiles(e, env, env.Published); err != nil {
+	if _, err := aware.ExpectedProfiles(context.Background(), e, env, env.Published); err != nil {
 		t.Fatal(err)
 	}
 	attacked := attack.ZeroWindow{From: 16, To: 17}.Apply(env.Published)
-	res, err := se.Check(price, attacked)
+	res, err := se.Check(context.Background(), price, attacked)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestWeatherIsCommunityWide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,10 +428,10 @@ func TestDemandForecastBasis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Bootstrap(5, true); err != nil {
+	if err := e.Bootstrap(context.Background(), 5, true); err != nil {
 		t.Fatal(err)
 	}
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,10 +448,10 @@ func TestDemandForecastBasis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.Bootstrap(5, true); err != nil {
+	if err := e2.Bootstrap(context.Background(), 5, true); err != nil {
 		t.Fatal(err)
 	}
-	env2, err := e2.PrepareDay(true)
+	env2, err := e2.PrepareDay(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +470,7 @@ func TestDemandForecastBasis(t *testing.T) {
 func TestEngineDeterminism(t *testing.T) {
 	run := func() []float64 {
 		e := testEngine(t, 10, 77)
-		if err := e.Bootstrap(2, true); err != nil {
+		if err := e.Bootstrap(context.Background(), 2, true); err != nil {
 			t.Fatal(err)
 		}
 		return e.History().Demand
@@ -500,7 +501,7 @@ func TestEngineParallelismDoesNotChangeResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		env, err := e.PrepareDay(true)
+		env, err := e.PrepareDay(context.Background(), true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -508,7 +509,7 @@ func TestEngineParallelismDoesNotChangeResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		trace, err := e.SimulateDay(env, camp, true, nil)
+		trace, err := e.SimulateDay(context.Background(), env, camp, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

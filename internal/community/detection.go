@@ -1,6 +1,7 @@
 package community
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -85,7 +86,7 @@ func (k *DetectorKit) PredictPrice(e *Engine, env *DayEnvironment) (timeseries.S
 // published; the open question is how meters respond), while single-event
 // checks pass the *predicted* price. Must be called after PrepareDay (the
 // NM-aware model uses the environment's per-meter renewable forecasts).
-func (k *DetectorKit) ExpectedProfiles(e *Engine, env *DayEnvironment, price timeseries.Series) ([][]float64, error) {
+func (k *DetectorKit) ExpectedProfiles(ctx context.Context, e *Engine, env *DayEnvironment, price timeseries.Series) ([][]float64, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func (k *DetectorKit) ExpectedProfiles(e *Engine, env *DayEnvironment, price tim
 	if err != nil {
 		return nil, err
 	}
-	res, err := pred.Predict(price)
+	res, err := pred.Predict(ctx, price)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func (k *DetectorKit) ExpectedProfiles(e *Engine, env *DayEnvironment, price tim
 // historical data" step of Section 4.2. All kits observe the same days, so
 // their corrections are directly comparable. The engine's day counter and
 // history advance, as with Bootstrap.
-func (e *Engine) LearnBaselines(days int, kits ...*DetectorKit) error {
+func (e *Engine) LearnBaselines(ctx context.Context, days int, kits ...*DetectorKit) error {
 	if days < 1 {
 		return fmt.Errorf("community: baseline days %d must be positive", days)
 	}
@@ -139,18 +140,23 @@ func (e *Engine) LearnBaselines(days int, kits ...*DetectorKit) error {
 		}
 	}
 	for d := 0; d < days; d++ {
-		env, err := e.PrepareDay(true)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		env, err := e.PrepareDay(ctx, true)
 		if err != nil {
 			return err
 		}
 		expecteds := make([][][]float64, len(kits))
 		for ki, kit := range kits {
-			expecteds[ki], err = kit.ExpectedProfiles(e, env, env.Published)
+			expecteds[ki], err = kit.ExpectedProfiles(ctx, e, env, env.Published)
 			if err != nil {
 				return err
 			}
 		}
-		trace, err := e.SimulateDay(env, nil, true, nil)
+		trace, err := e.SimulateDay(ctx, env, nil, true, nil)
 		if err != nil {
 			return err
 		}
@@ -200,7 +206,7 @@ type MonitorDayResult struct {
 // inspect action repairs the campaign. buckets must match the kit's long-term
 // detector. Set enforce to false to monitor without repairing (pure
 // observation, as in Figure 6's accuracy measurement).
-func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets detect.Bucketizer, enforce bool) (*MonitorDayResult, error) {
+func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.Campaign, buckets detect.Bucketizer, enforce bool) (*MonitorDayResult, error) {
 	if kit.LongTerm == nil {
 		return nil, errors.New("community: kit has no long-term detector")
 	}
@@ -210,7 +216,7 @@ func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets det
 	// Without enforcement, inspections are advisory: the belief must not
 	// assume the fleet was repaired.
 	kit.LongTerm.DryRun = !enforce
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +224,7 @@ func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets det
 	if err != nil {
 		return nil, err
 	}
-	expected, err := kit.ExpectedProfiles(e, env, env.Published)
+	expected, err := kit.ExpectedProfiles(ctx, e, env, env.Published)
 	if err != nil {
 		return nil, err
 	}
@@ -232,15 +238,14 @@ func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets det
 		TrueBucket:     make([]int, 24),
 		Actions:        make([]int, 24),
 	}
-	inspect := func(h int, trace *DayTrace) bool {
+	inspect := func(h int, trace *DayTrace) (bool, error) {
 		flagged, err := kit.flagger.Observe(expected, trace.RealizedMeter, h)
 		if err != nil {
-			// The shapes are fixed by construction; a failure here is a bug.
-			panic(fmt.Sprintf("community: flag channel: %v", err))
+			return false, fmt.Errorf("community: flag channel: %w", err)
 		}
 		est, err := detect.EstimateHacked(flagged, e.cfg.N, kit.FP, kit.FN)
 		if err != nil {
-			panic(fmt.Sprintf("community: estimate: %v", err))
+			return false, fmt.Errorf("community: estimate from %d flagged: %w", flagged, err)
 		}
 		action, obs := kit.LongTerm.Step(est)
 		res.Flagged[h] = flagged
@@ -252,11 +257,11 @@ func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets det
 		if enforce && action == detect.ActionInspect {
 			// Past deviations belong to the pre-repair fleet state.
 			kit.flagger.Reset()
-			return true
+			return true, nil
 		}
-		return false
+		return false, nil
 	}
-	trace, err := e.SimulateDay(env, camp, true, inspect)
+	trace, err := e.SimulateDay(ctx, env, camp, true, inspect)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +274,7 @@ func (e *Engine) MonitorDay(kit *DetectorKit, camp *attack.Campaign, buckets det
 // known compromised fraction and comparing flags against ground truth. The
 // engine's utility state (history, day counter, demand basis) is restored
 // afterwards, so calibration does not perturb the simulation.
-func (e *Engine) ChannelRates(kit *DetectorKit, hackedFrac float64, atk attack.Attack) (fp, fn float64, err error) {
+func (e *Engine) ChannelRates(ctx context.Context, kit *DetectorKit, hackedFrac float64, atk attack.Attack) (fp, fn float64, err error) {
 	if hackedFrac <= 0 || hackedFrac >= 1 {
 		return 0, 0, fmt.Errorf("community: hacked fraction %v out of (0,1)", hackedFrac)
 	}
@@ -298,15 +303,15 @@ func (e *Engine) ChannelRates(kit *DetectorKit, hackedFrac float64, atk attack.A
 	}
 	camp.HackNow(batch, e.src.Derive("calibration"))
 
-	env, err := e.PrepareDay(true)
+	env, err := e.PrepareDay(ctx, true)
 	if err != nil {
 		return 0, 0, err
 	}
-	expected, err := kit.ExpectedProfiles(e, env, env.Published)
+	expected, err := kit.ExpectedProfiles(ctx, e, env, env.Published)
 	if err != nil {
 		return 0, 0, err
 	}
-	trace, err := e.SimulateDay(env, camp, true, nil)
+	trace, err := e.SimulateDay(ctx, env, camp, true, nil)
 	if err != nil {
 		return 0, 0, err
 	}

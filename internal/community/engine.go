@@ -23,6 +23,7 @@
 package community
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,17 +85,13 @@ type Config struct {
 
 // DefaultConfig mirrors the paper's simulation setup.
 func DefaultConfig(n int, seed uint64) Config {
-	q, err := tariff.NewQuadratic(1.5)
-	if err != nil {
-		panic(err) // W=1.5 is statically valid
-	}
 	return Config{
 		N:         n,
 		Seed:      seed,
 		Generator: household.DefaultGenerator(),
 		Solar:     solar.DefaultModel(),
 		Formation: tariff.DefaultFormation(),
-		Tariff:    q,
+		Tariff:    tariff.Quadratic{W: 1.5},
 		// The paper assumes θ is "approximately known in advance through
 		// prediction"; the default makes the day-ahead PV forecast exact.
 		// Non-zero values are an ablation knob: the cross-entropy battery
@@ -122,6 +119,9 @@ func (c Config) Validate() error {
 	}
 	if c.GameJacobiBlock < 0 {
 		return fmt.Errorf("community: negative Jacobi block size %d", c.GameJacobiBlock)
+	}
+	if c.Tariff.W < 1 {
+		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1", c.Tariff.W)
 	}
 	if err := c.Solar.Validate(); err != nil {
 		return err
@@ -217,8 +217,9 @@ type DayEnvironment struct {
 // PrepareDay draws the day's weather and PV generation and publishes the
 // guideline price. netMetering controls whether the utility discounts the
 // renewable forecast when pricing (true reproduces the paper's deployed-net-
-// metering setting).
-func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
+// metering setting). Cancelling the context aborts between per-customer PV
+// draws and returns ctx.Err(); a nil ctx never cancels.
+func (e *Engine) PrepareDay(ctx context.Context, netMetering bool) (*DayEnvironment, error) {
 	daySrc := e.src.Derive(fmt.Sprintf("day-%d", e.day))
 	env := &DayEnvironment{
 		Weather:    e.cfg.Solar.DrawWeather(daySrc.Derive("weather")),
@@ -228,7 +229,7 @@ func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
 	// Per-customer generation is embarrassingly parallel: each customer
 	// draws from a stream derived from its own ID (derivation does not
 	// advance daySrc) and fills only its own row.
-	if err := parallel.ForEach(e.cfg.Workers, len(e.customers), func(i int) error {
+	if err := parallel.ForEach(ctx, e.cfg.Workers, len(e.customers), func(i int) error {
 		c := e.customers[i]
 		csrc := daySrc.Derive(fmt.Sprintf("pv-%d", c.ID))
 		if c.HasPV() {
@@ -243,9 +244,17 @@ func (e *Engine) PrepareDay(netMetering bool) (*DayEnvironment, error) {
 	}); err != nil {
 		return nil, err
 	}
-	env.Renewable = solar.Aggregate(toSeries(env.PV))
-	env.RenewableForecast = solar.Aggregate(toSeries(env.PVForecast))
-	env.Published = e.cfg.Formation.Publish(e.demandBasis(), env.RenewableForecast, e.cfg.N, netMetering, daySrc.Derive("price-noise"))
+	var err error
+	if env.Renewable, err = solar.Aggregate(toSeries(env.PV)); err != nil {
+		return nil, err
+	}
+	if env.RenewableForecast, err = solar.Aggregate(toSeries(env.PVForecast)); err != nil {
+		return nil, err
+	}
+	env.Published, err = e.cfg.Formation.Publish(e.demandBasis(), env.RenewableForecast, e.cfg.N, netMetering, daySrc.Derive("price-noise"))
+	if err != nil {
+		return nil, err
+	}
 	return env, nil
 }
 
@@ -304,13 +313,16 @@ type DayTrace struct {
 
 // InspectFn is consulted after each slot with the slot index and the per-slot
 // flagged counts gathered so far; returning true triggers an immediate
-// inspection (repair). Pass nil for no detection.
-type InspectFn func(slot int, realized *DayTrace) bool
+// inspection (repair). Pass nil for no detection. A returned error aborts the
+// day and propagates out of SimulateDay.
+type InspectFn func(slot int, realized *DayTrace) (bool, error)
 
 // SimulateDay runs one day under the campaign. The campaign's state persists
 // across calls; inspections repair it. netMetering selects the community
-// model (PV+battery vs plain consumption).
-func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMetering bool, inspect InspectFn) (*DayTrace, error) {
+// model (PV+battery vs plain consumption). Cancelling the context aborts the
+// underlying game solves (see game.Solve) and returns ctx.Err(); a cancelled
+// day does not advance the engine's utility state.
+func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *attack.Campaign, netMetering bool, inspect InspectFn) (*DayTrace, error) {
 	if env == nil {
 		return nil, errors.New("community: nil day environment")
 	}
@@ -336,7 +348,7 @@ func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMete
 			if netMetering {
 				src = rng.New(e.ControllerSeed())
 			}
-			res, err := game.Solve(e.customers, price, pv, cfg, src)
+			res, err := game.Solve(ctx, e.customers, price, pv, cfg, src)
 			if err != nil {
 				return err
 			}
@@ -349,7 +361,7 @@ func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMete
 	if camp != nil {
 		tasks = append(tasks, solve(camp.Attack.Apply(env.Published), &attacked))
 	}
-	if err := parallel.Do(e.cfg.Workers, tasks...); err != nil {
+	if err := parallel.Do(ctx, e.cfg.Workers, tasks...); err != nil {
 		return nil, err
 	}
 
@@ -395,11 +407,17 @@ func (e *Engine) SimulateDay(env *DayEnvironment, camp *attack.Campaign, netMete
 		}
 		trace.GridDemand[h] = sumY
 		trace.Load[h] = sumL
-		if inspect != nil && inspect(h, trace) {
-			if camp != nil {
-				camp.Repair()
+		if inspect != nil {
+			repair, err := inspect(h, trace)
+			if err != nil {
+				return nil, fmt.Errorf("community: inspect at slot %d: %w", h, err)
 			}
-			trace.RepairedAt = append(trace.RepairedAt, h)
+			if repair {
+				if camp != nil {
+					camp.Repair()
+				}
+				trace.RepairedAt = append(trace.RepairedAt, h)
+			}
 		}
 	}
 
@@ -423,17 +441,23 @@ func meterFlows(res *game.Result, netMetering bool) [][]float64 {
 }
 
 // Bootstrap simulates `days` clean (attack-free) days to accumulate the
-// history the forecasters train on.
-func (e *Engine) Bootstrap(days int, netMetering bool) error {
+// history the forecasters train on. The context is checked before every day
+// in addition to the per-solve granularity inside.
+func (e *Engine) Bootstrap(ctx context.Context, days int, netMetering bool) error {
 	if days < 1 {
 		return fmt.Errorf("community: bootstrap days %d must be positive", days)
 	}
 	for d := 0; d < days; d++ {
-		env, err := e.PrepareDay(netMetering)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		env, err := e.PrepareDay(ctx, netMetering)
 		if err != nil {
 			return err
 		}
-		if _, err := e.SimulateDay(env, nil, netMetering, nil); err != nil {
+		if _, err := e.SimulateDay(ctx, env, nil, netMetering, nil); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nmdetect/internal/parallel"
+)
+
+// countingCtx cancels itself after limit Err polls; Done returns nil so any
+// accidental blocking on Done deadlocks loudly instead of passing.
+type countingCtx struct {
+	polls atomic.Int64
+	limit int64
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool)       { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}             { return nil }
+func (c *countingCtx) Value(key interface{}) interface{} { return nil }
+func (c *countingCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestNewSystemPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSystem(ctx, smallOptions(12, 51)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out := parallel.Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked", out)
+	}
+}
+
+func TestNewSystemCancelledMidBuild(t *testing.T) {
+	// Let the build run a short while, then cancel: the bootstrap/training
+	// pipeline must surface context.Canceled instead of finishing.
+	ctx := &countingCtx{limit: 30}
+	if _, err := NewSystem(ctx, smallOptions(12, 52)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out := parallel.Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked from cancelled build", out)
+	}
+}
+
+func TestMonitorDaysCancelledMidRun(t *testing.T) {
+	sys, err := NewSystem(context.Background(), smallOptions(12, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := sys.NewCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-cancelled context aborts before the first day.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.MonitorDays(pre, sys.Aware, camp, 2, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+
+	// Budget one full 2-day run, then allow about half: the loop must
+	// return ctx.Err() without simulating every day.
+	camp2, err := sys.NewCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &countingCtx{limit: 1 << 60}
+	if _, err := sys.MonitorDays(probe, sys.Aware, camp2, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	full := probe.polls.Load()
+	if full < 2 {
+		t.Fatalf("monitor loop polled ctx only %d times over 2 days", full)
+	}
+
+	camp3, err := sys.NewCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countingCtx{limit: full / 2}
+	if _, err := sys.MonitorDays(ctx, sys.Aware, camp3, 2, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run err = %v, want context.Canceled", err)
+	}
+	if out := parallel.Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked from cancelled monitoring", out)
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -150,8 +151,10 @@ type System struct {
 	opts Options
 }
 
-// NewSystem runs the full offline phase and returns a ready pipeline.
-func NewSystem(opts Options) (*System, error) {
+// NewSystem runs the full offline phase and returns a ready pipeline. The
+// context cancels the bootstrap simulation, baseline learning, channel
+// calibration and POMDP policy solves; a nil ctx never cancels.
+func NewSystem(ctx context.Context, opts Options) (*System, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,7 +162,7 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(opts.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, opts.BootstrapDays, true); err != nil {
 		return nil, err
 	}
 
@@ -181,16 +184,16 @@ func NewSystem(opts Options) (*System, error) {
 
 	// Baseline learning: both kits observe the same clean days, recording
 	// their systematic per-meter expectation errors.
-	if err := engine.LearnBaselines(opts.BaselineDays, sys.Aware, sys.Blind); err != nil {
+	if err := engine.LearnBaselines(ctx, opts.BaselineDays, sys.Aware, sys.Blind); err != nil {
 		return nil, fmt.Errorf("core: baseline learning: %w", err)
 	}
 
-	sys.AwareFP, sys.AwareFN, err = engine.ChannelRates(sys.Aware, opts.CalibFrac, opts.Attack)
+	sys.AwareFP, sys.AwareFN, err = engine.ChannelRates(ctx, sys.Aware, opts.CalibFrac, opts.Attack)
 	if err != nil {
 		return nil, fmt.Errorf("core: aware channel calibration: %w", err)
 	}
 	sys.Aware.FP, sys.Aware.FN = sys.AwareFP, sys.AwareFN
-	sys.BlindFP, sys.BlindFN, err = engine.ChannelRates(sys.Blind, opts.CalibFrac, opts.Attack)
+	sys.BlindFP, sys.BlindFN, err = engine.ChannelRates(ctx, sys.Blind, opts.CalibFrac, opts.Attack)
 	if err != nil {
 		return nil, fmt.Errorf("core: blind channel calibration: %w", err)
 	}
@@ -201,18 +204,18 @@ func NewSystem(opts Options) (*System, error) {
 	params.BatchLo, params.BatchHi = opts.BatchLo, opts.BatchHi
 	sys.Buckets = params.Buckets
 
-	sys.Aware.LongTerm, err = sys.buildLongTerm(params, sys.AwareFP, sys.AwareFN)
+	sys.Aware.LongTerm, err = sys.buildLongTerm(ctx, params, sys.AwareFP, sys.AwareFN)
 	if err != nil {
 		return nil, err
 	}
-	sys.Blind.LongTerm, err = sys.buildLongTerm(params, sys.BlindFP, sys.BlindFN)
+	sys.Blind.LongTerm, err = sys.buildLongTerm(ctx, params, sys.BlindFP, sys.BlindFN)
 	if err != nil {
 		return nil, err
 	}
 	return sys, nil
 }
 
-func (s *System) buildLongTerm(base detect.ModelParams, fp, fn float64) (*detect.LongTerm, error) {
+func (s *System) buildLongTerm(ctx context.Context, base detect.ModelParams, fp, fn float64) (*detect.LongTerm, error) {
 	params := base
 	params.FalsePos, params.FalseNeg = fp, fn
 	model, err := detect.BuildModel(params)
@@ -222,9 +225,9 @@ func (s *System) buildLongTerm(base detect.ModelParams, fp, fn float64) (*detect
 	var policy pomdp.Policy
 	switch s.opts.Solver {
 	case SolverPBVI:
-		policy, err = pomdp.SolvePBVI(model, s.opts.PBVI)
+		policy, err = pomdp.SolvePBVI(ctx, model, s.opts.PBVI)
 	case SolverQMDP:
-		policy, err = pomdp.SolveQMDP(model, 1e-9, 5000)
+		policy, err = pomdp.SolveQMDP(ctx, model, 1e-9, 5000)
 	case SolverThreshold:
 		policy = pomdp.ThresholdPolicy{
 			InspectAction:  detect.ActionInspect,
@@ -245,14 +248,21 @@ func (s *System) NewCampaign() (*attack.Campaign, error) {
 }
 
 // MonitorDays runs `days` consecutive monitored days with the given kit and
-// campaign; enforce controls whether inspect actions repair the fleet.
-func (s *System) MonitorDays(kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool) ([]*community.MonitorDayResult, error) {
+// campaign; enforce controls whether inspect actions repair the fleet. The
+// context is checked before every day in addition to the per-solve
+// granularity inside; the days completed before cancellation are discarded.
+func (s *System) MonitorDays(ctx context.Context, kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool) ([]*community.MonitorDayResult, error) {
 	if days < 1 {
 		return nil, fmt.Errorf("core: days %d must be positive", days)
 	}
 	results := make([]*community.MonitorDayResult, 0, days)
 	for d := 0; d < days; d++ {
-		res, err := s.Engine.MonitorDay(kit, camp, s.Buckets, enforce)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		res, err := s.Engine.MonitorDay(ctx, kit, camp, s.Buckets, enforce)
 		if err != nil {
 			return nil, err
 		}
@@ -264,14 +274,15 @@ func (s *System) MonitorDays(kit *community.DetectorKit, camp *attack.Campaign, 
 // ObservationAccuracy is the Figure-6 metric: the fraction of monitored
 // slots where the detector's state estimate (the POMDP's MAP belief, which
 // fuses the slot's observation with the campaign dynamics) matches the true
-// hacked-count bucket.
+// hacked-count bucket. The bucket slices share a shape by construction, so
+// the metrics error cannot fire on MonitorDays output.
 func ObservationAccuracy(results []*community.MonitorDayResult) float64 {
 	var obs, truth []int
 	for _, r := range results {
 		obs = append(obs, r.BeliefBucket...)
 		truth = append(truth, r.TrueBucket...)
 	}
-	return metrics.Accuracy(obs, truth)
+	return metrics.Must(metrics.Accuracy(obs, truth))
 }
 
 // RawObservationAccuracy scores the raw (pre-belief) bucketed observations
@@ -282,7 +293,7 @@ func RawObservationAccuracy(results []*community.MonitorDayResult) float64 {
 		obs = append(obs, r.ObsBucket...)
 		truth = append(truth, r.TrueBucket...)
 	}
-	return metrics.Accuracy(obs, truth)
+	return metrics.Must(metrics.Accuracy(obs, truth))
 }
 
 // RealizedPAR computes the PAR of the realized community energy load

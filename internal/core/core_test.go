@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestOptionsValidate(t *testing.T) {
 }
 
 func TestNewSystemBuildsBothKits(t *testing.T) {
-	sys, err := NewSystem(smallOptions(16, 42))
+	sys, err := NewSystem(context.Background(), smallOptions(16, 42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestNewSystemBuildsBothKits(t *testing.T) {
 }
 
 func TestMonitorDaysAndMetrics(t *testing.T) {
-	sys, err := NewSystem(smallOptions(16, 43))
+	sys, err := NewSystem(context.Background(), smallOptions(16, 43))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMonitorDaysAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := sys.MonitorDays(sys.Aware, camp, 2, true)
+	results, err := sys.MonitorDays(context.Background(), sys.Aware, camp, 2, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestMonitorDaysAndMetrics(t *testing.T) {
 }
 
 func TestMonitorDaysValidation(t *testing.T) {
-	sys, err := NewSystem(smallOptions(12, 44))
+	sys, err := NewSystem(context.Background(), smallOptions(12, 44))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.MonitorDays(sys.Aware, nil, 0, true); err == nil {
+	if _, err := sys.MonitorDays(context.Background(), sys.Aware, nil, 0, true); err == nil {
 		t.Fatal("zero days accepted")
 	}
 }
@@ -107,7 +108,7 @@ func TestMonitorDaysValidation(t *testing.T) {
 func TestThresholdSolverWorks(t *testing.T) {
 	opts := smallOptions(12, 45)
 	opts.Solver = SolverThreshold
-	sys, err := NewSystem(opts)
+	sys, err := NewSystem(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestThresholdSolverWorks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.MonitorDays(sys.Blind, camp, 1, true); err != nil {
+	if _, err := sys.MonitorDays(context.Background(), sys.Blind, camp, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -125,7 +126,7 @@ func TestPBVISolverWorks(t *testing.T) {
 	opts.Solver = SolverPBVI
 	opts.PBVI.NumBeliefs = 40
 	opts.PBVI.Iterations = 25
-	sys, err := NewSystem(opts)
+	sys, err := NewSystem(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestPBVISolverWorks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.MonitorDays(sys.Aware, camp, 1, true); err != nil {
+	if _, err := sys.MonitorDays(context.Background(), sys.Aware, camp, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -213,7 +214,7 @@ func TestDetectionDelays(t *testing.T) {
 }
 
 func TestNewCampaignMatchesOptions(t *testing.T) {
-	sys, err := NewSystem(smallOptions(12, 47))
+	sys, err := NewSystem(context.Background(), smallOptions(12, 47))
 	if err != nil {
 		t.Fatal(err)
 	}

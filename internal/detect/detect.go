@@ -23,6 +23,7 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,19 +52,19 @@ type SingleEventResult struct {
 }
 
 // Check runs the four-step single-event procedure on a predicted and a
-// received guideline price.
-func (d *SingleEvent) Check(predictedPrice, receivedPrice timeseries.Series) (SingleEventResult, error) {
+// received guideline price. The context cancels the underlying game solves.
+func (d *SingleEvent) Check(ctx context.Context, predictedPrice, receivedPrice timeseries.Series) (SingleEventResult, error) {
 	if d.Pred == nil {
 		return SingleEventResult{}, errors.New("detect: single-event detector has no predictor")
 	}
 	if d.DeltaPAR <= 0 {
 		return SingleEventResult{}, fmt.Errorf("detect: threshold δ_P %v must be positive", d.DeltaPAR)
 	}
-	pp, err := d.Pred.PredictPAR(predictedPrice)
+	pp, err := d.Pred.PredictPAR(ctx, predictedPrice)
 	if err != nil {
 		return SingleEventResult{}, err
 	}
-	pr, err := d.Pred.PredictPAR(receivedPrice)
+	pr, err := d.Pred.PredictPAR(ctx, receivedPrice)
 	if err != nil {
 		return SingleEventResult{}, err
 	}

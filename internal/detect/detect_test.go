@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -47,7 +48,7 @@ func duckPrice() timeseries.Series {
 func TestSingleEventNoAttack(t *testing.T) {
 	d := &SingleEvent{Pred: predictor(t), DeltaPAR: 0.05}
 	price := duckPrice()
-	res, err := d.Check(price, price.Clone())
+	res, err := d.Check(context.Background(), price, price.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSingleEventDetectsZeroWindowAttack(t *testing.T) {
 	price := duckPrice()
 	attacked := price.Clone()
 	attacked[16], attacked[17] = 0, 0 // Figure 5's manipulation
-	res, err := d.Check(price, attacked)
+	res, err := d.Check(context.Background(), price, attacked)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestSingleEventDetectsZeroWindowAttack(t *testing.T) {
 
 func TestSingleEventValidation(t *testing.T) {
 	d := &SingleEvent{Pred: nil, DeltaPAR: 0.05}
-	if _, err := d.Check(duckPrice(), duckPrice()); err == nil {
+	if _, err := d.Check(context.Background(), duckPrice(), duckPrice()); err == nil {
 		t.Error("nil predictor accepted")
 	}
 	d = &SingleEvent{Pred: predictor(t), DeltaPAR: 0}
-	if _, err := d.Check(duckPrice(), duckPrice()); err == nil {
+	if _, err := d.Check(context.Background(), duckPrice(), duckPrice()); err == nil {
 		t.Error("zero threshold accepted")
 	}
 }
@@ -292,7 +293,7 @@ func TestLongTermDetectorLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-8, 2000)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-8, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestNewLongTermValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-6, 500)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-6, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestLongTermAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-6, 500)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-6, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func TestExactSolverHandlesDetectionModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pol, err := pomdp.SolveFiniteHorizon(model, 2)
+	pol, err := pomdp.SolveFiniteHorizon(context.Background(), model, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestLongTermBeliefIsCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pomdp.SolveQMDP(model, 1e-6, 500)
+	policy, err := pomdp.SolveQMDP(context.Background(), model, 1e-6, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

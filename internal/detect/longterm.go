@@ -147,7 +147,7 @@ func BuildModel(p ModelParams) (*pomdp.Model, error) {
 	// observe simulates the flag channel for a true hacked count, including
 	// the debiasing the online detector applies (EstimateHacked), so the
 	// calibrated Ω matches what the monitor actually feeds the belief.
-	observe := func(count int, s *rng.Source) int {
+	observe := func(count int, s *rng.Source) (int, error) {
 		flagged := 0
 		for i := 0; i < count; i++ {
 			if !s.Bernoulli(p.FalseNeg) {
@@ -163,9 +163,9 @@ func BuildModel(p ModelParams) (*pomdp.Model, error) {
 		}
 		est, err := EstimateHacked(flagged, p.N, p.FalsePos, p.FalseNeg)
 		if err != nil {
-			panic(err) // flagged ∈ [0, N] by construction
+			return 0, fmt.Errorf("detect: calibration observed %d flagged of %d meters: %w", flagged, p.N, err)
 		}
-		return est
+		return est, nil
 	}
 
 	tsrc := src.Derive("transitions")
@@ -197,8 +197,11 @@ func BuildModel(p ModelParams) (*pomdp.Model, error) {
 		}
 		// Observation channel is action-independent.
 		for k := 0; k < p.CalibSamples; k++ {
-			o := p.Buckets.Bucket(observe(drawCount(zsrc), zsrc))
-			m.Z[ActionContinue][s][o]++
+			est, err := observe(drawCount(zsrc), zsrc)
+			if err != nil {
+				return nil, err
+			}
+			m.Z[ActionContinue][s][p.Buckets.Bucket(est)]++
 		}
 		copy(m.Z[ActionInspect][s], m.Z[ActionContinue][s])
 

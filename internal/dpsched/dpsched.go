@@ -46,7 +46,10 @@ func Schedule(a *appliance.Appliance, horizon int, cost CostFn) (appliance.Sched
 		return scheduleContiguous(a, horizon, cost)
 	}
 
-	q := appliance.Quantum(a.Levels)
+	q, err := appliance.Quantum(a.Levels)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dpsched: %w", err)
+	}
 	target := int(a.Energy/q + 0.5)
 	window := a.WindowLen()
 

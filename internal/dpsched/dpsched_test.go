@@ -298,7 +298,10 @@ func TestSchedulePropertyEnergyConservation(t *testing.T) {
 		start := s.Intn(24 - window)
 		levelSets := [][]float64{{0.5, 1.0}, {1.0, 2.0}, {0.3}, {1.5, 3.0, 6.0}}
 		levels := levelSets[s.Intn(len(levelSets))]
-		q := appliance.Quantum(levels)
+		q, qErr := appliance.Quantum(levels)
+		if qErr != nil {
+			return false
+		}
 		maxLv := 0.0
 		for _, l := range levels {
 			if l > maxLv {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,7 +34,7 @@ type SolverAblationRow struct {
 
 // AblationSolver compares the three long-term policy solvers (PBVI, QMDP,
 // myopic threshold) on identical worlds with the NM-aware kit.
-func AblationSolver(cfg Config) ([]SolverAblationRow, error) {
+func AblationSolver(ctx context.Context, cfg Config) ([]SolverAblationRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,7 +42,7 @@ func AblationSolver(cfg Config) ([]SolverAblationRow, error) {
 	for _, solver := range []core.PolicySolver{core.SolverPBVI, core.SolverQMDP, core.SolverThreshold} {
 		opts := cfg.options()
 		opts.Solver = solver
-		sys, err := core.NewSystem(opts)
+		sys, err := core.NewSystem(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -49,7 +50,7 @@ func AblationSolver(cfg Config) ([]SolverAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := sys.MonitorDays(sys.Aware, camp, cfg.MonitorDays, true)
+		results, err := sys.MonitorDays(ctx, sys.Aware, camp, cfg.MonitorDays, true)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +74,7 @@ type KernelAblationRow struct {
 // AblationKernel compares SVR kernels for the guideline-price forecaster on
 // a flip-day evaluation (the Figure 3/4 scenario). The paper's formation is
 // affine in net demand, so the linear kernel is the matched model class.
-func AblationKernel(cfg Config) ([]KernelAblationRow, error) {
+func AblationKernel(ctx context.Context, cfg Config) ([]KernelAblationRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,10 +92,10 @@ func AblationKernel(cfg Config) ([]KernelAblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
-	env, err := flipDay(engine)
+	env, err := flipDay(ctx, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -119,10 +120,18 @@ func AblationKernel(cfg Config) ([]KernelAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		blindRMSE, err := metrics.RMSE(bp, env.Published)
+		if err != nil {
+			return nil, err
+		}
+		awareRMSE, err := metrics.RMSE(ap, env.Published)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, KernelAblationRow{
 			Kernel:    k.name,
-			BlindRMSE: metrics.RMSE(bp, env.Published),
-			AwareRMSE: metrics.RMSE(ap, env.Published),
+			BlindRMSE: blindRMSE,
+			AwareRMSE: awareRMSE,
 		})
 	}
 	return rows, nil
@@ -139,7 +148,7 @@ type ForecastNoiseRow struct {
 // paper assumes θ "approximately known in advance"; this quantifies how fast
 // the channel degrades when it is not (the cross-entropy battery optimizer
 // amplifies input perturbations).
-func AblationForecastNoise(cfg Config, sigmas []float64) ([]ForecastNoiseRow, error) {
+func AblationForecastNoise(ctx context.Context, cfg Config, sigmas []float64) ([]ForecastNoiseRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,7 +160,7 @@ func AblationForecastNoise(cfg Config, sigmas []float64) ([]ForecastNoiseRow, er
 		if err != nil {
 			return nil, err
 		}
-		if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+		if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 			return nil, err
 		}
 		fc, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, forecast.DefaultOptions())
@@ -159,10 +168,10 @@ func AblationForecastNoise(cfg Config, sigmas []float64) ([]ForecastNoiseRow, er
 			return nil, err
 		}
 		kit := &community.DetectorKit{Name: "aware", NetMetering: true, Forecaster: fc, FlagTau: 0.5}
-		if err := engine.LearnBaselines(2, kit); err != nil {
+		if err := engine.LearnBaselines(ctx, 2, kit); err != nil {
 			return nil, err
 		}
-		fp, fn, err := engine.ChannelRates(kit, 0.4, attack.ZeroWindow{From: 16, To: 17})
+		fp, fn, err := engine.ChannelRates(ctx, kit, 0.4, attack.ZeroWindow{From: 16, To: 17})
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +190,7 @@ type TauRow struct {
 
 // AblationTau sweeps the deviation threshold τ and reports the calibrated
 // channel rates of both detector variants.
-func AblationTau(cfg Config, taus []float64) ([]TauRow, error) {
+func AblationTau(ctx context.Context, cfg Config, taus []float64) ([]TauRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,7 +198,7 @@ func AblationTau(cfg Config, taus []float64) ([]TauRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
 	fAware, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, forecast.DefaultOptions())
@@ -206,14 +215,14 @@ func AblationTau(cfg Config, taus []float64) ([]TauRow, error) {
 	for _, tau := range taus {
 		aware := &community.DetectorKit{Name: "aware", NetMetering: true, Forecaster: fAware, FlagTau: tau}
 		blind := &community.DetectorKit{Name: "blind", NetMetering: false, Forecaster: fBlind, FlagTau: tau}
-		if err := engine.LearnBaselines(1, aware, blind); err != nil {
+		if err := engine.LearnBaselines(ctx, 1, aware, blind); err != nil {
 			return nil, err
 		}
-		afp, afn, err := engine.ChannelRates(aware, 0.4, atk)
+		afp, afn, err := engine.ChannelRates(ctx, aware, 0.4, atk)
 		if err != nil {
 			return nil, err
 		}
-		bfp, bfn, err := engine.ChannelRates(blind, 0.4, atk)
+		bfp, bfn, err := engine.ChannelRates(ctx, blind, 0.4, atk)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +246,7 @@ type SellBackRow struct {
 // AblationSellBack sweeps the net-metering sell-back divisor W (W=1 is full
 // retail net metering; larger W pays sellers less) and measures community
 // cost and load shape — the policy knob net-metering programs debate.
-func AblationSellBack(cfg Config, ws []float64) ([]SellBackRow, error) {
+func AblationSellBack(ctx context.Context, cfg Config, ws []float64) ([]SellBackRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,7 +255,7 @@ func AblationSellBack(cfg Config, ws []float64) ([]SellBackRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	env, err := engine.PrepareDay(true)
+	env, err := engine.PrepareDay(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +268,7 @@ func AblationSellBack(cfg Config, ws []float64) ([]SellBackRow, error) {
 		}
 		gcfg := game.DefaultConfig(q, true)
 		gcfg.MaxSweeps = base.GameSweeps
-		res, err := game.Solve(engine.Customers(), env.Published, env.PV, gcfg, rng.New(engine.ControllerSeed()))
+		res, err := game.Solve(ctx, engine.Customers(), env.Published, env.PV, gcfg, rng.New(engine.ControllerSeed()))
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +310,7 @@ type AttackRow struct {
 // (zero-price window), load-attracting scaling, and the bill-maximizing
 // price inversion — on the same community day, measuring realized PAR, bill
 // impact and single-event detectability.
-func AblationAttacks(cfg Config) ([]AttackRow, error) {
+func AblationAttacks(ctx context.Context, cfg Config) ([]AttackRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -309,7 +318,7 @@ func AblationAttacks(cfg Config) ([]AttackRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
 	fc, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, forecast.DefaultOptions())
@@ -334,10 +343,10 @@ func AblationAttacks(cfg Config) ([]AttackRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := eng.Bootstrap(cfg.BootstrapDays, true); err != nil {
+		if err := eng.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 			return nil, err
 		}
-		env, err := eng.PrepareDay(true)
+		env, err := eng.PrepareDay(ctx, true)
 		if err != nil {
 			return nil, err
 		}
@@ -360,11 +369,11 @@ func AblationAttacks(cfg Config) ([]AttackRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		check, err := se.Check(predicted, atk.Apply(env.Published))
+		check, err := se.Check(ctx, predicted, atk.Apply(env.Published))
 		if err != nil {
 			return nil, err
 		}
-		trace, err := eng.SimulateDay(env, camp, true, nil)
+		trace, err := eng.SimulateDay(ctx, env, camp, true, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -417,7 +426,7 @@ type WindowSweepRow struct {
 // attacker's own optimization problem from [8]: where should the free window
 // sit to maximize PAR? Evening windows coincide with the flexible-load
 // concentration and dominate.
-func AblationAttackWindow(cfg Config, starts []int) ([]WindowSweepRow, error) {
+func AblationAttackWindow(ctx context.Context, cfg Config, starts []int) ([]WindowSweepRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -430,10 +439,10 @@ func AblationAttackWindow(cfg Config, starts []int) ([]WindowSweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := eng.Bootstrap(cfg.BootstrapDays, true); err != nil {
+		if err := eng.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 			return nil, err
 		}
-		env, err := eng.PrepareDay(true)
+		env, err := eng.PrepareDay(ctx, true)
 		if err != nil {
 			return nil, err
 		}
@@ -442,7 +451,7 @@ func AblationAttackWindow(cfg Config, starts []int) ([]WindowSweepRow, error) {
 			return nil, err
 		}
 		camp.HackNow(cfg.N, rng.New(cfg.Seed).Derive("window-sweep"))
-		trace, err := eng.SimulateDay(env, camp, true, nil)
+		trace, err := eng.SimulateDay(ctx, env, camp, true, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -461,7 +470,7 @@ type BatteryAblationRow struct {
 // AblationBattery isolates the cross-entropy battery optimization's
 // contribution: the same community and day solved with batteries as drawn
 // and with every battery removed.
-func AblationBattery(cfg Config) ([]BatteryAblationRow, error) {
+func AblationBattery(ctx context.Context, cfg Config) ([]BatteryAblationRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -469,7 +478,7 @@ func AblationBattery(cfg Config) ([]BatteryAblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	env, err := engine.PrepareDay(true)
+	env, err := engine.PrepareDay(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +495,7 @@ func AblationBattery(cfg Config) ([]BatteryAblationRow, error) {
 			}
 			customers = stripped
 		}
-		res, err := game.Solve(customers, env.Published, env.PV, gcfg, rng.New(engine.ControllerSeed()))
+		res, err := game.Solve(ctx, customers, env.Published, env.PV, gcfg, rng.New(engine.ControllerSeed()))
 		if err != nil {
 			return BatteryAblationRow{}, err
 		}
@@ -539,7 +548,7 @@ type MitigationResult struct {
 }
 
 // Mitigation runs the defense extension experiment.
-func Mitigation(cfg Config) (*MitigationResult, error) {
+func Mitigation(ctx context.Context, cfg Config) (*MitigationResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -547,14 +556,14 @@ func Mitigation(cfg Config) (*MitigationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
 	fc, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, forecast.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	env, err := engine.PrepareDay(true)
+	env, err := engine.PrepareDay(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -573,7 +582,7 @@ func Mitigation(cfg Config) (*MitigationResult, error) {
 
 	gcfg := engine.GameConfig(true)
 	solve := func(price []float64) (float64, error) {
-		res, err := game.Solve(engine.Customers(), price, env.PV, gcfg, rng.New(engine.ControllerSeed()))
+		res, err := game.Solve(ctx, engine.Customers(), price, env.PV, gcfg, rng.New(engine.ControllerSeed()))
 		if err != nil {
 			return 0, err
 		}

@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAblationSolver(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationSolver(cfg)
+	rows, err := AblationSolver(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestAblationSolver(t *testing.T) {
 
 func TestAblationKernel(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationKernel(cfg)
+	rows, err := AblationKernel(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestAblationKernel(t *testing.T) {
 
 func TestAblationForecastNoise(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationForecastNoise(cfg, []float64{0, 0.1})
+	rows, err := AblationForecastNoise(context.Background(), cfg, []float64{0, 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestAblationForecastNoise(t *testing.T) {
 
 func TestAblationTau(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationTau(cfg, []float64{0.5, 2.0})
+	rows, err := AblationTau(context.Background(), cfg, []float64{0.5, 2.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestAblationTau(t *testing.T) {
 
 func TestAblationSellBack(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationSellBack(cfg, []float64{1, 2, 4})
+	rows, err := AblationSellBack(context.Background(), cfg, []float64{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestAblationSellBack(t *testing.T) {
 
 func TestAblationAttacks(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationAttacks(cfg)
+	rows, err := AblationAttacks(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAblationAttacks(t *testing.T) {
 
 func TestAblationAttackWindow(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationAttackWindow(cfg, []int{2, 16})
+	rows, err := AblationAttackWindow(context.Background(), cfg, []int{2, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestAblationAttackWindow(t *testing.T) {
 	if rows[1].PAR <= rows[0].PAR {
 		t.Fatalf("evening window PAR %v not above night window %v", rows[1].PAR, rows[0].PAR)
 	}
-	if _, err := AblationAttackWindow(cfg, []int{23}); err == nil {
+	if _, err := AblationAttackWindow(context.Background(), cfg, []int{23}); err == nil {
 		t.Error("out-of-range window accepted")
 	}
 	var buf bytes.Buffer
@@ -200,7 +201,7 @@ func TestAblationAttackWindow(t *testing.T) {
 
 func TestAblationBattery(t *testing.T) {
 	cfg := fastConfig(42)
-	rows, err := AblationBattery(cfg)
+	rows, err := AblationBattery(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestAblationBattery(t *testing.T) {
 
 func TestMitigation(t *testing.T) {
 	cfg := fastConfig(42)
-	res, err := Mitigation(cfg)
+	res, err := Mitigation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,22 +250,22 @@ func TestMitigation(t *testing.T) {
 func TestAblationsRejectBadConfig(t *testing.T) {
 	bad := fastConfig(1)
 	bad.N = 1
-	if _, err := AblationSolver(bad); err == nil {
+	if _, err := AblationSolver(context.Background(), bad); err == nil {
 		t.Error("solver ablation accepted bad config")
 	}
-	if _, err := AblationKernel(bad); err == nil {
+	if _, err := AblationKernel(context.Background(), bad); err == nil {
 		t.Error("kernel ablation accepted bad config")
 	}
-	if _, err := AblationForecastNoise(bad, []float64{0}); err == nil {
+	if _, err := AblationForecastNoise(context.Background(), bad, []float64{0}); err == nil {
 		t.Error("noise ablation accepted bad config")
 	}
-	if _, err := AblationTau(bad, []float64{0.5}); err == nil {
+	if _, err := AblationTau(context.Background(), bad, []float64{0.5}); err == nil {
 		t.Error("tau ablation accepted bad config")
 	}
-	if _, err := AblationSellBack(bad, []float64{1}); err == nil {
+	if _, err := AblationSellBack(context.Background(), bad, []float64{1}); err == nil {
 		t.Error("sell-back ablation accepted bad config")
 	}
-	if _, err := AblationAttacks(bad); err == nil {
+	if _, err := AblationAttacks(context.Background(), bad); err == nil {
 		t.Error("attack ablation accepted bad config")
 	}
 }

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nmdetect/internal/attack"
@@ -48,6 +49,41 @@ type Config struct {
 	// (community.Config.GameJacobiBlock). 0 keeps the sequential
 	// Gauss-Seidel semantics the recorded results were produced with.
 	JacobiBlock int
+
+	// The remaining fields are zero-is-default overrides so a full scenario
+	// spec (package scenario) can flow through the figure harness without
+	// changing the recorded seed-42 outputs: a zero value selects the same
+	// default the harness always used.
+
+	// FlagTau overrides the per-meter deviation threshold (kW); 0 keeps the
+	// core default.
+	FlagTau float64
+	// DeltaPAR overrides the single-event threshold δ_P; 0 keeps the default.
+	DeltaPAR float64
+	// CalibFrac overrides the channel-calibration hacked fraction; 0 keeps
+	// the default.
+	CalibFrac float64
+	// SellBackW overrides the tariff sell-back divisor W; 0 keeps the
+	// default (1.5).
+	SellBackW float64
+	// SolarForecastSigma overrides the day-ahead PV forecast noise. The
+	// default is already 0 (exact forecasts), so any positive value is an
+	// override and 0 is a no-op.
+	SolarForecastSigma float64
+	// MeasurementNoise overrides the per-meter measurement noise (kW).
+	// 0 keeps the community default (0.05); a negative value selects exactly
+	// zero noise (the only non-zero-default knob, documented here and in
+	// DESIGN.md).
+	MeasurementNoise float64
+	// HackProb overrides the campaign strike probability; 0 keeps the
+	// default.
+	HackProb float64
+	// BatchLo and BatchHi override the campaign batch-size range; 0 keeps
+	// the defaults.
+	BatchLo, BatchHi int
+	// Attack overrides the manipulation payload; nil keeps the default
+	// zero-price window 16:00–17:00.
+	Attack attack.Attack
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -76,17 +112,52 @@ func (c Config) Validate() error {
 	if c.Workers < 0 || c.JacobiBlock < 0 {
 		return fmt.Errorf("experiments: negative parallelism knob")
 	}
+	if c.FlagTau < 0 || c.DeltaPAR < 0 || c.SolarForecastSigma < 0 {
+		return fmt.Errorf("experiments: negative detector/noise override")
+	}
+	if c.CalibFrac < 0 || c.CalibFrac >= 1 {
+		return fmt.Errorf("experiments: calibration fraction %v out of [0,1)", c.CalibFrac)
+	}
+	if c.SellBackW != 0 && c.SellBackW < 1 {
+		return fmt.Errorf("experiments: sell-back divisor W=%v must be >= 1", c.SellBackW)
+	}
+	if c.BatchLo < 0 || c.BatchHi < 0 {
+		return fmt.Errorf("experiments: negative campaign batch override")
+	}
+	if c.HackProb < 0 || c.HackProb > 1 {
+		return fmt.Errorf("experiments: hack probability %v out of [0,1]", c.HackProb)
+	}
 	return nil
 }
 
-// options lowers the experiment config into core options.
+// options lowers the experiment config into core options, applying every
+// non-zero override.
 func (c Config) options() core.Options {
 	opts := core.DefaultOptions(c.N, c.Seed)
-	opts.Community.GameSweeps = c.GameSweeps
-	opts.Community.Workers = c.Workers
-	opts.Community.GameJacobiBlock = c.JacobiBlock
+	opts.Community = communityConfig(c)
 	opts.BootstrapDays = c.BootstrapDays
 	opts.Solver = c.Solver
+	if c.FlagTau > 0 {
+		opts.FlagTau = c.FlagTau
+	}
+	if c.DeltaPAR > 0 {
+		opts.DeltaPAR = c.DeltaPAR
+	}
+	if c.CalibFrac > 0 {
+		opts.CalibFrac = c.CalibFrac
+	}
+	if c.HackProb > 0 {
+		opts.HackProb = c.HackProb
+	}
+	if c.BatchLo > 0 {
+		opts.BatchLo = c.BatchLo
+	}
+	if c.BatchHi > 0 {
+		opts.BatchHi = c.BatchHi
+	}
+	if c.Attack != nil {
+		opts.Attack = c.Attack
+	}
 	return opts
 }
 
@@ -108,7 +179,7 @@ type PredictionResult struct {
 }
 
 // prediction runs the shared Fig3/Fig4 procedure for one forecaster mode.
-func prediction(cfg Config, mode forecast.Mode) (*PredictionResult, error) {
+func prediction(ctx context.Context, cfg Config, mode forecast.Mode) (*PredictionResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,14 +187,14 @@ func prediction(cfg Config, mode forecast.Mode) (*PredictionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
 	fc, err := forecast.Train(engine.History(), mode, forecast.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	env, err := flipDay(engine)
+	env, err := flipDay(ctx, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +217,11 @@ func prediction(cfg Config, mode forecast.Mode) (*PredictionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	load, err := pred.PredictLoad(predicted)
+	load, err := pred.PredictLoad(ctx, predicted)
+	if err != nil {
+		return nil, err
+	}
+	rmse, err := metrics.RMSE(predicted, env.Published)
 	if err != nil {
 		return nil, err
 	}
@@ -155,22 +230,22 @@ func prediction(cfg Config, mode forecast.Mode) (*PredictionResult, error) {
 		Predicted:     predicted,
 		PredictedLoad: load,
 		PAR:           load.PAR(),
-		PriceRMSE:     metrics.RMSE(predicted, env.Published),
+		PriceRMSE:     rmse,
 	}, nil
 }
 
 // Fig3 reproduces Figure 3: the price-only (NM-blind) prediction and the
 // load it implies. The paper reports PAR = 1.4700 and a visible midday
 // mismatch against the received price.
-func Fig3(cfg Config) (*PredictionResult, error) {
-	return prediction(cfg, forecast.ModePriceOnly)
+func Fig3(ctx context.Context, cfg Config) (*PredictionResult, error) {
+	return prediction(ctx, cfg, forecast.ModePriceOnly)
 }
 
 // Fig4 reproduces Figure 4: the net-metering-aware prediction. The paper
 // reports PAR = 1.3986, 5.11% below Figure 3, and a visibly better price
 // match.
-func Fig4(cfg Config) (*PredictionResult, error) {
-	return prediction(cfg, forecast.ModeNetMeteringAware)
+func Fig4(ctx context.Context, cfg Config) (*PredictionResult, error) {
+	return prediction(ctx, cfg, forecast.ModeNetMeteringAware)
 }
 
 // Fig5Result captures the attack experiment.
@@ -188,7 +263,7 @@ type Fig5Result struct {
 
 // Fig5 reproduces Figure 5: the guideline price is zeroed between 16:00 and
 // 17:00 on every meter and the community piles its flexible load there.
-func Fig5(cfg Config) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,21 +271,24 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := engine.Bootstrap(cfg.BootstrapDays, true); err != nil {
+	if err := engine.Bootstrap(ctx, cfg.BootstrapDays, true); err != nil {
 		return nil, err
 	}
-	env, err := engine.PrepareDay(true)
+	env, err := engine.PrepareDay(ctx, true)
 	if err != nil {
 		return nil, err
 	}
-	atk := attack.ZeroWindow{From: 16, To: 17}
+	var atk attack.Attack = attack.ZeroWindow{From: 16, To: 17}
+	if cfg.Attack != nil {
+		atk = cfg.Attack
+	}
 	camp, err := attack.NewCampaign(cfg.N, 0, 1, 1, atk)
 	if err != nil {
 		return nil, err
 	}
 	camp.HackNow(cfg.N, rng.New(cfg.Seed).Derive("fig5"))
 
-	trace, err := engine.SimulateDay(env, camp, true, nil)
+	trace, err := engine.SimulateDay(ctx, env, camp, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +309,10 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 // only the renewable-aware predictor can anticipate. Intermediate days are
 // simulated cleanly (extending the history); after a bounded search the
 // current day is used regardless.
-func flipDay(engine *community.Engine) (*community.DayEnvironment, error) {
+func flipDay(ctx context.Context, engine *community.Engine) (*community.DayEnvironment, error) {
 	prev := solar.Weather(-1)
 	for attempt := 0; attempt < 10; attempt++ {
-		env, err := engine.PrepareDay(true)
+		env, err := engine.PrepareDay(ctx, true)
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +323,7 @@ func flipDay(engine *community.Engine) (*community.DayEnvironment, error) {
 		if attempt == 9 {
 			return env, nil
 		}
-		if _, err := engine.SimulateDay(env, nil, true, nil); err != nil {
+		if _, err := engine.SimulateDay(ctx, env, nil, true, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -257,5 +335,16 @@ func communityConfig(cfg Config) community.Config {
 	c.GameSweeps = cfg.GameSweeps
 	c.Workers = cfg.Workers
 	c.GameJacobiBlock = cfg.JacobiBlock
+	if cfg.SellBackW != 0 {
+		c.Tariff.W = cfg.SellBackW
+	}
+	if cfg.SolarForecastSigma > 0 {
+		c.SolarForecastSigma = cfg.SolarForecastSigma
+	}
+	if cfg.MeasurementNoise > 0 {
+		c.MeasurementNoise = cfg.MeasurementNoise
+	} else if cfg.MeasurementNoise < 0 {
+		c.MeasurementNoise = 0
+	}
 	return c
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -45,11 +46,11 @@ func TestConfigValidate(t *testing.T) {
 
 func TestFig3AndFig4Shapes(t *testing.T) {
 	cfg := fastConfig(42)
-	f3, err := Fig3(cfg)
+	f3, err := Fig3(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f4, err := Fig4(cfg)
+	f4, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestFig3AndFig4Shapes(t *testing.T) {
 	blindTotal, awareTotal := 0.0, 0.0
 	for _, seed := range []uint64{42, 43, 44, 45} {
 		cfgSeed := fastConfig(seed)
-		b, err := Fig3(cfgSeed)
+		b, err := Fig3(context.Background(), cfgSeed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := Fig4(cfgSeed)
+		a, err := Fig4(context.Background(), cfgSeed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestFig3AndFig4Shapes(t *testing.T) {
 
 func TestFig5AttackCreatesPeak(t *testing.T) {
 	cfg := fastConfig(42)
-	f5, err := Fig5(cfg)
+	f5, err := Fig5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFig5AttackCreatesPeak(t *testing.T) {
 		t.Fatalf("PAR = %v", f5.PAR)
 	}
 	// And the attacked PAR must exceed the clean predicted PARs.
-	f4, err := Fig4(cfg)
+	f4, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFig5AttackCreatesPeak(t *testing.T) {
 
 func TestFig6AwareBeatsBlind(t *testing.T) {
 	cfg := fastConfig(42)
-	f6, err := Fig6(cfg)
+	f6, err := Fig6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFig6AwareBeatsBlind(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	cfg := fastConfig(42)
-	t1, err := Table1(cfg)
+	t1, err := Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestRobustness(t *testing.T) {
 	cfg := fastConfig(42)
-	res, err := Robustness(cfg, []uint64{42, 43})
+	res, err := Robustness(context.Background(), cfg, []uint64{42, 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRobustness(t *testing.T) {
 	if res.Wins < 0 || res.Wins > 2 {
 		t.Fatalf("wins = %d", res.Wins)
 	}
-	if _, err := Robustness(cfg, nil); err == nil {
+	if _, err := Robustness(context.Background(), cfg, nil); err == nil {
 		t.Error("empty seed list accepted")
 	}
 }

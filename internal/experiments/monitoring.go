@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nmdetect/internal/community"
@@ -23,12 +24,12 @@ type Fig6Result struct {
 // Fig6 reproduces Figure 6: both detector variants monitor the same seeded
 // world with their inspections enforced (as deployed), and their per-slot
 // state estimates are scored against the true hacked-count buckets.
-func Fig6(cfg Config) (*Fig6Result, error) {
+func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	run := func(aware bool) ([]*community.MonitorDayResult, error) {
-		sys, err := core.NewSystem(cfg.options())
+		sys, err := core.NewSystem(ctx, cfg.options())
 		if err != nil {
 			return nil, err
 		}
@@ -40,7 +41,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sys.MonitorDays(kit, camp, cfg.MonitorDays, true)
+		return sys.MonitorDays(ctx, kit, camp, cfg.MonitorDays, true)
 	}
 	awareRes, err := run(true)
 	if err != nil {
@@ -97,19 +98,19 @@ type Table1Result struct {
 // no detection, NM-blind detection with enforcement, and NM-aware detection
 // with enforcement. Reported are the realized grid PAR and the labor cost
 // (inspection count, normalized to the blind detector).
-func Table1(cfg Config) (*Table1Result, error) {
+func Table1(ctx context.Context, cfg Config) (*Table1Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 
 	// No detection: simulate the campaign with no inspections.
-	noDet, err := runNoDetection(cfg)
+	noDet, err := runNoDetection(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	runKit := func(aware bool) (Table1Row, error) {
-		sys, err := core.NewSystem(cfg.options())
+		sys, err := core.NewSystem(ctx, cfg.options())
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -121,7 +122,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 		if err != nil {
 			return Table1Row{}, err
 		}
-		results, err := sys.MonitorDays(kit, camp, cfg.MonitorDays, true)
+		results, err := sys.MonitorDays(ctx, kit, camp, cfg.MonitorDays, true)
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -156,8 +157,8 @@ func Table1(cfg Config) (*Table1Result, error) {
 
 // runNoDetection simulates the monitored window with the campaign active and
 // nobody inspecting.
-func runNoDetection(cfg Config) (Table1Row, error) {
-	sys, err := core.NewSystem(cfg.options())
+func runNoDetection(ctx context.Context, cfg Config) (Table1Row, error) {
+	sys, err := core.NewSystem(ctx, cfg.options())
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -167,11 +168,11 @@ func runNoDetection(cfg Config) (Table1Row, error) {
 	}
 	var load timeseries.Series
 	for d := 0; d < cfg.MonitorDays; d++ {
-		env, err := sys.Engine.PrepareDay(true)
+		env, err := sys.Engine.PrepareDay(ctx, true)
 		if err != nil {
 			return Table1Row{}, err
 		}
-		trace, err := sys.Engine.SimulateDay(env, camp, true, nil)
+		trace, err := sys.Engine.SimulateDay(ctx, env, camp, true, nil)
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -195,7 +196,7 @@ type RobustnessResult struct {
 // Robustness reruns the Figure-6 comparison across seeds — the ordering
 // (aware ≥ blind) is the reproduction's stability claim; the absolute values
 // move with the weather realizations.
-func Robustness(cfg Config, seeds []uint64) (*RobustnessResult, error) {
+func Robustness(ctx context.Context, cfg Config, seeds []uint64) (*RobustnessResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,7 +207,7 @@ func Robustness(cfg Config, seeds []uint64) (*RobustnessResult, error) {
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		f6, err := Fig6(c)
+		f6, err := Fig6(ctx, c)
 		if err != nil {
 			return nil, err
 		}

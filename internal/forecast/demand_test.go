@@ -97,8 +97,8 @@ func TestDemandForecasterBeatsNaiveOnAverage(t *testing.T) {
 			}
 		}
 		naive := hist.Demand[len(hist.Demand)-24:]
-		predErr += metrics.MAPE(pred, truth)
-		naiveErr += metrics.MAPE(naive, truth)
+		predErr += metrics.Must(metrics.MAPE(pred, truth))
+		naiveErr += metrics.Must(metrics.MAPE(naive, truth))
 	}
 	if predErr >= naiveErr {
 		t.Fatalf("forecaster mean MAPE %v not below naive %v", predErr/evalDays, naiveErr/evalDays)

@@ -42,13 +42,19 @@ func synthHistory(t *testing.T, dayScales []float64, nextScale float64) (tariff.
 	var hist tariff.History
 	for _, scale := range dayScales {
 		ren := solarShape.ScaleBy(scale)
-		price := form.Publish(demandDay, ren, customers, true, nil)
+		price, err := form.Publish(demandDay, ren, customers, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for h := 0; h < 24; h++ {
 			hist.Append(price[h], ren[h], demandDay[h])
 		}
 	}
 	nextRen := solarShape.ScaleBy(nextScale)
-	nextPrice := form.Publish(demandDay, nextRen, customers, true, nil)
+	nextPrice, err := form.Publish(demandDay, nextRen, customers, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return hist, nextPrice, nextRen
 }
 
@@ -101,7 +107,7 @@ func TestPriceOnlyPredictsStationaryHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rmse := metrics.RMSE(pred, next); rmse > 0.002 {
+	if rmse := metrics.Must(metrics.RMSE(pred, next)); rmse > 0.002 {
 		t.Fatalf("stationary RMSE = %v", rmse)
 	}
 }
@@ -132,14 +138,14 @@ func TestNetMeteringAwareTracksSolarSwing(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	blindErr := metrics.RMSE(blindPred, next)
-	awareErr := metrics.RMSE(awarePred, next)
+	blindErr := metrics.Must(metrics.RMSE(blindPred, next))
+	awareErr := metrics.Must(metrics.RMSE(awarePred, next))
 	if awareErr >= blindErr {
 		t.Fatalf("NM-aware RMSE %v not below price-only RMSE %v", awareErr, blindErr)
 	}
 	// The advantage should be concentrated in the solar window (10–16).
-	blindMid := metrics.RMSE(blindPred[10:16], next[10:16])
-	awareMid := metrics.RMSE(awarePred[10:16], next[10:16])
+	blindMid := metrics.Must(metrics.RMSE(blindPred[10:16], next[10:16]))
+	awareMid := metrics.Must(metrics.RMSE(awarePred[10:16], next[10:16]))
 	if awareMid >= blindMid/1.5 {
 		t.Fatalf("midday: NM-aware RMSE %v not well below price-only %v", awareMid, blindMid)
 	}
@@ -220,7 +226,10 @@ func TestForecasterWithNoisyHistory(t *testing.T) {
 			}
 		}
 	}
-	price := form.Publish(demand, ren, customers, true, src)
+	price, err := form.Publish(demand, ren, customers, true, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hist := tariff.History{Price: price[:24*7], Renewable: ren[:24*7], Demand: demand[:24*7]}
 	next := price[24*7:]
 
@@ -232,7 +241,7 @@ func TestForecasterWithNoisyHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rmse := metrics.RMSE(pred, next); rmse > 0.02 {
+	if rmse := metrics.Must(metrics.RMSE(pred, next)); rmse > 0.02 {
 		t.Fatalf("noisy-history RMSE = %v", rmse)
 	}
 }

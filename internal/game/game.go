@@ -29,6 +29,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -144,7 +145,13 @@ type Result struct {
 // (len == H ≥ 24); pv[n] is customer n's renewable forecast θₙ (ignored when
 // net metering is disabled; may be nil then). The source drives CE sampling
 // and must not be nil when net metering is enabled.
-func Solve(customers []*household.Customer, price timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+//
+// The context is polled at best-response granularity (every Gauss-Seidel
+// customer / Jacobi block, and inside each CE iteration): cancelling it
+// aborts the solve well within one sweep and returns ctx.Err(). A nil ctx
+// never cancels, and cancellation never alters the result of a solve that
+// completes.
+func Solve(ctx context.Context, customers []*household.Customer, price timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
 	if len(customers) == 0 {
 		return nil, errors.New("game: empty community")
 	}
@@ -152,15 +159,15 @@ func Solve(customers []*household.Customer, price timeseries.Series, pv [][]floa
 	for i := range prices {
 		prices[i] = price
 	}
-	return SolveMixed(customers, prices, pv, cfg, src)
+	return SolveMixed(ctx, customers, prices, pv, cfg, src)
 }
 
 // SolveMixed runs Algorithm 1 with per-customer guideline prices — the
 // situation under a pricing cyberattack, where hacked meters receive a
 // manipulated price while intact meters receive the published one. Each
 // customer best-responds to their own price; all interact through the shared
-// community trading total.
-func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+// community trading total. Cancellation semantics match Solve.
+func SolveMixed(ctx context.Context, customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,6 +256,14 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 		res.Sweeps = sweep + 1
 		maxDelta := 0.0
 		for start := 0; start < n; start += block {
+			// Cancellation check per block (per customer in the Gauss-Seidel
+			// schedule) keeps the abort latency to one best response even for
+			// a 500-customer sweep.
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			end := start + block
 			if end > n {
 				end = n
@@ -267,7 +282,7 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 				for t := 0; t < h; t++ {
 					totalY[t] -= oldY[t]
 				}
-				newLoad, newY, traj, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc)
+				newLoad, newY, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc)
 				if err != nil {
 					return nil, fmt.Errorf("game: customer %d: %w", i, err)
 				}
@@ -290,7 +305,7 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 			// safe to fan out; per-customer CE streams are derived from
 			// (sweep, index), making the fan-out schedule irrelevant.
 			out := outs[:end-start]
-			err := parallel.ForEach(cfg.Workers, end-start, func(k int) error {
+			err := parallel.ForEach(ctx, cfg.Workers, end-start, func(k int) error {
 				i := start + k
 				var csrc *rng.Source
 				if cfg.NetMetering {
@@ -301,7 +316,7 @@ func SolveMixed(customers []*household.Customer, prices []timeseries.Series, pv 
 				for t := 0; t < h; t++ {
 					yOther[t] = totalY[t] - oldY[t]
 				}
-				load, y, traj, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
+				load, y, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
 				if err != nil {
 					return fmt.Errorf("game: customer %d: %w", i, err)
 				}
@@ -387,8 +402,9 @@ func projectTrajectory(traj []float64, b battery.Battery) {
 // could still realize (and that customer's index). A small gap certifies the
 // Gauss-Seidel iteration converged to an ε-equilibrium; the paper's
 // Algorithm 1 relies on this behavior without proving it for the
-// battery-extended game, so the library makes it checkable.
-func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, res *Result, src *rng.Source) (gap float64, worst int, err error) {
+// battery-extended game, so the library makes it checkable. Cancellation
+// semantics match Solve.
+func EquilibriumGap(ctx context.Context, customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, res *Result, src *rng.Source) (gap float64, worst int, err error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, 0, err
 	}
@@ -443,7 +459,7 @@ func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series,
 	// the reduction below runs in index order either way.
 	zeroPV := make([]float64, h)
 	improvement := make([]float64, len(customers))
-	err = parallel.ForEach(cfg.Workers, len(customers), func(i int) error {
+	err = parallel.ForEach(ctx, cfg.Workers, len(customers), func(i int) error {
 		yOther := make([]float64, h)
 		for t := 0; t < h; t++ {
 			yOther[t] = totalY[t] - res.CustomerTrading[i][t]
@@ -452,7 +468,7 @@ func EquilibriumGap(customers []*household.Customer, prices []timeseries.Series,
 		if cfg.NetMetering {
 			csrc = src.Derive(fmt.Sprintf("gap-%d", i))
 		}
-		_, _, _, cost, err := bestResponse(customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
+		_, _, _, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
 		if err != nil {
 			return fmt.Errorf("game: customer %d: %w", i, err)
 		}
@@ -492,8 +508,9 @@ func greedyFill(a *appliance.Appliance, load []float64) {
 
 // bestResponse solves customer n's Problem P1 given the other customers'
 // total trading yOther, alternating the DP appliance step and the CE battery
-// step (the inner while-loop of Algorithm 1).
-func bestResponse(c *household.Customer, price timeseries.Series, pv []float64, yOther []float64, cfg Config, src *rng.Source) (load, y []float64, traj []float64, cost float64, err error) {
+// step (the inner while-loop of Algorithm 1). The context flows into the CE
+// battery optimizer, whose per-iteration poll bounds the abort latency.
+func bestResponse(ctx context.Context, c *household.Customer, price timeseries.Series, pv []float64, yOther []float64, cfg Config, src *rng.Source) (load, y []float64, traj []float64, cost float64, err error) {
 	h := len(price)
 
 	// tradeCost evaluates the customer's per-slot cost Cₙʰ for trading v at
@@ -590,7 +607,7 @@ func bestResponse(c *household.Customer, price timeseries.Series, pv []float64, 
 			hi[t] = c.Battery.Capacity
 			init[t] = curTraj[t+1]
 		}
-		ceRes, ceErr := ceopt.Minimize(objective, lo, hi, init, src, cfg.CE)
+		ceRes, ceErr := ceopt.Minimize(ctx, objective, lo, hi, init, src, cfg.CE)
 		if ceErr != nil {
 			return nil, nil, nil, 0, ceErr
 		}

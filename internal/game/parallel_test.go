@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,10 @@ func jacobiCommunity(t *testing.T) ([]*household.Customer, [][]float64, Config) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	pv := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	pv, err := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultConfig(testTariff(t), true)
 	cfg.MaxSweeps = 2
 	cfg.CE.Samples = 10
@@ -72,14 +76,14 @@ func TestSolveWorkers1MatchesLegacySequential(t *testing.T) {
 	// Gauss-Seidel solver, here represented by the zero-valued knobs.
 	customers, pv, cfg := jacobiCommunity(t)
 	price := variedPrice()
-	legacy, err := Solve(customers, price, pv, cfg, rng.New(7))
+	legacy, err := Solve(context.Background(), customers, price, pv, cfg, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	seq := cfg
 	seq.Workers = 1
 	seq.JacobiBlock = 1
-	got, err := Solve(customers, price, pv, seq, rng.New(7))
+	got, err := Solve(context.Background(), customers, price, pv, seq, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +106,7 @@ func TestSolveJacobiBitwiseAcrossWorkerCounts(t *testing.T) {
 	solveWith := func(workers int) *Result {
 		c := cfg
 		c.Workers = workers
-		res, err := Solve(customers, price, pv, c, rng.New(7))
+		res, err := Solve(context.Background(), customers, price, pv, c, rng.New(7))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +135,7 @@ func TestEquilibriumGapJacobiBounded(t *testing.T) {
 	cfg := DefaultConfig(testTariff(t), false)
 	cfg.MaxSweeps = 10
 	cfg.JacobiBlock = 2
-	res, err := Solve(customers, price, nil, cfg, nil)
+	res, err := Solve(context.Background(), customers, price, nil, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +144,7 @@ func TestEquilibriumGapJacobiBounded(t *testing.T) {
 	}
 	assertGapBounded := func(cfg Config, res *Result) {
 		t.Helper()
-		gap, worst, err := EquilibriumGap(customers, prices, nil, cfg, res, nil)
+		gap, worst, err := EquilibriumGap(context.Background(), customers, prices, nil, cfg, res, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +165,7 @@ func TestEquilibriumGapJacobiBounded(t *testing.T) {
 	// bounded, which is exactly why the gap is the Jacobi-mode certificate.
 	pure := cfg
 	pure.JacobiBlock = len(customers)
-	pureRes, err := Solve(customers, price, nil, pure, nil)
+	pureRes, err := Solve(context.Background(), customers, price, nil, pure, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +177,7 @@ func TestEquilibriumGapRejectsMalformedResult(t *testing.T) {
 	cfg := DefaultConfig(testTariff(t), false)
 	price := flatPrice(0.1)
 	prices := []timeseries.Series{price, price, price}
-	res, err := Solve(customers, price, nil, cfg, nil)
+	res, err := Solve(context.Background(), customers, price, nil, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +186,7 @@ func TestEquilibriumGapRejectsMalformedResult(t *testing.T) {
 	bad := *res
 	bad.CustomerTrading = append([][]float64(nil), res.CustomerTrading...)
 	bad.CustomerTrading[1] = bad.CustomerTrading[1][:12]
-	if _, _, err := EquilibriumGap(customers, prices, nil, cfg, &bad, nil); err == nil {
+	if _, _, err := EquilibriumGap(context.Background(), customers, prices, nil, cfg, &bad, nil); err == nil {
 		t.Error("truncated trading vector accepted")
 	} else if !strings.Contains(err.Error(), "trading vector") {
 		t.Errorf("unexpected error: %v", err)
@@ -191,7 +195,7 @@ func TestEquilibriumGapRejectsMalformedResult(t *testing.T) {
 	// Cost vector of the wrong length likewise.
 	bad2 := *res
 	bad2.Cost = res.Cost[:1]
-	if _, _, err := EquilibriumGap(customers, prices, nil, cfg, &bad2, nil); err == nil {
+	if _, _, err := EquilibriumGap(context.Background(), customers, prices, nil, cfg, &bad2, nil); err == nil {
 		t.Error("short cost vector accepted")
 	}
 }
@@ -200,12 +204,12 @@ func TestSolveConfigValidatesParallelKnobs(t *testing.T) {
 	customers := smallCommunity(t)
 	cfg := DefaultConfig(testTariff(t), false)
 	cfg.Workers = -1
-	if _, err := Solve(customers, flatPrice(0.1), nil, cfg, nil); err == nil {
+	if _, err := Solve(context.Background(), customers, flatPrice(0.1), nil, cfg, nil); err == nil {
 		t.Error("negative Workers accepted")
 	}
 	cfg = DefaultConfig(testTariff(t), false)
 	cfg.JacobiBlock = -2
-	if _, err := Solve(customers, flatPrice(0.1), nil, cfg, nil); err == nil {
+	if _, err := Solve(context.Background(), customers, flatPrice(0.1), nil, cfg, nil); err == nil {
 		t.Error("negative JacobiBlock accepted")
 	}
 }

@@ -162,7 +162,10 @@ func (g Generator) generateOne(id int, src *rng.Source) (*Customer, error) {
 		if !src.Bernoulli(arch.Prob) {
 			continue
 		}
-		a := g.drawAppliance(arch, src)
+		a, err := g.drawAppliance(arch, src)
+		if err != nil {
+			return nil, fmt.Errorf("household: archetype %q: %w", arch.Name, err)
+		}
 		if err := a.Validate(g.Horizon); err != nil {
 			return nil, fmt.Errorf("household: generated invalid appliance: %w", err)
 		}
@@ -188,7 +191,7 @@ func (g Generator) generateOne(id int, src *rng.Source) (*Customer, error) {
 // drawAppliance instantiates an archetype with sampled energy and window,
 // snapping the energy onto the level lattice and shrinking it if the sampled
 // window cannot host it.
-func (g Generator) drawAppliance(arch appliance.Archetype, src *rng.Source) *appliance.Appliance {
+func (g Generator) drawAppliance(arch appliance.Archetype, src *rng.Source) (*appliance.Appliance, error) {
 	start := arch.StartLo
 	if arch.StartHi > arch.StartLo {
 		start += src.Intn(arch.StartHi - arch.StartLo + 1)
@@ -206,7 +209,10 @@ func (g Generator) drawAppliance(arch appliance.Archetype, src *rng.Source) *app
 		window = deadline - start + 1
 	}
 
-	q := appliance.Quantum(arch.Levels)
+	q, err := appliance.Quantum(arch.Levels)
+	if err != nil {
+		return nil, err
+	}
 	maxLv := 0.0
 	for _, l := range arch.Levels {
 		if l > maxLv {
@@ -248,20 +254,24 @@ func (g Generator) drawAppliance(arch appliance.Archetype, src *rng.Source) *app
 		}
 		a.Energy = minLv
 	}
-	return a
+	return a, nil
 }
 
 // CommunityPVTraces generates realized per-customer PV traces for `days`
 // days. Customers without PV get all-zero traces of matching length.
-func CommunityPVTraces(customers []*Customer, model solar.Model, days int, src *rng.Source) [][]float64 {
+func CommunityPVTraces(customers []*Customer, model solar.Model, days int, src *rng.Source) ([][]float64, error) {
 	traces := make([][]float64, len(customers))
 	for i, c := range customers {
 		csrc := src.Derive(fmt.Sprintf("solar-%d", c.ID))
 		if c.HasPV() {
-			traces[i] = model.Generate(c.Panel, days, csrc)
+			tr, err := model.Generate(c.Panel, days, csrc)
+			if err != nil {
+				return nil, err
+			}
+			traces[i] = tr
 		} else {
 			traces[i] = make([]float64, days*24)
 		}
 	}
-	return traces
+	return traces, nil
 }

@@ -179,7 +179,10 @@ func TestCommunityPVTraces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	traces := CommunityPVTraces(customers, solar.DefaultModel(), 2, rng.New(22))
+	traces, err := CommunityPVTraces(customers, solar.DefaultModel(), 2, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(traces) != 20 {
 		t.Fatalf("trace count = %d", len(traces))
 	}

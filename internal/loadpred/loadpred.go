@@ -15,6 +15,7 @@
 package loadpred
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,13 +61,15 @@ func New(customers []*household.Customer, cfg game.Config, pv [][]float64, seed 
 func (p *Predictor) NetMetering() bool { return p.cfg.NetMetering }
 
 // Predict solves the scheduling game under the given guideline price and
-// returns the full game result. Results are memoized per price vector.
-func (p *Predictor) Predict(price timeseries.Series) (*game.Result, error) {
+// returns the full game result. Results are memoized per price vector. The
+// context cancels the underlying solve (see game.Solve); a cancelled solve is
+// not cached.
+func (p *Predictor) Predict(ctx context.Context, price timeseries.Series) (*game.Result, error) {
 	key := hashSeries(price)
 	if res, ok := p.cache[key]; ok {
 		return res, nil
 	}
-	res, err := game.Solve(p.customers, price, p.pv, p.cfg, rng.New(p.seed))
+	res, err := game.Solve(ctx, p.customers, price, p.pv, p.cfg, rng.New(p.seed))
 	if err != nil {
 		return nil, err
 	}
@@ -80,8 +83,8 @@ func (p *Predictor) Predict(price timeseries.Series) (*game.Result, error) {
 // metering changes each customer's marginal price of consuming at solar
 // hours, which is exactly the effect the paper's prediction comparison
 // isolates.
-func (p *Predictor) PredictLoad(price timeseries.Series) (timeseries.Series, error) {
-	res, err := p.Predict(price)
+func (p *Predictor) PredictLoad(ctx context.Context, price timeseries.Series) (timeseries.Series, error) {
+	res, err := p.Predict(ctx, price)
 	if err != nil {
 		return nil, err
 	}
@@ -90,8 +93,8 @@ func (p *Predictor) PredictLoad(price timeseries.Series) (timeseries.Series, err
 
 // PredictGridDemand returns the predicted community net purchase Σₙ yₙʰ,
 // floored at zero (diagnostics and the net-demand-aware tariff use it).
-func (p *Predictor) PredictGridDemand(price timeseries.Series) (timeseries.Series, error) {
-	res, err := p.Predict(price)
+func (p *Predictor) PredictGridDemand(ctx context.Context, price timeseries.Series) (timeseries.Series, error) {
+	res, err := p.Predict(ctx, price)
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +107,8 @@ func (p *Predictor) PredictGridDemand(price timeseries.Series) (timeseries.Serie
 
 // PredictPAR returns the peak-to-average ratio of the predicted load — the
 // quantity the single-event detector thresholds.
-func (p *Predictor) PredictPAR(price timeseries.Series) (float64, error) {
-	load, err := p.PredictLoad(price)
+func (p *Predictor) PredictPAR(ctx context.Context, price timeseries.Series) (float64, error) {
+	load, err := p.PredictLoad(ctx, price)
 	if err != nil {
 		return 0, err
 	}

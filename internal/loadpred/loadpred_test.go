@@ -1,6 +1,7 @@
 package loadpred
 
 import (
+	"context"
 	"testing"
 
 	"nmdetect/internal/game"
@@ -18,7 +19,10 @@ func community(t *testing.T, n int) ([]*household.Customer, [][]float64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pv := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	pv, err := household.CommunityPVTraces(customers, solar.DefaultModel(), 1, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return customers, pv
 }
 
@@ -66,11 +70,11 @@ func TestPredictCaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	price := price24()
-	r1, err := p.Predict(price)
+	r1, err := p.Predict(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := p.Predict(price.Clone())
+	r2, err := p.Predict(context.Background(), price.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +85,7 @@ func TestPredictCaches(t *testing.T) {
 		t.Fatalf("cache size = %d", p.CacheSize())
 	}
 	other := price.ScaleBy(2)
-	if _, err := p.Predict(other); err != nil {
+	if _, err := p.Predict(context.Background(), other); err != nil {
 		t.Fatal(err)
 	}
 	if p.CacheSize() != 2 {
@@ -97,11 +101,11 @@ func TestPredictLoadModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blindLoad, err := blind.PredictLoad(price)
+	blindLoad, err := blind.PredictLoad(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := blind.Predict(price)
+	res, err := blind.Predict(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +119,7 @@ func TestPredictLoadModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	awareLoad, err := aware.PredictLoad(price)
+	awareLoad, err := aware.PredictLoad(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +132,7 @@ func TestPredictLoadModes(t *testing.T) {
 		t.Fatal("NetMetering mode flags wrong")
 	}
 	// The load of record is consumption in both modes…
-	awareRes, err := aware.Predict(price)
+	awareRes, err := aware.Predict(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,7 @@ func TestPredictLoadModes(t *testing.T) {
 		}
 	}
 	// …while grid demand is reduced below consumption by solar self-use.
-	grid, err := aware.PredictGridDemand(price)
+	grid, err := aware.PredictGridDemand(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +163,11 @@ func TestPredictPARMatchesLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	price := price24()
-	par, err := p.PredictPAR(price)
+	par, err := p.PredictPAR(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}
-	load, err := p.PredictLoad(price)
+	load, err := p.PredictLoad(context.Background(), price)
 	if err != nil {
 		t.Fatal(err)
 	}

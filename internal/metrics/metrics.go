@@ -2,9 +2,14 @@
 // peak-to-average ratio (via package timeseries), forecast error measures,
 // detection/observation accuracy, and confusion-matrix summaries for the
 // POMDP observation channel.
+//
+// Shape mismatches and empty inputs are reported as returned errors, never
+// panics (DESIGN.md "Scenario spec & cancellation contract"). Tests and other
+// call sites with statically valid inputs may use Must to unwrap.
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -13,36 +18,42 @@ import (
 )
 
 // RMSE returns the root-mean-square error between predicted and actual.
-func RMSE(pred, actual []float64) float64 {
-	checkLen(pred, actual)
+func RMSE(pred, actual []float64) (float64, error) {
+	if err := checkLen(pred, actual); err != nil {
+		return 0, err
+	}
 	if len(pred) == 0 {
-		return 0
+		return 0, nil
 	}
 	acc := 0.0
 	for i := range pred {
 		d := pred[i] - actual[i]
 		acc += d * d
 	}
-	return math.Sqrt(acc / float64(len(pred)))
+	return math.Sqrt(acc / float64(len(pred))), nil
 }
 
 // MAE returns the mean absolute error.
-func MAE(pred, actual []float64) float64 {
-	checkLen(pred, actual)
+func MAE(pred, actual []float64) (float64, error) {
+	if err := checkLen(pred, actual); err != nil {
+		return 0, err
+	}
 	if len(pred) == 0 {
-		return 0
+		return 0, nil
 	}
 	acc := 0.0
 	for i := range pred {
 		acc += math.Abs(pred[i] - actual[i])
 	}
-	return acc / float64(len(pred))
+	return acc / float64(len(pred)), nil
 }
 
 // MAPE returns the mean absolute percentage error in percent. Slots where
 // the actual value is zero are skipped; if every slot is zero it returns 0.
-func MAPE(pred, actual []float64) float64 {
-	checkLen(pred, actual)
+func MAPE(pred, actual []float64) (float64, error) {
+	if err := checkLen(pred, actual); err != nil {
+		return 0, err
+	}
 	acc, n := 0.0, 0
 	for i := range pred {
 		if actual[i] == 0 {
@@ -52,15 +63,16 @@ func MAPE(pred, actual []float64) float64 {
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	return 100 * acc / float64(n)
+	return 100 * acc / float64(n), nil
 }
 
-func checkLen(a, b []float64) {
+func checkLen(a, b []float64) error {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(a), len(b)))
+		return fmt.Errorf("metrics: length mismatch %d != %d", len(a), len(b))
 	}
+	return nil
 }
 
 // PAR returns the peak-to-average ratio of load.
@@ -71,12 +83,12 @@ func PAR(load []float64) float64 {
 // Accuracy returns the fraction of slots where the observed state matches the
 // true state — the paper's "observation accuracy" (Figure 6). The slices hold
 // per-slot discrete states (e.g. number of hacked meters, possibly bucketed).
-func Accuracy(observed, truth []int) float64 {
+func Accuracy(observed, truth []int) (float64, error) {
 	if len(observed) != len(truth) {
-		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(observed), len(truth)))
+		return 0, fmt.Errorf("metrics: length mismatch %d != %d", len(observed), len(truth))
 	}
 	if len(observed) == 0 {
-		return 0
+		return 0, nil
 	}
 	hits := 0
 	for i := range observed {
@@ -84,7 +96,7 @@ func Accuracy(observed, truth []int) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(observed))
+	return float64(hits) / float64(len(observed)), nil
 }
 
 // Confusion is a binary confusion matrix for attack detection events.
@@ -157,40 +169,41 @@ func (c *Confusion) String() string {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics. It panics on an empty slice.
-func Quantile(xs []float64, q float64) float64 {
+// interpolation between order statistics. An empty slice or out-of-range q is
+// an error.
+func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("metrics: Quantile of empty slice")
+		return 0, errors.New("metrics: Quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
-		panic(fmt.Sprintf("metrics: Quantile q=%v out of [0,1]", q))
+		return 0, fmt.Errorf("metrics: Quantile q=%v out of [0,1]", q)
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // BootstrapCI estimates a two-sided confidence interval for the mean of xs by
 // resampling. The draw function must return a uniform value in [0,1); nBoot
 // resamples are taken and the (alpha/2, 1-alpha/2) quantiles of the resampled
 // means are returned.
-func BootstrapCI(xs []float64, nBoot int, alpha float64, draw func() float64) (lo, hi float64) {
+func BootstrapCI(xs []float64, nBoot int, alpha float64, draw func() float64) (lo, hi float64, err error) {
 	if len(xs) == 0 {
-		panic("metrics: BootstrapCI of empty slice")
+		return 0, 0, errors.New("metrics: BootstrapCI of empty slice")
 	}
 	if nBoot <= 0 {
-		panic("metrics: BootstrapCI with non-positive nBoot")
+		return 0, 0, errors.New("metrics: BootstrapCI with non-positive nBoot")
 	}
 	means := make([]float64, nBoot)
 	for b := 0; b < nBoot; b++ {
@@ -204,15 +217,32 @@ func BootstrapCI(xs []float64, nBoot int, alpha float64, draw func() float64) (l
 		}
 		means[b] = sum / float64(len(xs))
 	}
-	return Quantile(means, alpha/2), Quantile(means, 1-alpha/2)
+	if lo, err = Quantile(means, alpha/2); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = Quantile(means, 1-alpha/2); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
 }
 
 // RelChange returns (a-b)/b as a signed fraction — the form the paper uses
 // for all its headline percentages (e.g. (1.9037-1.4700)/1.4700 = 29.50%).
-// It panics when b is zero.
-func RelChange(a, b float64) float64 {
+// A zero base is an error.
+func RelChange(a, b float64) (float64, error) {
 	if b == 0 {
-		panic("metrics: RelChange with zero base")
+		return 0, errors.New("metrics: RelChange with zero base")
 	}
-	return (a - b) / b
+	return (a - b) / b, nil
+}
+
+// Must unwraps a (value, error) pair, panicking on error. It is the one
+// documented panic escape hatch of this package, intended for tests and call
+// sites whose inputs are statically valid (equal-length slices built in the
+// same function).
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err) // lint:allow-panic — documented Must* helper
+	}
+	return v
 }

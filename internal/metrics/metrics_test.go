@@ -9,45 +9,60 @@ import (
 )
 
 func TestRMSE(t *testing.T) {
-	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+	if got := Must(RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})); got != 0 {
 		t.Fatalf("perfect RMSE = %v", got)
 	}
-	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+	if got := Must(RMSE([]float64{0, 0}, []float64{3, 4})); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
 		t.Fatalf("RMSE = %v", got)
 	}
-	if RMSE(nil, nil) != 0 {
+	if Must(RMSE(nil, nil)) != 0 {
 		t.Fatal("empty RMSE should be 0")
 	}
 }
 
 func TestMAE(t *testing.T) {
-	if got := MAE([]float64{1, 5}, []float64{2, 3}); got != 1.5 {
+	if got := Must(MAE([]float64{1, 5}, []float64{2, 3})); got != 1.5 {
 		t.Fatalf("MAE = %v", got)
 	}
 }
 
 func TestMAPE(t *testing.T) {
-	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	got := Must(MAPE([]float64{110, 90}, []float64{100, 100}))
 	if math.Abs(got-10) > 1e-12 {
 		t.Fatalf("MAPE = %v, want 10", got)
 	}
 	// Zero actuals are skipped.
-	got = MAPE([]float64{1, 110}, []float64{0, 100})
+	got = Must(MAPE([]float64{1, 110}, []float64{0, 100}))
 	if math.Abs(got-10) > 1e-12 {
 		t.Fatalf("MAPE with zero actual = %v, want 10", got)
 	}
-	if MAPE([]float64{1}, []float64{0}) != 0 {
+	if Must(MAPE([]float64{1}, []float64{0})) != 0 {
 		t.Fatal("all-zero actuals should yield 0")
 	}
 }
 
-func TestLengthMismatchPanics(t *testing.T) {
+func TestLengthMismatchErrors(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("RMSE mismatch did not error")
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("MAE mismatch did not error")
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("MAPE mismatch did not error")
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("Accuracy mismatch did not error")
+	}
+}
+
+func TestMustPanicsOnError(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("mismatch did not panic")
+			t.Fatal("Must did not panic on error")
 		}
 	}()
-	RMSE([]float64{1}, []float64{1, 2})
+	Must(RMSE([]float64{1}, []float64{1, 2}))
 }
 
 func TestPAR(t *testing.T) {
@@ -57,13 +72,13 @@ func TestPAR(t *testing.T) {
 }
 
 func TestAccuracy(t *testing.T) {
-	if got := Accuracy([]int{1, 2, 3}, []int{1, 2, 3}); got != 1 {
+	if got := Must(Accuracy([]int{1, 2, 3}, []int{1, 2, 3})); got != 1 {
 		t.Fatalf("Accuracy = %v", got)
 	}
-	if got := Accuracy([]int{1, 0, 3, 0}, []int{1, 2, 3, 4}); got != 0.5 {
+	if got := Must(Accuracy([]int{1, 0, 3, 0}, []int{1, 2, 3, 4})); got != 0.5 {
 		t.Fatalf("Accuracy = %v", got)
 	}
-	if Accuracy(nil, nil) != 0 {
+	if Must(Accuracy(nil, nil)) != 0 {
 		t.Fatal("empty Accuracy should be 0")
 	}
 }
@@ -111,42 +126,40 @@ func TestConfusionEmptyEdges(t *testing.T) {
 
 func TestQuantile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
-	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+	if Must(Quantile(xs, 0)) != 1 || Must(Quantile(xs, 1)) != 5 {
 		t.Fatal("quantile endpoints wrong")
 	}
-	if Quantile(xs, 0.5) != 3 {
-		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	if Must(Quantile(xs, 0.5)) != 3 {
+		t.Fatalf("median = %v", Must(Quantile(xs, 0.5)))
 	}
-	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+	if got := Must(Quantile([]float64{1, 2}, 0.5)); got != 1.5 {
 		t.Fatalf("interpolated median = %v", got)
 	}
-	if Quantile([]float64{7}, 0.3) != 7 {
+	if Must(Quantile([]float64{7}, 0.3)) != 7 {
 		t.Fatal("singleton quantile wrong")
 	}
 }
 
 func TestQuantileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
-	Quantile(xs, 0.5)
+	Must(Quantile(xs, 0.5))
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
 		t.Fatal("Quantile mutated input")
 	}
 }
 
-func TestQuantilePanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Quantile(nil, 0.5) },
-		func() { Quantile([]float64{1}, -0.1) },
-		func() { Quantile([]float64{1}, 1.1) },
+func TestQuantileErrors(t *testing.T) {
+	for _, tc := range []struct {
+		xs []float64
+		q  float64
+	}{
+		{nil, 0.5},
+		{[]float64{1}, -0.1},
+		{[]float64{1}, 1.1},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := Quantile(tc.xs, tc.q); err == nil {
+			t.Errorf("Quantile(%v, %v): expected error", tc.xs, tc.q)
+		}
 	}
 }
 
@@ -166,7 +179,7 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 		if q1 > q2 {
 			q1, q2 = q2, q1
 		}
-		return Quantile(raw, q1) <= Quantile(raw, q2)
+		return Must(Quantile(raw, q1)) <= Must(Quantile(raw, q2))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -179,7 +192,10 @@ func TestBootstrapCIBracketsMean(t *testing.T) {
 	for i := range xs {
 		xs[i] = s.Normal(10, 1)
 	}
-	lo, hi := BootstrapCI(xs, 300, 0.05, s.Float64)
+	lo, hi, err := BootstrapCI(xs, 300, 0.05, s.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lo >= hi {
 		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
 	}
@@ -191,16 +207,22 @@ func TestBootstrapCIBracketsMean(t *testing.T) {
 	}
 }
 
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, 100, 0.05, rng.New(1).Float64); err == nil {
+		t.Fatal("empty input did not error")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 0, 0.05, rng.New(1).Float64); err == nil {
+		t.Fatal("non-positive nBoot did not error")
+	}
+}
+
 func TestRelChange(t *testing.T) {
 	// The paper's own arithmetic: (1.9037-1.4700)/1.4700 = 29.50%.
-	got := RelChange(1.9037, 1.4700)
+	got := Must(RelChange(1.9037, 1.4700))
 	if math.Abs(got-0.2950) > 5e-4 {
 		t.Fatalf("RelChange = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero base did not panic")
-		}
-	}()
-	RelChange(1, 0)
+	if _, err := RelChange(1, 0); err == nil {
+		t.Fatal("zero base did not error")
+	}
 }

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingCtx cancels itself after its Err method has been polled limit
+// times. Done intentionally returns nil: the repository's cancellation
+// contract forbids blocking on Done, so any code path that did would
+// deadlock loudly here.
+type countingCtx struct {
+	polls atomic.Int64
+	limit int64
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool)       { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}             { return nil }
+func (c *countingCtx) Value(key interface{}) interface{} { return nil }
+func (c *countingCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestForEachPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran after pre-cancellation", ran.Load())
+	}
+	if out := Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked", out)
+	}
+}
+
+func TestForEachCancelMidwayStopsEarlyAndReleasesTokens(t *testing.T) {
+	const n = 1000
+	ctx := &countingCtx{limit: 10}
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, n, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pool polls per work item: once Err flips, no new item may start.
+	// A small overshoot is allowed for items already dispatched.
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("cancellation did not stop the loop: %d/%d items ran", got, n)
+	}
+	if out := Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked after cancellation", out)
+	}
+}
+
+func TestForEachErrorBeatsCancellation(t *testing.T) {
+	// An fn failure observed before cancellation wins over ctx.Err().
+	boom := errors.New("boom")
+	ctx := &countingCtx{limit: 1 << 60}
+	err := ForEach(ctx, 1, 5, func(i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestDoCancelledReleasesTokens(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, 4,
+		func() error { return nil },
+		func() error { return nil },
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out := Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked", out)
+	}
+}
+
+func TestNestedCancellationLeavesPoolClean(t *testing.T) {
+	ctx := &countingCtx{limit: 50}
+	err := ForEach(ctx, 4, 64, func(i int) error {
+		return ForEach(ctx, 4, 64, func(j int) error { return nil })
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out := Outstanding(); out != 0 {
+		t.Fatalf("%d helper tokens leaked from nested cancellation", out)
+	}
+}

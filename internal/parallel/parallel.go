@@ -17,9 +17,17 @@
 //     runtime.NumCPU() by default, and every ForEach caller also executes
 //     work on its own goroutine, guaranteeing progress even when the bucket
 //     is empty.
+//
+// Cancellation follows the repository-wide contract (DESIGN.md "Scenario
+// spec & cancellation contract"): every entry point takes a context and
+// polls ctx.Err() at work-item boundaries — no goroutine blocks on ctx.Done(),
+// so cancellation can never change which results a completed call produced,
+// only whether the call completes. A cancelled call still releases every
+// helper token it acquired before returning.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,6 +70,16 @@ func init() { global.Store(newLimiter(runtime.NumCPU())) }
 // Limit reports the current global helper-goroutine budget.
 func Limit() int { return global.Load().limit }
 
+// Outstanding reports how many helper tokens are currently checked out of
+// the global bucket. It is zero whenever no ForEach/Do call is in flight —
+// the invariant the cancellation tests assert: aborting a call must return
+// every token it acquired. (After SetLimit, in-flight work holds tokens of
+// the limiter it started with, which this no longer observes.)
+func Outstanding() int {
+	l := global.Load()
+	return l.limit - len(l.tokens)
+}
+
 // SetLimit replaces the global helper budget (n < 1 is treated as 1) and
 // returns the previous value. In-flight work keeps the budget it started
 // with; call it from main() or test setup, not concurrently with heavy work.
@@ -82,17 +100,31 @@ func Resolve(workers int) int {
 	return workers
 }
 
+// ctxErr reports the context's cancellation state; a nil context is treated
+// as never cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // ForEach runs fn(i) for every i in [0, n) using at most Resolve(workers)
 // concurrent executions, the calling goroutine included. The first error in
 // index order is returned (later indices may be skipped once an error is
 // observed). With workers == 1 (or n == 1) the loop runs inline in index
 // order, byte-identical to a plain for loop — the sequential reference path.
 //
+// The context is polled before every work item: once it is cancelled no new
+// item starts and ForEach returns ctx.Err() — unless some fn had already
+// failed, in which case that error (first in index order) wins. A nil ctx is
+// accepted and never cancels.
+//
 // fn must be safe for concurrent invocation when workers > 1: distinct
 // indices must not write to shared state.
-func ForEach(workers, n int, fn func(i int) error) error {
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctxErr(ctx)
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -100,6 +132,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -109,10 +144,14 @@ func ForEach(workers, n int, fn func(i int) error) error {
 
 	errs := make([]error, n)
 	var next int64
-	var failed atomic.Bool
+	var failed, cancelled atomic.Bool
 	run := func() {
 		for {
-			if failed.Load() {
+			if failed.Load() || cancelled.Load() {
+				return
+			}
+			if ctxErr(ctx) != nil {
+				cancelled.Store(true)
 				return
 			}
 			i := int(atomic.AddInt64(&next, 1)) - 1
@@ -150,12 +189,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
 	return nil
 }
 
 // Do runs the given tasks with at most Resolve(workers) executing
 // concurrently and returns the first error in argument order. With
-// workers == 1 the tasks run sequentially in order.
-func Do(workers int, tasks ...func() error) error {
-	return ForEach(workers, len(tasks), func(i int) error { return tasks[i]() })
+// workers == 1 the tasks run sequentially in order. Cancellation semantics
+// match ForEach.
+func Do(ctx context.Context, workers int, tasks ...func() error) error {
+	return ForEach(ctx, workers, len(tasks), func(i int) error { return tasks[i]() })
 }

@@ -25,7 +25,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		const n = 100
 		hits := make([]int64, n)
-		if err := ForEach(workers, n, func(i int) error {
+		if err := ForEach(nil, workers, n, func(i int) error {
 			atomic.AddInt64(&hits[i], 1)
 			return nil
 		}); err != nil {
@@ -40,11 +40,11 @@ func TestForEachCoversAllIndices(t *testing.T) {
 }
 
 func TestForEachEmptyAndSingle(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+	if err := ForEach(nil, 4, 0, func(int) error { return errors.New("boom") }); err != nil {
 		t.Fatal("n=0 must not invoke fn")
 	}
 	ran := false
-	if err := ForEach(4, 1, func(i int) error { ran = true; return nil }); err != nil {
+	if err := ForEach(nil, 4, 1, func(i int) error { ran = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !ran {
@@ -54,7 +54,7 @@ func TestForEachEmptyAndSingle(t *testing.T) {
 
 func TestForEachSequentialStopsAtFirstError(t *testing.T) {
 	var calls int
-	err := ForEach(1, 10, func(i int) error {
+	err := ForEach(nil, 1, 10, func(i int) error {
 		calls++
 		if i == 3 {
 			return fmt.Errorf("fail at %d", i)
@@ -74,7 +74,7 @@ func TestForEachParallelReturnsLowestIndexError(t *testing.T) {
 	defer SetLimit(prev)
 	// Every index fails; the reported error must deterministically be the
 	// lowest index that executed — and index 0 always executes.
-	err := ForEach(8, 50, func(i int) error { return fmt.Errorf("fail at %d", i) })
+	err := ForEach(nil, 8, 50, func(i int) error { return fmt.Errorf("fail at %d", i) })
 	if err == nil || err.Error() != "fail at 0" {
 		t.Fatalf("err = %v, want fail at 0", err)
 	}
@@ -82,7 +82,7 @@ func TestForEachParallelReturnsLowestIndexError(t *testing.T) {
 
 func TestDoRunsAllTasks(t *testing.T) {
 	var a, b int32
-	err := Do(4,
+	err := Do(nil, 4,
 		func() error { atomic.StoreInt32(&a, 1); return nil },
 		func() error { atomic.StoreInt32(&b, 2); return nil },
 	)
@@ -114,8 +114,8 @@ func TestForEachNestedDoesNotDeadlock(t *testing.T) {
 	prev := SetLimit(2)
 	defer SetLimit(prev)
 	var total int64
-	err := ForEach(4, 8, func(i int) error {
-		return ForEach(4, 8, func(j int) error {
+	err := ForEach(nil, 4, 8, func(i int) error {
+		return ForEach(nil, 4, 8, func(j int) error {
 			atomic.AddInt64(&total, 1)
 			return nil
 		})

@@ -1,6 +1,7 @@
 package pomdp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -19,8 +20,9 @@ type FiniteHorizonPolicy struct {
 // of decision stages by full enumeration with pointwise-dominance pruning.
 // The cross-sum over observations grows the vector set as |V|^|O| per
 // action, so this is only tractable for small models and short horizons —
-// exactly its intended use.
-func SolveFiniteHorizon(m *Model, horizon int) (*FiniteHorizonPolicy, error) {
+// exactly its intended use. The context is polled once per stage; cancelling
+// it returns ctx.Err(). A nil ctx never cancels.
+func SolveFiniteHorizon(ctx context.Context, m *Model, horizon int) (*FiniteHorizonPolicy, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,6 +35,11 @@ func SolveFiniteHorizon(m *Model, horizon int) (*FiniteHorizonPolicy, error) {
 	stages[0] = []alphaVec{{v: make([]float64, m.NumStates), action: 0}}
 
 	for t := 1; t <= horizon; t++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		prev := stages[t-1]
 		var next []alphaVec
 		for a := 0; a < m.NumActions; a++ {

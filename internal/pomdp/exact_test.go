@@ -1,23 +1,24 @@
 package pomdp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
 
 func TestFiniteHorizonValidation(t *testing.T) {
-	if _, err := SolveFiniteHorizon(tiger(), 0); err == nil {
+	if _, err := SolveFiniteHorizon(context.Background(), tiger(), 0); err == nil {
 		t.Error("zero horizon accepted")
 	}
 	bad := tiger()
 	bad.Discount = 1.5
-	if _, err := SolveFiniteHorizon(bad, 2); err == nil {
+	if _, err := SolveFiniteHorizon(context.Background(), bad, 2); err == nil {
 		t.Error("invalid model accepted")
 	}
 }
 
 func TestFiniteHorizonOneStepTiger(t *testing.T) {
-	p, err := SolveFiniteHorizon(tiger(), 1)
+	p, err := SolveFiniteHorizon(context.Background(), tiger(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestFiniteHorizonTwoStepTigerExact(t *testing.T) {
 	// which resets the episode to 50/50, then the best final move is to
 	// listen (−1): V₂ = 10 + 0.95·(−1) = 9.05. (Listening first is worse:
 	// −1 + 0.95·(0.85·10 − 0.15·100) < 0.)
-	p, err := SolveFiniteHorizon(tiger(), 2)
+	p, err := SolveFiniteHorizon(context.Background(), tiger(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestFiniteHorizonUpperBoundsPBVIValue(t *testing.T) {
 	// discounted-infinite optimum approximated by PBVI by more than the
 	// tail bound.
 	m := tiger()
-	exact, err := SolveFiniteHorizon(m, 3)
+	exact, err := SolveFiniteHorizon(context.Background(), m, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pbvi, err := SolvePBVI(m, DefaultPBVIOptions())
+	pbvi, err := SolvePBVI(context.Background(), m, DefaultPBVIOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFiniteHorizonAgreesWithHandComputedChain(t *testing.T) {
 	m.R[0] = []float64{0, 1}
 	m.R[1] = []float64{0, 0}
 
-	p, err := SolveFiniteHorizon(m, 2)
+	p, err := SolveFiniteHorizon(context.Background(), m, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFiniteHorizonAgreesWithHandComputedChain(t *testing.T) {
 }
 
 func TestFiniteHorizonValueAtClamps(t *testing.T) {
-	p, err := SolveFiniteHorizon(tiger(), 2)
+	p, err := SolveFiniteHorizon(context.Background(), tiger(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package pomdp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -144,7 +145,7 @@ func TestQMDPOnKnownMDP(t *testing.T) {
 	}
 	m.R[0] = []float64{0, 1}
 	m.R[1] = []float64{0, 0}
-	pol, err := SolveQMDP(m, 1e-10, 1000)
+	pol, err := SolveQMDP(context.Background(), m, 1e-10, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,20 +166,20 @@ func TestQMDPOnKnownMDP(t *testing.T) {
 
 func TestQMDPBadParams(t *testing.T) {
 	m := tiger()
-	if _, err := SolveQMDP(m, 0, 100); err == nil {
+	if _, err := SolveQMDP(context.Background(), m, 0, 100); err == nil {
 		t.Error("zero tolerance accepted")
 	}
-	if _, err := SolveQMDP(m, 1e-6, 0); err == nil {
+	if _, err := SolveQMDP(context.Background(), m, 1e-6, 0); err == nil {
 		t.Error("zero iterations accepted")
 	}
 	m.Discount = 2
-	if _, err := SolveQMDP(m, 1e-6, 100); err == nil {
+	if _, err := SolveQMDP(context.Background(), m, 1e-6, 100); err == nil {
 		t.Error("invalid model accepted")
 	}
 }
 
 func TestPBVITigerListensWhenUncertain(t *testing.T) {
-	pol, err := SolvePBVI(tiger(), DefaultPBVIOptions())
+	pol, err := SolvePBVI(context.Background(), tiger(), DefaultPBVIOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestPBVITigerListensWhenUncertain(t *testing.T) {
 }
 
 func TestPBVITigerValueShape(t *testing.T) {
-	pol, err := SolvePBVI(tiger(), DefaultPBVIOptions())
+	pol, err := SolvePBVI(context.Background(), tiger(), DefaultPBVIOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestPBVITigerValueShape(t *testing.T) {
 
 func TestPBVIBeatsThresholdOnTiger(t *testing.T) {
 	m := tiger()
-	pbvi, err := SolvePBVI(m, DefaultPBVIOptions())
+	pbvi, err := SolvePBVI(context.Background(), m, DefaultPBVIOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,14 +239,14 @@ func TestPBVIBeatsThresholdOnTiger(t *testing.T) {
 
 func TestPBVIOptionsValidation(t *testing.T) {
 	m := tiger()
-	if _, err := SolvePBVI(m, PBVIOptions{NumBeliefs: 0, Iterations: 5}); err == nil {
+	if _, err := SolvePBVI(context.Background(), m, PBVIOptions{NumBeliefs: 0, Iterations: 5}); err == nil {
 		t.Error("zero beliefs accepted")
 	}
-	if _, err := SolvePBVI(m, PBVIOptions{NumBeliefs: 5, Iterations: 0}); err == nil {
+	if _, err := SolvePBVI(context.Background(), m, PBVIOptions{NumBeliefs: 5, Iterations: 0}); err == nil {
 		t.Error("zero iterations accepted")
 	}
 	m.Discount = -1
-	if _, err := SolvePBVI(m, DefaultPBVIOptions()); err == nil {
+	if _, err := SolvePBVI(context.Background(), m, DefaultPBVIOptions()); err == nil {
 		t.Error("invalid model accepted")
 	}
 }
@@ -265,7 +266,7 @@ func TestThresholdPolicy(t *testing.T) {
 
 func TestSimulateDeterministic(t *testing.T) {
 	m := tiger()
-	pol, err := SolveQMDP(m, 1e-8, 500)
+	pol, err := SolveQMDP(context.Background(), m, 1e-8, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

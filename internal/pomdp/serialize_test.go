@@ -2,13 +2,14 @@ package pomdp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestPBVIPolicyRoundTrip(t *testing.T) {
 	m := tiger()
-	pol, err := SolvePBVI(m, DefaultPBVIOptions())
+	pol, err := SolvePBVI(context.Background(), m, DefaultPBVIOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestPBVIPolicyRoundTrip(t *testing.T) {
 
 func TestQMDPPolicyRoundTrip(t *testing.T) {
 	m := tiger()
-	pol, err := SolveQMDP(m, 1e-9, 2000)
+	pol, err := SolveQMDP(context.Background(), m, 1e-9, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package pomdp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,8 +17,9 @@ type QMDPPolicy struct {
 }
 
 // SolveQMDP runs value iteration on the underlying MDP to the given residual
-// tolerance and returns the policy.
-func SolveQMDP(m *Model, tol float64, maxIter int) (*QMDPPolicy, error) {
+// tolerance and returns the policy. The context is polled once per value-
+// iteration round; cancelling it returns ctx.Err(). A nil ctx never cancels.
+func SolveQMDP(ctx context.Context, m *Model, tol float64, maxIter int) (*QMDPPolicy, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,6 +32,11 @@ func SolveQMDP(m *Model, tol float64, maxIter int) (*QMDPPolicy, error) {
 		q[s] = make([]float64, m.NumActions)
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		delta := 0.0
 		for s := 0; s < m.NumStates; s++ {
 			best := math.Inf(-1)
@@ -118,7 +125,9 @@ func DefaultPBVIOptions() PBVIOptions {
 // SolvePBVI runs point-based value iteration. The belief set contains every
 // corner (point) belief, the uniform belief, and random Dirichlet-ish
 // samples; each iteration performs the standard PBVI backup at every point.
-func SolvePBVI(m *Model, opts PBVIOptions) (*PBVIPolicy, error) {
+// The context is polled once per backup round; cancelling it returns
+// ctx.Err(). A nil ctx never cancels.
+func SolvePBVI(ctx context.Context, m *Model, opts PBVIOptions) (*PBVIPolicy, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -181,6 +190,11 @@ func SolvePBVI(m *Model, opts PBVIOptions) (*PBVIPolicy, error) {
 	}
 
 	for iter := 0; iter < opts.Iterations; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		next := make([]alphaVec, 0, len(beliefs))
 		for _, b := range beliefs {
 			// Point-based backup at b.

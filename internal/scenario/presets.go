@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Presets are the named scenarios behind the paper's evaluation section:
+// every figure and table runs the same paper-scale community (N=500, seed
+// 42), so each preset is Default(500, 42) tagged with the experiment's name.
+// Which experiment consumes the scenario is the front end's choice
+// (nmrepro -experiment); the preset pins the world it runs in.
+var presetNames = []string{"fig3", "fig4", "fig5", "fig6", "table1"}
+
+// Preset returns the named preset scenario, or an error listing the valid
+// names. The returned spec always validates.
+func Preset(name string) (Spec, error) {
+	for _, p := range presetNames {
+		if p == name {
+			s := Default(500, 42)
+			s.Name = name
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(presetNames, ", "))
+}
+
+// PresetNames lists the available preset scenarios in stable order.
+func PresetNames() []string {
+	out := append([]string(nil), presetNames...)
+	sort.Strings(out)
+	return out
+}
+
+// Resolve turns a -scenario flag value into a Spec: a preset name if one
+// matches, otherwise a path to a JSON scenario file.
+func Resolve(ref string) (Spec, error) {
+	for _, p := range presetNames {
+		if p == ref {
+			return Preset(ref)
+		}
+	}
+	return LoadFile(ref)
+}

@@ -1,0 +1,415 @@
+// Package scenario is the single declarative description of an experiment:
+// community size and seed, tariff, PV/weather noise, attack campaign,
+// detector knobs, game-solver budgets and the simulation horizon, all in one
+// JSON-(de)serializable Spec. Every front end (cmd/nmrepro, cmd/nmsim,
+// cmd/nmdetect, the examples) and the figure harness build their
+// package-level configurations from a Spec through the builder methods, so
+// one file describes a run end to end and a content hash (ID) names it.
+//
+// Contract (DESIGN.md "Scenario spec & cancellation contract"):
+//
+//   - Determinism: a Spec plus its Seed fully determines every result bit.
+//     The builders lower the Spec into community.Config, game.Config,
+//     core.Options and experiments.Config without introducing state of their
+//     own, and Default(n, seed) reproduces the historical defaults exactly —
+//     Preset specs regenerate the recorded seed-42 outputs byte for byte.
+//   - Hash stability: ID() hashes the canonical JSON encoding with the one
+//     execution-only field (Game.Workers) zeroed, because Workers never
+//     affects results. Game.JacobiBlock DOES select a (deterministic)
+//     equilibrium path, so it stays in the hash. Two Specs with equal IDs
+//     produce identical outputs; renaming a scenario changes its ID.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/community"
+	"nmdetect/internal/core"
+	"nmdetect/internal/experiments"
+	"nmdetect/internal/game"
+	"nmdetect/internal/tariff"
+)
+
+// Horizon fixes the simulated time structure of a run.
+type Horizon struct {
+	// BootstrapDays is the clean training-history length.
+	BootstrapDays int `json:"bootstrap_days"`
+	// BaselineDays is the number of clean days each detector kit uses to
+	// learn its per-meter baseline correction.
+	BaselineDays int `json:"baseline_days"`
+	// MonitorDays is the long-term monitoring window (2 days = 48 h).
+	MonitorDays int `json:"monitor_days"`
+	// SimDays is the open-loop trace length cmd/nmsim produces (no detector
+	// in the loop).
+	SimDays int `json:"sim_days"`
+}
+
+// Tariff describes the utility's quadratic cost model.
+type Tariff struct {
+	// SellBackW is the net-metering sell-back divisor W (>= 1; the paper
+	// uses 1.5).
+	SellBackW float64 `json:"sell_back_w"`
+}
+
+// PV describes the renewable side: generation forecast quality and the
+// meter measurement channel.
+type PV struct {
+	// ForecastSigma is the relative noise of the day-ahead renewable
+	// forecast; 0 makes forecasts exact (the paper's assumption).
+	ForecastSigma float64 `json:"forecast_sigma"`
+	// MeasurementNoise is the per-meter, per-slot load measurement noise in
+	// kW. 0 means exactly zero noise — unlike the zero-is-default override
+	// convention of experiments.Config, a Spec states every value
+	// explicitly.
+	MeasurementNoise float64 `json:"measurement_noise"`
+}
+
+// Attack selects the price-manipulation payload hacked meters receive.
+type Attack struct {
+	// Kind is one of "zero" (ZeroWindow), "scale" (ScaleWindow), "invert"
+	// or "none".
+	Kind string `json:"kind"`
+	// From and To bound the manipulated slot window (inclusive) for the
+	// windowed kinds.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Factor is the price multiplier for kind "scale".
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Campaign describes the meter-compromise process the POMDP tracks.
+type Campaign struct {
+	// HackProb is the per-slot probability of one additional compromise
+	// batch.
+	HackProb float64 `json:"hack_prob"`
+	// BatchLo and BatchHi bound the batch size per successful strike.
+	BatchLo int `json:"batch_lo"`
+	BatchHi int `json:"batch_hi"`
+}
+
+// Detector holds the two-tier detection knobs.
+type Detector struct {
+	// FlagTau is the per-meter deviation threshold in kW.
+	FlagTau float64 `json:"flag_tau"`
+	// DeltaPAR is the single-event PAR threshold δ_P.
+	DeltaPAR float64 `json:"delta_par"`
+	// CalibFrac is the hacked fraction used for channel calibration.
+	CalibFrac float64 `json:"calib_frac"`
+	// Solver picks the POMDP policy solver: "pbvi", "qmdp" or "threshold".
+	Solver string `json:"solver"`
+}
+
+// Game holds the scheduling-game solver budgets.
+type Game struct {
+	// Sweeps bounds the best-response sweeps per solve.
+	Sweeps int `json:"sweeps"`
+	// Workers is the engine-wide worker budget. Purely an execution knob —
+	// it never affects results and is excluded from ID().
+	Workers int `json:"workers"`
+	// JacobiBlock is the block-Jacobi partition size (0 = sequential
+	// Gauss-Seidel, the reference semantics). Part of the content hash:
+	// blocks select a deterministically different equilibrium path.
+	JacobiBlock int `json:"jacobi_block"`
+}
+
+// Spec is the complete declarative description of one experiment scenario.
+type Spec struct {
+	// Name labels the scenario (preset name or a user-chosen tag).
+	Name string `json:"name,omitempty"`
+	// N is the community size; Seed drives every stochastic component.
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+
+	Horizon  Horizon  `json:"horizon"`
+	Tariff   Tariff   `json:"tariff"`
+	PV       PV       `json:"pv"`
+	Attack   Attack   `json:"attack"`
+	Campaign Campaign `json:"campaign"`
+	Detector Detector `json:"detector"`
+	Game     Game     `json:"game"`
+}
+
+// Default returns the paper's scenario for a community of n meters: the
+// values every recorded experiment was produced with. It mirrors
+// community.DefaultConfig, core.DefaultOptions and experiments.DefaultConfig
+// — the builder methods of a Default spec reproduce those configurations
+// field for field.
+func Default(n int, seed uint64) Spec {
+	return Spec{
+		N:    n,
+		Seed: seed,
+		Horizon: Horizon{
+			BootstrapDays: 6,
+			BaselineDays:  2,
+			MonitorDays:   2,
+			SimDays:       7,
+		},
+		Tariff: Tariff{SellBackW: 1.5},
+		PV: PV{
+			ForecastSigma:    0,
+			MeasurementNoise: 0.05,
+		},
+		Attack:   Attack{Kind: "zero", From: 16, To: 17},
+		Campaign: Campaign{HackProb: 0.10, BatchLo: maxInt(1, n/20), BatchHi: maxInt(2, n/8)},
+		Detector: Detector{FlagTau: 0.5, DeltaPAR: 0.05, CalibFrac: 0.4, Solver: "pbvi"},
+		Game:     Game{Sweeps: 3, Workers: 0, JacobiBlock: 0},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks every field range. A valid Spec lowers into valid
+// community, game, core and experiments configurations.
+func (s Spec) Validate() error {
+	if s.N < 3 {
+		return fmt.Errorf("scenario: community size %d too small (need >= 3)", s.N)
+	}
+	if s.Horizon.BootstrapDays < 3 {
+		return fmt.Errorf("scenario: need at least 3 bootstrap days, got %d", s.Horizon.BootstrapDays)
+	}
+	if s.Horizon.BaselineDays < 1 {
+		return fmt.Errorf("scenario: baseline days %d must be positive", s.Horizon.BaselineDays)
+	}
+	if s.Horizon.MonitorDays < 1 {
+		return fmt.Errorf("scenario: monitor days %d must be positive", s.Horizon.MonitorDays)
+	}
+	if s.Horizon.SimDays < 1 {
+		return fmt.Errorf("scenario: sim days %d must be positive", s.Horizon.SimDays)
+	}
+	if s.Tariff.SellBackW < 1 {
+		return fmt.Errorf("scenario: sell-back divisor W=%v must be >= 1", s.Tariff.SellBackW)
+	}
+	if s.PV.ForecastSigma < 0 || s.PV.MeasurementNoise < 0 {
+		return fmt.Errorf("scenario: negative noise parameter")
+	}
+	switch s.Attack.Kind {
+	case "zero", "scale":
+		if s.Attack.From < 0 || s.Attack.To > 23 || s.Attack.From > s.Attack.To {
+			return fmt.Errorf("scenario: attack window [%d,%d] out of [0,23]", s.Attack.From, s.Attack.To)
+		}
+		if s.Attack.Kind == "scale" && s.Attack.Factor < 0 {
+			return fmt.Errorf("scenario: scale factor %v must be non-negative", s.Attack.Factor)
+		}
+	case "invert", "none":
+	default:
+		return fmt.Errorf("scenario: unknown attack kind %q (want zero|scale|invert|none)", s.Attack.Kind)
+	}
+	if s.Campaign.HackProb <= 0 || s.Campaign.HackProb > 1 {
+		return fmt.Errorf("scenario: hack probability %v out of (0,1]", s.Campaign.HackProb)
+	}
+	if s.Campaign.BatchLo < 1 || s.Campaign.BatchHi < s.Campaign.BatchLo {
+		return fmt.Errorf("scenario: campaign batch range [%d,%d] invalid", s.Campaign.BatchLo, s.Campaign.BatchHi)
+	}
+	if s.Detector.FlagTau <= 0 || s.Detector.DeltaPAR <= 0 {
+		return fmt.Errorf("scenario: detector thresholds must be positive")
+	}
+	if s.Detector.CalibFrac <= 0 || s.Detector.CalibFrac >= 1 {
+		return fmt.Errorf("scenario: calibration fraction %v out of (0,1)", s.Detector.CalibFrac)
+	}
+	switch core.PolicySolver(s.Detector.Solver) {
+	case core.SolverPBVI, core.SolverQMDP, core.SolverThreshold:
+	default:
+		return fmt.Errorf("scenario: unknown solver %q (want pbvi|qmdp|threshold)", s.Detector.Solver)
+	}
+	if s.Game.Sweeps < 1 {
+		return fmt.Errorf("scenario: game sweeps %d must be positive", s.Game.Sweeps)
+	}
+	if s.Game.Workers < 0 || s.Game.JacobiBlock < 0 {
+		return fmt.Errorf("scenario: negative parallelism knob")
+	}
+	return nil
+}
+
+// ID returns the stable content hash naming this scenario:
+// "sc-" + the first 16 hex digits of the SHA-256 of the canonical JSON
+// encoding with Game.Workers zeroed. encoding/json emits struct fields in
+// declaration order, so the encoding — and therefore the hash — is canonical
+// by construction. Everything except Workers is content: two Specs with the
+// same ID produce bitwise-identical results.
+func (s Spec) ID() string {
+	s.Game.Workers = 0
+	data, err := json.Marshal(s)
+	if err != nil {
+		// A Spec contains only plain data fields; Marshal cannot fail.
+		panic(err) // lint:allow-panic — unreachable by construction
+	}
+	sum := sha256.Sum256(data)
+	return "sc-" + hex.EncodeToString(sum[:])[:16]
+}
+
+// BuildAttack constructs the manipulation payload the spec describes.
+func (s Spec) BuildAttack() (attack.Attack, error) {
+	switch s.Attack.Kind {
+	case "zero":
+		return attack.ZeroWindow{From: s.Attack.From, To: s.Attack.To}, nil
+	case "scale":
+		return attack.ScaleWindow{From: s.Attack.From, To: s.Attack.To, Factor: s.Attack.Factor}, nil
+	case "invert":
+		return attack.Invert{}, nil
+	case "none":
+		return attack.None{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown attack kind %q", s.Attack.Kind)
+	}
+}
+
+// CommunityConfig lowers the spec into the simulation-engine configuration.
+func (s Spec) CommunityConfig() community.Config {
+	c := community.DefaultConfig(s.N, s.Seed)
+	c.Tariff.W = s.Tariff.SellBackW
+	c.SolarForecastSigma = s.PV.ForecastSigma
+	c.MeasurementNoise = s.PV.MeasurementNoise
+	c.GameSweeps = s.Game.Sweeps
+	c.Workers = s.Game.Workers
+	c.GameJacobiBlock = s.Game.JacobiBlock
+	return c
+}
+
+// NewEngine validates the spec and constructs the community simulation
+// engine it describes.
+func (s Spec) NewEngine() (*community.Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return community.NewEngine(s.CommunityConfig())
+}
+
+// GameConfig lowers the spec into the scheduling-game solver configuration —
+// the same lowering community.Engine.GameConfig performs, so detectors built
+// from the spec reproduce the engine's solves exactly.
+func (s Spec) GameConfig(netMetering bool) game.Config {
+	cfg := game.DefaultConfig(tariff.Quadratic{W: s.Tariff.SellBackW}, netMetering)
+	cfg.MaxSweeps = s.Game.Sweeps
+	cfg.Workers = s.Game.Workers
+	cfg.JacobiBlock = s.Game.JacobiBlock
+	return cfg
+}
+
+// CoreOptions lowers the spec into the full-pipeline options of package core.
+// The attack payload is built with BuildAttack; an invalid kind surfaces
+// there (and in Validate), so CoreOptions itself stays infallible for valid
+// specs — callers should Validate first.
+func (s Spec) CoreOptions() (core.Options, error) {
+	atk, err := s.BuildAttack()
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.DefaultOptions(s.N, s.Seed)
+	opts.Community = s.CommunityConfig()
+	opts.BootstrapDays = s.Horizon.BootstrapDays
+	opts.BaselineDays = s.Horizon.BaselineDays
+	opts.FlagTau = s.Detector.FlagTau
+	opts.DeltaPAR = s.Detector.DeltaPAR
+	opts.CalibFrac = s.Detector.CalibFrac
+	opts.HackProb = s.Campaign.HackProb
+	opts.BatchLo = s.Campaign.BatchLo
+	opts.BatchHi = s.Campaign.BatchHi
+	opts.Attack = atk
+	opts.Solver = core.PolicySolver(s.Detector.Solver)
+	return opts, nil
+}
+
+// ExperimentsConfig lowers the spec into the figure-harness configuration.
+// The harness's override fields follow a zero-is-default convention, so each
+// spec value maps to an override only when it differs from the default that
+// a zero selects — a Default/Preset spec therefore lowers to exactly
+// experiments.DefaultConfig() (the recorded seed-42 outputs stay byte
+// identical), and any deviation flows through as an explicit override.
+func (s Spec) ExperimentsConfig() experiments.Config {
+	cfg := experiments.Config{
+		N:             s.N,
+		Seed:          s.Seed,
+		BootstrapDays: s.Horizon.BootstrapDays,
+		GameSweeps:    s.Game.Sweeps,
+		MonitorDays:   s.Horizon.MonitorDays,
+		Solver:        core.PolicySolver(s.Detector.Solver),
+		Workers:       s.Game.Workers,
+		JacobiBlock:   s.Game.JacobiBlock,
+	}
+	if s.Detector.FlagTau != 0.5 {
+		cfg.FlagTau = s.Detector.FlagTau
+	}
+	if s.Detector.DeltaPAR != 0.05 {
+		cfg.DeltaPAR = s.Detector.DeltaPAR
+	}
+	if s.Detector.CalibFrac != 0.4 {
+		cfg.CalibFrac = s.Detector.CalibFrac
+	}
+	if s.Tariff.SellBackW != 1.5 {
+		cfg.SellBackW = s.Tariff.SellBackW
+	}
+	cfg.SolarForecastSigma = s.PV.ForecastSigma // default 0 is already a no-op
+	switch {
+	case s.PV.MeasurementNoise == 0.05: // the community default: no override
+	case s.PV.MeasurementNoise == 0:
+		cfg.MeasurementNoise = -1 // the harness's exactly-zero sentinel
+	default:
+		cfg.MeasurementNoise = s.PV.MeasurementNoise
+	}
+	if s.Campaign.HackProb != 0.10 {
+		cfg.HackProb = s.Campaign.HackProb
+	}
+	if s.Campaign.BatchLo != maxInt(1, s.N/20) {
+		cfg.BatchLo = s.Campaign.BatchLo
+	}
+	if s.Campaign.BatchHi != maxInt(2, s.N/8) {
+		cfg.BatchHi = s.Campaign.BatchHi
+	}
+	if s.Attack != (Attack{Kind: "zero", From: 16, To: 17}) {
+		// BuildAttack cannot fail for a validated spec.
+		if atk, err := s.BuildAttack(); err == nil {
+			cfg.Attack = atk
+		}
+	}
+	return cfg
+}
+
+// Load decodes a Spec from JSON. Unknown fields are rejected so typos in a
+// scenario file fail loudly instead of silently selecting defaults.
+func Load(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadFile reads and validates a scenario file.
+func LoadFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the spec as indented JSON.
+func (s Spec) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}

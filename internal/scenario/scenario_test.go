@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nmdetect/internal/community"
+	"nmdetect/internal/core"
+	"nmdetect/internal/experiments"
+)
+
+func TestRoundTripPreservesSpecAndID(t *testing.T) {
+	orig := Default(120, 7)
+	orig.Name = "round-trip"
+	orig.Attack = Attack{Kind: "scale", From: 10, To: 14, Factor: 0.5}
+	orig.Game.JacobiBlock = 8
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip changed the spec:\n orig %+v\n back %+v", orig, back)
+	}
+	if orig.ID() != back.ID() {
+		t.Fatalf("round trip changed the ID: %s -> %s", orig.ID(), back.ID())
+	}
+}
+
+func TestIDContentSemantics(t *testing.T) {
+	base := Default(500, 42)
+	if !strings.HasPrefix(base.ID(), "sc-") || len(base.ID()) != len("sc-")+16 {
+		t.Fatalf("malformed ID %q", base.ID())
+	}
+
+	// Workers is execution-only: it must not move the hash.
+	par := base
+	par.Game.Workers = 8
+	if par.ID() != base.ID() {
+		t.Fatalf("Workers changed the ID: %s vs %s", par.ID(), base.ID())
+	}
+
+	// Everything else is content.
+	for name, mutate := range map[string]func(*Spec){
+		"seed":   func(s *Spec) { s.Seed = 43 },
+		"n":      func(s *Spec) { s.N = 400 },
+		"name":   func(s *Spec) { s.Name = "renamed" },
+		"jacobi": func(s *Spec) { s.Game.JacobiBlock = 4 },
+		"attack": func(s *Spec) { s.Attack.To = 18 },
+		"tau":    func(s *Spec) { s.Detector.FlagTau = 0.6 },
+	} {
+		mut := base
+		mutate(&mut)
+		if mut.ID() == base.ID() {
+			t.Errorf("%s: content mutation did not change the ID", name)
+		}
+	}
+}
+
+func TestDefaultSpecLowersToPackageDefaults(t *testing.T) {
+	spec := Default(500, 42)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := spec.CommunityConfig(), community.DefaultConfig(500, 42); !reflect.DeepEqual(got, want) {
+		t.Errorf("CommunityConfig diverges from community.DefaultConfig:\n got %+v\nwant %+v", got, want)
+	}
+	opts, err := spec.CoreOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := core.DefaultOptions(500, 42); !reflect.DeepEqual(opts, want) {
+		t.Errorf("CoreOptions diverges from core.DefaultOptions:\n got %+v\nwant %+v", opts, want)
+	}
+}
+
+func TestPresetsReproduceRecordedHarnessConfig(t *testing.T) {
+	// The recorded seed-42 figures were produced with
+	// experiments.DefaultConfig(); every preset must lower to exactly that
+	// so `nmrepro -scenario fig6` stays byte-identical to the archive.
+	want := experiments.DefaultConfig()
+	for _, name := range PresetNames() {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("Preset(%q).Name = %q", name, spec.Name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Preset(%q) invalid: %v", name, err)
+		}
+		if got := spec.ExperimentsConfig(); !reflect.DeepEqual(got, want) {
+			t.Errorf("Preset(%q).ExperimentsConfig diverges:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+func TestExperimentsConfigOverrides(t *testing.T) {
+	spec := Default(500, 42)
+	spec.PV.MeasurementNoise = 0 // exactly-zero noise -> -1 sentinel
+	spec.Detector.FlagTau = 0.7
+	spec.Tariff.SellBackW = 2.0
+	cfg := spec.ExperimentsConfig()
+	if cfg.MeasurementNoise != -1 {
+		t.Errorf("zero measurement noise should lower to the -1 sentinel, got %v", cfg.MeasurementNoise)
+	}
+	if cfg.FlagTau != 0.7 || cfg.SellBackW != 2.0 {
+		t.Errorf("overrides not forwarded: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("lowered config invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"tiny community":   func(s *Spec) { s.N = 2 },
+		"short bootstrap":  func(s *Spec) { s.Horizon.BootstrapDays = 2 },
+		"no monitor days":  func(s *Spec) { s.Horizon.MonitorDays = 0 },
+		"no sim days":      func(s *Spec) { s.Horizon.SimDays = 0 },
+		"sell-back < 1":    func(s *Spec) { s.Tariff.SellBackW = 0.5 },
+		"negative noise":   func(s *Spec) { s.PV.MeasurementNoise = -0.1 },
+		"bad attack kind":  func(s *Spec) { s.Attack.Kind = "pulse" },
+		"window inverted":  func(s *Spec) { s.Attack.From = 20; s.Attack.To = 10 },
+		"window overflow":  func(s *Spec) { s.Attack.To = 24 },
+		"hack prob zero":   func(s *Spec) { s.Campaign.HackProb = 0 },
+		"hack prob > 1":    func(s *Spec) { s.Campaign.HackProb = 1.5 },
+		"batch inverted":   func(s *Spec) { s.Campaign.BatchLo = 9; s.Campaign.BatchHi = 3 },
+		"tau zero":         func(s *Spec) { s.Detector.FlagTau = 0 },
+		"calib frac one":   func(s *Spec) { s.Detector.CalibFrac = 1 },
+		"bad solver":       func(s *Spec) { s.Detector.Solver = "lp" },
+		"no sweeps":        func(s *Spec) { s.Game.Sweeps = 0 },
+		"negative workers": func(s *Spec) { s.Game.Workers = -1 },
+		"negative jacobi":  func(s *Spec) { s.Game.JacobiBlock = -1 },
+	}
+	for name, mutate := range cases {
+		spec := Default(100, 1)
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", name)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	spec := Default(100, 1)
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a typo'd field.
+	bad := strings.Replace(string(data), `"n":`, `"num_houses": 9, "n":`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("Load accepted an unknown field")
+	}
+	if _, err := Load(strings.NewReader(string(data))); err != nil {
+		t.Fatalf("Load rejected its own output: %v", err)
+	}
+}
+
+func TestResolvePresetThenFile(t *testing.T) {
+	fromPreset, err := Resolve("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPreset.Name != "fig6" {
+		t.Fatalf("Resolve(fig6).Name = %q", fromPreset.Name)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.json")
+	custom := Default(64, 11)
+	custom.Name = "custom"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := custom.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fromFile, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(custom, fromFile) {
+		t.Fatalf("Resolve(file) changed the spec:\n want %+v\n got %+v", custom, fromFile)
+	}
+
+	if _, err := Resolve(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("Resolve accepted a missing reference")
+	}
+}
+
+func TestBuildAttackKinds(t *testing.T) {
+	for _, kind := range []string{"zero", "scale", "invert", "none"} {
+		spec := Default(100, 1)
+		spec.Attack.Kind = kind
+		if _, err := spec.BuildAttack(); err != nil {
+			t.Errorf("BuildAttack(%q): %v", kind, err)
+		}
+	}
+	spec := Default(100, 1)
+	spec.Attack.Kind = "bogus"
+	if _, err := spec.BuildAttack(); err == nil {
+		t.Error("BuildAttack accepted an unknown kind")
+	}
+}

@@ -144,16 +144,17 @@ func (m Model) DrawWeather(src *rng.Source) Weather {
 // Generate produces a panel's realized generation trace θₙ over `days` days
 // (24 slots each). Weather is drawn once per day; slot noise is multiplicative
 // truncated-normal so output is never negative and never exceeds nameplate.
-func (m Model) Generate(p Panel, days int, src *rng.Source) timeseries.Series {
+// A non-positive day count is an error.
+func (m Model) Generate(p Panel, days int, src *rng.Source) (timeseries.Series, error) {
 	if days <= 0 {
-		panic("solar: Generate with non-positive days")
+		return nil, fmt.Errorf("solar: Generate with non-positive days %d", days)
 	}
 	out := make(timeseries.Series, 0, days*24)
 	for d := 0; d < days; d++ {
 		w := m.DrawWeather(src)
 		out = append(out, m.GenerateDay(p, w, src)...)
 	}
-	return out
+	return out, nil
 }
 
 // GenerateDay produces one 24-slot trace under an externally chosen weather
@@ -194,20 +195,20 @@ func Forecast(actual timeseries.Series, sigma float64, src *rng.Source) timeseri
 }
 
 // Aggregate sums per-customer traces into the community total Θₕ = Σₙ θₙʰ.
-// All traces must share a length.
-func Aggregate(traces []timeseries.Series) timeseries.Series {
+// All traces must share a length; a mismatch is an error.
+func Aggregate(traces []timeseries.Series) (timeseries.Series, error) {
 	if len(traces) == 0 {
-		return nil
+		return nil, nil
 	}
 	h := len(traces[0])
 	total := make(timeseries.Series, h)
 	for n, tr := range traces {
 		if len(tr) != h {
-			panic(fmt.Sprintf("solar: Aggregate trace %d has length %d, want %d", n, len(tr), h))
+			return nil, fmt.Errorf("solar: Aggregate trace %d has length %d, want %d", n, len(tr), h)
 		}
 		for i, v := range tr {
 			total[i] += v
 		}
 	}
-	return total
+	return total, nil
 }

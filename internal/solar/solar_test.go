@@ -91,7 +91,10 @@ func TestGenerateBasicInvariants(t *testing.T) {
 	m := DefaultModel()
 	p := Panel{CapacityKW: 5, Orientation: 0.9}
 	src := rng.New(42)
-	trace := m.Generate(p, 3, src)
+	trace, err := m.Generate(p, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(trace) != 72 {
 		t.Fatalf("length = %d", len(trace))
 	}
@@ -113,8 +116,8 @@ func TestGenerateBasicInvariants(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	m := DefaultModel()
 	p := Panel{CapacityKW: 4, Orientation: 1}
-	a := m.Generate(p, 2, rng.New(7))
-	b := m.Generate(p, 2, rng.New(7))
+	a := mustGenerate(t, m, p, 2, rng.New(7))
+	b := mustGenerate(t, m, p, 2, rng.New(7))
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("traces diverge at %d", i)
@@ -124,19 +127,26 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateZeroCapacity(t *testing.T) {
 	m := DefaultModel()
-	trace := m.Generate(Panel{CapacityKW: 0, Orientation: 1}, 1, rng.New(1))
+	trace := mustGenerate(t, m, Panel{CapacityKW: 0, Orientation: 1}, 1, rng.New(1))
 	if trace.Sum() != 0 {
 		t.Fatal("zero-capacity panel generated energy")
 	}
 }
 
-func TestGeneratePanicsOnBadDays(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Generate(0 days) did not panic")
-		}
-	}()
-	DefaultModel().Generate(Panel{CapacityKW: 1, Orientation: 1}, 0, rng.New(1))
+func TestGenerateErrorsOnBadDays(t *testing.T) {
+	if _, err := DefaultModel().Generate(Panel{CapacityKW: 1, Orientation: 1}, 0, rng.New(1)); err == nil {
+		t.Fatal("Generate(0 days) did not error")
+	}
+}
+
+// mustGenerate unwraps Generate for statically valid inputs.
+func mustGenerate(t *testing.T, m Model, p Panel, days int, src *rng.Source) timeseries.Series {
+	t.Helper()
+	trace, err := m.Generate(p, days, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
 }
 
 func TestWeatherAffectsOutput(t *testing.T) {
@@ -146,8 +156,8 @@ func TestWeatherAffectsOutput(t *testing.T) {
 	overcast := DefaultModel()
 	overcast.WeatherProbs = []float64{0, 0, 1}
 	p := Panel{CapacityKW: 5, Orientation: 1}
-	eClear := clear.Generate(p, 5, rng.New(3)).Sum()
-	eOver := overcast.Generate(p, 5, rng.New(3)).Sum()
+	eClear := mustGenerate(t, clear, p, 5, rng.New(3)).Sum()
+	eOver := mustGenerate(t, overcast, p, 5, rng.New(3)).Sum()
 	if eOver >= eClear*0.5 {
 		t.Fatalf("overcast energy %v not well below clear %v", eOver, eClear)
 	}
@@ -156,7 +166,7 @@ func TestWeatherAffectsOutput(t *testing.T) {
 func TestForecastTracksActual(t *testing.T) {
 	m := DefaultModel()
 	p := Panel{CapacityKW: 5, Orientation: 1}
-	actual := m.Generate(p, 2, rng.New(11))
+	actual := mustGenerate(t, m, p, 2, rng.New(11))
 	fc := Forecast(actual, 0.05, rng.New(12))
 	if len(fc) != len(actual) {
 		t.Fatalf("forecast length %d", len(fc))
@@ -188,23 +198,23 @@ func TestForecastZeroSigmaIsExact(t *testing.T) {
 func TestAggregate(t *testing.T) {
 	a := timeseries.Series{1, 2, 3}
 	b := timeseries.Series{10, 20, 30}
-	total := Aggregate([]timeseries.Series{a, b})
+	total, err := Aggregate([]timeseries.Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{11, 22, 33}
 	for i := range want {
 		if total[i] != want[i] {
 			t.Fatalf("Aggregate = %v", total)
 		}
 	}
-	if Aggregate(nil) != nil {
-		t.Fatal("Aggregate(nil) should be nil")
+	if empty, err := Aggregate(nil); err != nil || empty != nil {
+		t.Fatalf("Aggregate(nil) = %v, %v; want nil, nil", empty, err)
 	}
 }
 
-func TestAggregateLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch did not panic")
-		}
-	}()
-	Aggregate([]timeseries.Series{{1, 2}, {1}})
+func TestAggregateLengthMismatchErrors(t *testing.T) {
+	if _, err := Aggregate([]timeseries.Series{{1, 2}, {1}}); err == nil {
+		t.Fatal("length mismatch did not error")
+	}
 }

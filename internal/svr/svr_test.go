@@ -88,7 +88,7 @@ func TestLSSVMFitsSine(t *testing.T) {
 		t.Fatal(err)
 	}
 	pred := m.PredictAll(x)
-	if rmse := metrics.RMSE(pred, y); rmse > 0.08 {
+	if rmse := metrics.Must(metrics.RMSE(pred, y)); rmse > 0.08 {
 		t.Fatalf("train RMSE = %v", rmse)
 	}
 	// Interpolation between training points.
@@ -129,7 +129,7 @@ func TestLSSVMRegularizationControlsFit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metrics.RMSE(tight.PredictAll(x), y) >= metrics.RMSE(loose.PredictAll(x), y) {
+	if metrics.Must(metrics.RMSE(tight.PredictAll(x), y)) >= metrics.Must(metrics.RMSE(loose.PredictAll(x), y)) {
 		t.Fatal("higher gamma should fit training data tighter")
 	}
 }
@@ -167,7 +167,7 @@ func TestEpsSVRFitsSine(t *testing.T) {
 	}
 	pred := m.PredictAll(x)
 	// ε-SVR should fit within roughly the tube width.
-	if rmse := metrics.RMSE(pred, y); rmse > 0.12 {
+	if rmse := metrics.Must(metrics.RMSE(pred, y)); rmse > 0.12 {
 		t.Fatalf("train RMSE = %v", rmse)
 	}
 	if m.Trainer != "eps-svr" {
@@ -304,7 +304,7 @@ func TestTrainersAgreeOnSmoothTarget(t *testing.T) {
 	}
 	lsPred := ls.PredictAll(x)
 	esPred := es.PredictAll(x)
-	if d := metrics.RMSE(lsPred, esPred); d > 0.15 {
+	if d := metrics.Must(metrics.RMSE(lsPred, esPred)); d > 0.15 {
 		t.Fatalf("trainer disagreement RMSE = %v", d)
 	}
 }

@@ -79,17 +79,17 @@ func (q Quadratic) CustomerCost(price, totalTrading, customerTrading float64) fl
 
 // ScheduleCost returns the customer's total cost over a horizon given the
 // guideline price vector, the community trading totals and the customer's own
-// trading vector.
-func (q Quadratic) ScheduleCost(price, totalTrading, customerTrading []float64) float64 {
+// trading vector. Mismatched lengths are an error.
+func (q Quadratic) ScheduleCost(price, totalTrading, customerTrading []float64) (float64, error) {
 	if len(price) != len(totalTrading) || len(price) != len(customerTrading) {
-		panic(fmt.Sprintf("tariff: ScheduleCost length mismatch %d/%d/%d",
-			len(price), len(totalTrading), len(customerTrading)))
+		return 0, fmt.Errorf("tariff: ScheduleCost length mismatch %d/%d/%d",
+			len(price), len(totalTrading), len(customerTrading))
 	}
 	total := 0.0
 	for h := range price {
 		total += q.CustomerCost(price[h], totalTrading[h], customerTrading[h])
 	}
-	return total
+	return total, nil
 }
 
 // Formation is the utility's guideline-price process.
@@ -168,13 +168,14 @@ func (f Formation) Validate() error {
 // (this is exactly the effect the paper studies — the published price
 // embeds the net-metering demand reduction). customers scales the per-capita
 // coupling. The noise source may be nil for a deterministic publication.
-func (f Formation) Publish(loadForecast, renewableForecast timeseries.Series, customers int, netMetering bool, src *rng.Source) timeseries.Series {
+// A non-positive customer count or misaligned forecasts are errors.
+func (f Formation) Publish(loadForecast, renewableForecast timeseries.Series, customers int, netMetering bool, src *rng.Source) (timeseries.Series, error) {
 	if customers <= 0 {
-		panic("tariff: Publish with non-positive customer count")
+		return nil, fmt.Errorf("tariff: Publish with non-positive customer count %d", customers)
 	}
 	if netMetering && len(renewableForecast) != len(loadForecast) {
-		panic(fmt.Sprintf("tariff: renewable forecast length %d != load forecast %d",
-			len(renewableForecast), len(loadForecast)))
+		return nil, fmt.Errorf("tariff: renewable forecast length %d != load forecast %d",
+			len(renewableForecast), len(loadForecast))
 	}
 	out := make(timeseries.Series, len(loadForecast))
 	noise := 0.0
@@ -193,7 +194,7 @@ func (f Formation) Publish(loadForecast, renewableForecast timeseries.Series, cu
 		}
 		out[t] = math.Max(p, f.Floor)
 	}
-	return out
+	return out, nil
 }
 
 // History bundles the aligned historical series the forecaster trains on.

@@ -100,21 +100,21 @@ func TestScheduleCost(t *testing.T) {
 	price := []float64{0.1, 0.2}
 	total := []float64{10, 10}
 	mine := []float64{1, -1}
-	got := q.ScheduleCost(price, total, mine)
+	got, err := q.ScheduleCost(price, total, mine)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 0.1*10*1 + 0.2/2*10*(-1)
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("ScheduleCost = %v, want %v", got, want)
 	}
 }
 
-func TestScheduleCostMismatchPanics(t *testing.T) {
+func TestScheduleCostMismatchErrors(t *testing.T) {
 	q, _ := NewQuadratic(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatch did not panic")
-		}
-	}()
-	q.ScheduleCost([]float64{1}, []float64{1, 2}, []float64{1})
+	if _, err := q.ScheduleCost([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatch did not error")
+	}
 }
 
 func TestDefaultFormationValid(t *testing.T) {
@@ -153,8 +153,8 @@ func TestPublishDeterministicWithoutNoise(t *testing.T) {
 	f := DefaultFormation()
 	load := flatSeries(1000, 24)
 	ren := flatSeries(0, 24)
-	a := f.Publish(load, ren, 500, true, nil)
-	b := f.Publish(load, ren, 500, true, nil)
+	a := mustPublish(t, f, load, ren, 500, true, nil)
+	b := mustPublish(t, f, load, ren, 500, true, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("noise-free Publish not deterministic")
@@ -169,8 +169,8 @@ func TestPublishNetMeteringLowersPrice(t *testing.T) {
 	for h := 10; h < 16; h++ {
 		ren[h] = 1500 // midday solar
 	}
-	withNM := f.Publish(load, ren, 500, true, nil)
-	without := f.Publish(load, ren, 500, false, nil)
+	withNM := mustPublish(t, f, load, ren, 500, true, nil)
+	without := mustPublish(t, f, load, ren, 500, false, nil)
 	// Midday slots must be cheaper with net metering; night identical.
 	for h := 10; h < 16; h++ {
 		if withNM[h] >= without[h] {
@@ -188,7 +188,7 @@ func TestPublishFloor(t *testing.T) {
 	f := DefaultFormation()
 	f.Floor = 0.07
 	load := flatSeries(0, 24)
-	p := f.Publish(load, flatSeries(0, 24), 500, true, nil)
+	p := mustPublish(t, f, load, flatSeries(0, 24), 500, true, nil)
 	for h, v := range p {
 		if v < f.Floor {
 			t.Fatalf("slot %d price %v below floor", h, v)
@@ -201,7 +201,7 @@ func TestPublishNegativeNetDemandClamped(t *testing.T) {
 	f.Kappa = 1 // large coupling would go negative without the clamp
 	load := flatSeries(10, 24)
 	ren := flatSeries(10000, 24)
-	p := f.Publish(load, ren, 10, true, nil)
+	p := mustPublish(t, f, load, ren, 10, true, nil)
 	for h, v := range p {
 		// With net demand clamped at 0 the price equals the base.
 		if math.Abs(v-f.Base[h%24]) > 1e-12 {
@@ -214,9 +214,9 @@ func TestPublishNoiseDeterministicPerSeed(t *testing.T) {
 	f := DefaultFormation()
 	load := flatSeries(1000, 48)
 	ren := flatSeries(100, 48)
-	a := f.Publish(load, ren, 500, true, rng.New(5))
-	b := f.Publish(load, ren, 500, true, rng.New(5))
-	c := f.Publish(load, ren, 500, true, rng.New(6))
+	a := mustPublish(t, f, load, ren, 500, true, rng.New(5))
+	b := mustPublish(t, f, load, ren, 500, true, rng.New(5))
+	c := mustPublish(t, f, load, ren, 500, true, rng.New(6))
 	diff := false
 	for i := range a {
 		if a[i] != b[i] {
@@ -231,24 +231,24 @@ func TestPublishNoiseDeterministicPerSeed(t *testing.T) {
 	}
 }
 
-func TestPublishPanics(t *testing.T) {
+func TestPublishErrors(t *testing.T) {
 	f := DefaultFormation()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("zero customers did not panic")
-			}
-		}()
-		f.Publish(flatSeries(1, 24), flatSeries(0, 24), 0, true, nil)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("misaligned renewable did not panic")
-			}
-		}()
-		f.Publish(flatSeries(1, 24), flatSeries(0, 12), 10, true, nil)
-	}()
+	if _, err := f.Publish(flatSeries(1, 24), flatSeries(0, 24), 0, true, nil); err == nil {
+		t.Error("zero customers did not error")
+	}
+	if _, err := f.Publish(flatSeries(1, 24), flatSeries(0, 12), 10, true, nil); err == nil {
+		t.Error("misaligned renewable did not error")
+	}
+}
+
+// mustPublish unwraps Publish for statically valid inputs.
+func mustPublish(t *testing.T, f Formation, load, ren timeseries.Series, n int, nm bool, src *rng.Source) timeseries.Series {
+	t.Helper()
+	p, err := f.Publish(load, ren, n, nm, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestPublishMonotoneInDemandProperty(t *testing.T) {
@@ -264,11 +264,11 @@ func TestPublishMonotoneInDemandProperty(t *testing.T) {
 			load[h] = s.Range(0, 500)
 			ren[h] = s.Range(0, 200)
 		}
-		base := f.Publish(load, ren, 100, true, nil)
+		base := mustPublish(t, f, load, ren, 100, true, nil)
 		bumped := load.Clone()
 		slot := s.Intn(24)
 		bumped[slot] += s.Range(0, 300)
-		after := f.Publish(bumped, ren, 100, true, nil)
+		after := mustPublish(t, f, bumped, ren, 100, true, nil)
 		if after[slot] < base[slot]-1e-12 {
 			t.Fatalf("trial %d: price fell from %v to %v after demand bump", trial, base[slot], after[slot])
 		}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# panic_lint.sh — fail when non-test library code under internal/ gains a
+# panic. The repository's error contract (DESIGN.md "Scenario spec &
+# cancellation contract") is that library packages return errors; panics are
+# reserved for:
+#
+#   - the low-level kernel packages internal/mat, internal/rng,
+#     internal/timeseries and internal/svr, whose documented contract is
+#     panic-on-programmer-error (like the standard library's slice ops);
+#   - individual lines carrying a `lint:allow-panic` marker with a
+#     justification (e.g. metrics.Must, scenario.Spec.ID), which the reviewer
+#     reads as "provably unreachable or an explicitly documented Must helper".
+#
+# Run from the repository root: scripts/panic_lint.sh
+set -u
+
+allow_pkgs='^internal/(mat|rng|timeseries|svr)/'
+
+offenders=$(
+    grep -rn 'panic(' internal/ --include='*.go' |
+        grep -v '_test\.go:' |
+        grep -Ev "$allow_pkgs" |
+        grep -v 'lint:allow-panic'
+)
+
+if [ -n "$offenders" ]; then
+    echo "panic_lint: new panic in library code (return an error instead," >&2
+    echo "panic_lint: or add a justified 'lint:allow-panic' marker):" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+echo "panic_lint: ok"

@@ -7,6 +7,7 @@
 //	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
 //	         [-scenario file.json|preset] [-dump-scenario]
+//	         [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
 //
 // With -scenario, the world is described by a scenario spec — a preset name
 // or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
@@ -14,6 +15,12 @@
 // still apply. -dump-scenario prints the effective spec as JSON to stdout
 // (and its content ID to stderr) and exits. SIGINT/SIGTERM cancel the build
 // and the monitoring loop at the next sweep/day boundary.
+//
+// With -checkpoint, the monitoring state is snapshotted to the given file
+// every -checkpoint-every days; a killed run restarted with the same flags
+// plus -resume continues from the snapshot and produces bit-for-bit the
+// output of an uninterrupted run. Without -resume an existing checkpoint is
+// an error (stale state is never silently reused).
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
 	"nmdetect/internal/scenario"
@@ -43,6 +51,9 @@ func main() {
 		noEnf    = flag.Bool("noenforce", false, "observe only, never repair")
 		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
 		dumpScen = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file for the monitoring run (empty = no checkpointing)")
+		ckptK    = flag.Int("checkpoint-every", 10, "days between checkpoints")
+		resume   = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
 	)
 	flag.Parse()
 
@@ -97,7 +108,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := sys.MonitorDays(ctx, kit, camp, spec.Horizon.MonitorDays, !*noEnf)
+	if *ckpt != "" && !*resume && checkpoint.Exists(*ckpt) {
+		fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+	}
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	results, err := sys.MonitorDaysCheckpointed(ctx, kit, camp, spec.Horizon.MonitorDays, !*noEnf, *ckpt, *ckptK)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,6 +131,17 @@ func main() {
 				slot, day.Flagged[h], day.ObsBucket[h], day.TrueBucket[h], day.Trace.TrueHacked[h], action)
 			slot++
 		}
+	}
+	imputed, degraded := 0, 0
+	for _, day := range results {
+		imputed += day.ImputedReadings
+		if day.Degraded {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		fmt.Fprintf(os.Stderr, "nmdetect: degraded inputs on %d/%d days (%d readings imputed)\n",
+			degraded, len(results), imputed)
 	}
 	delays, meanDelay := core.DetectionDelays(results)
 	fmt.Fprintf(os.Stderr, "nmdetect: %s observation accuracy = %.2f%%, realized PAR = %.4f, inspections = %d\n",

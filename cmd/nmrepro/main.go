@@ -7,6 +7,7 @@
 //	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2] [-workers 0] [-jacobi 0]
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
 //	        [-scenario file.json|preset] [-dump-scenario]
+//	        [-checkpoint run.ckpt] [-resume]
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
 // forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
@@ -21,6 +22,12 @@
 // With -csv, the raw series behind each figure are also written as CSV files
 // into DIR for external plotting. SIGINT/SIGTERM cancel the run at the next
 // sweep/iteration boundary.
+//
+// With -checkpoint, each completed experiment's results are snapshotted to
+// the given file; a killed run restarted with the same flags plus -resume
+// skips the recorded experiments (re-rendering their output from the
+// snapshot) and computes only the missing ones. The snapshot is bound to the
+// scenario's content ID, so resuming under a different spec fails loudly.
 package main
 
 import (
@@ -33,10 +40,23 @@ import (
 	"syscall"
 	"time"
 
+	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/experiments"
 	"nmdetect/internal/scenario"
 	"nmdetect/internal/timeseries"
 )
+
+// reproState checkpoints completed experiment results. Each experiment runs
+// on its own freshly built system, so experiment granularity preserves
+// bit-for-bit identity with an uninterrupted run.
+type reproState struct {
+	// ScenarioID guards against resuming under a different world.
+	ScenarioID string
+	F3, F4     *experiments.PredictionResult
+	F5         *experiments.Fig5Result
+	F6         *experiments.Fig6Result
+	T1         *experiments.Table1Result
+}
 
 func main() {
 	var (
@@ -53,6 +73,8 @@ func main() {
 		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
 		scenRef    = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
 		dumpScen   = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
+		ckpt       = flag.String("checkpoint", "", "checkpoint file for experiment results (empty = no checkpointing)")
+		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
 	)
 	flag.Parse()
 
@@ -93,6 +115,30 @@ func main() {
 		}
 	}
 
+	state := reproState{ScenarioID: spec.ID()}
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckpt != "" && checkpoint.Exists(*ckpt) {
+		if !*resume {
+			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+		}
+		if err := checkpoint.Load(*ckpt, "repro-run", &state); err != nil {
+			fatal(err)
+		}
+		if state.ScenarioID != spec.ID() {
+			fatal(fmt.Errorf("checkpoint was taken for scenario %s, current spec is %s", state.ScenarioID, spec.ID()))
+		}
+	}
+	save := func() {
+		if *ckpt == "" {
+			return
+		}
+		if err := checkpoint.Save(*ckpt, "repro-run", &state); err != nil {
+			fatal(err)
+		}
+	}
+
 	var (
 		f3, f4 *experiments.PredictionResult
 		f5     *experiments.Fig5Result
@@ -104,22 +150,34 @@ func main() {
 
 	if want("fig3") {
 		fmt.Println("== Figure 3: prediction WITHOUT considering net metering ==")
-		if f3, err = experiments.Fig3(ctx, cfg); err != nil {
-			fatal(err)
+		if f3 = state.F3; f3 == nil {
+			if f3, err = experiments.Fig3(ctx, cfg); err != nil {
+				fatal(err)
+			}
+			state.F3 = f3
+			save()
 		}
 		renderPrediction(f3, "fig3", *csvDir, 1.4700)
 	}
 	if want("fig4") {
 		fmt.Println("== Figure 4: prediction considering net metering ==")
-		if f4, err = experiments.Fig4(ctx, cfg); err != nil {
-			fatal(err)
+		if f4 = state.F4; f4 == nil {
+			if f4, err = experiments.Fig4(ctx, cfg); err != nil {
+				fatal(err)
+			}
+			state.F4 = f4
+			save()
 		}
 		renderPrediction(f4, "fig4", *csvDir, 1.3986)
 	}
 	if want("fig5") {
 		fmt.Println("== Figure 5: zero-price cyberattack ==")
-		if f5, err = experiments.Fig5(ctx, cfg); err != nil {
-			fatal(err)
+		if f5 = state.F5; f5 == nil {
+			if f5, err = experiments.Fig5(ctx, cfg); err != nil {
+				fatal(err)
+			}
+			state.F5 = f5
+			save()
 		}
 		if err := experiments.RenderChart(os.Stdout, "guideline price ($/unit)",
 			[]string{"published", "manipulated"}, f5.Published, f5.Manipulated); err != nil {
@@ -135,8 +193,12 @@ func main() {
 	}
 	if want("fig6") {
 		fmt.Println("== Figure 6: 48h observation accuracy ==")
-		if f6, err = experiments.Fig6(ctx, cfg); err != nil {
-			fatal(err)
+		if f6 = state.F6; f6 == nil {
+			if f6, err = experiments.Fig6(ctx, cfg); err != nil {
+				fatal(err)
+			}
+			state.F6 = f6
+			save()
 		}
 		if err := experiments.RenderChart(os.Stdout, "cumulative observation accuracy",
 			[]string{"net-metering-aware", "nm-blind"},
@@ -150,8 +212,12 @@ func main() {
 	}
 	if want("table1") {
 		fmt.Println("== Table 1: detection comparison ==")
-		if t1, err = experiments.Table1(ctx, cfg); err != nil {
-			fatal(err)
+		if t1 = state.T1; t1 == nil {
+			if t1, err = experiments.Table1(ctx, cfg); err != nil {
+				fatal(err)
+			}
+			state.T1 = t1
+			save()
 		}
 		fmt.Printf("%-24s %10s %12s %12s\n", "technique", "PAR", "inspections", "labor(norm)")
 		for _, row := range []experiments.Table1Row{t1.NoDetection, t1.Blind, t1.Aware} {

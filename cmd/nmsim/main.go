@@ -7,6 +7,7 @@
 //	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
 //	      [-scenario file.json|preset] [-dump-scenario]
+//	      [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
 //
 // With an attack selected, every meter is compromised on the final day and
 // the realized (attacked) trace is printed for that day.
@@ -17,6 +18,11 @@
 // output flags still apply. -dump-scenario prints the effective spec as JSON
 // to stdout (and its content ID to stderr) and exits. SIGINT/SIGTERM cancel
 // the simulation at the next per-customer solve boundary.
+//
+// With -checkpoint, the simulation state is snapshotted to the given file
+// every -checkpoint-every days; a killed run restarted with the same flags
+// plus -resume continues from the snapshot and prints the same trace an
+// uninterrupted run would have.
 package main
 
 import (
@@ -28,10 +34,20 @@ import (
 	"syscall"
 
 	"nmdetect/internal/attack"
+	"nmdetect/internal/checkpoint"
+	"nmdetect/internal/community"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/scenario"
 	"nmdetect/internal/traceio"
 )
+
+// simState is the checkpoint payload of an open-loop simulation run.
+type simState struct {
+	Completed   int
+	NetMetering bool
+	Engine      community.EngineState
+	Rows        []traceio.Row
+}
 
 func main() {
 	var (
@@ -50,6 +66,9 @@ func main() {
 		histFile = flag.String("history", "", "also write the forecaster-training history CSV here")
 		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
 		dumpScen = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file for the simulation (empty = no checkpointing)")
+		ckptK    = flag.Int("checkpoint-every", 10, "days between checkpoints")
+		resume   = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
 	)
 	flag.Parse()
 
@@ -90,8 +109,41 @@ func main() {
 
 	netMetering := !*noNM
 	simDays := spec.Horizon.SimDays
+	if *ckptK < 1 {
+		*ckptK = 1
+	}
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	startDay := 0
 	var rows []traceio.Row
-	for d := 0; d < simDays; d++ {
+	if *ckpt != "" && checkpoint.Exists(*ckpt) {
+		if !*resume {
+			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+		}
+		var st simState
+		if err := checkpoint.Load(*ckpt, "sim-run", &st); err != nil {
+			fatal(err)
+		}
+		if st.NetMetering != netMetering {
+			fatal(fmt.Errorf("checkpoint was taken with net metering %v, resuming with %v", st.NetMetering, netMetering))
+		}
+		if st.Completed > simDays {
+			fatal(fmt.Errorf("checkpoint already holds %d days, requested only %d", st.Completed, simDays))
+		}
+		if err := engine.RestoreState(st.Engine); err != nil {
+			fatal(err)
+		}
+		startDay, rows = st.Completed, st.Rows
+		fmt.Fprintf(os.Stderr, "nmsim: resumed at day %d\n", startDay)
+	}
+	save := func(completed int) {
+		st := simState{Completed: completed, NetMetering: netMetering, Engine: engine.State(), Rows: rows}
+		if err := checkpoint.Save(*ckpt, "sim-run", &st); err != nil {
+			fatal(err)
+		}
+	}
+	for d := startDay; d < simDays; d++ {
 		env, err := engine.PrepareDay(ctx, netMetering)
 		if err != nil {
 			fatal(err)
@@ -122,6 +174,9 @@ func main() {
 				GridDemand: trace.GridDemand[h],
 				Hacked:     trace.TrueHacked[h],
 			})
+		}
+		if *ckpt != "" && ((d+1)%*ckptK == 0 || d+1 == simDays) {
+			save(d + 1)
 		}
 	}
 

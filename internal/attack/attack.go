@@ -195,6 +195,40 @@ func (c *Campaign) Repair() int {
 	return repaired
 }
 
+// CampaignState is a serializable snapshot of a campaign's mutable state
+// (the hidden compromise set), captured by State and reinstated by Restore
+// for checkpoint/resume.
+type CampaignState struct {
+	Hacked []bool
+	Count  int
+}
+
+// State captures the campaign's mutable state.
+func (c *Campaign) State() CampaignState {
+	h := make([]bool, len(c.hacked))
+	copy(h, c.hacked)
+	return CampaignState{Hacked: h, Count: c.count}
+}
+
+// Restore reinstates a snapshot previously captured with State.
+func (c *Campaign) Restore(st CampaignState) error {
+	if len(st.Hacked) != c.N {
+		return fmt.Errorf("attack: snapshot covers %d meters, campaign has %d", len(st.Hacked), c.N)
+	}
+	count := 0
+	for _, h := range st.Hacked {
+		if h {
+			count++
+		}
+	}
+	if count != st.Count {
+		return fmt.Errorf("attack: snapshot count %d does not match %d hacked meters", st.Count, count)
+	}
+	copy(c.hacked, st.Hacked)
+	c.count = st.Count
+	return nil
+}
+
 // Hacked reports whether meter i is currently compromised.
 func (c *Campaign) Hacked(i int) bool { return c.hacked[i] }
 

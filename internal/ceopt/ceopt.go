@@ -21,7 +21,13 @@ import (
 
 	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
+	"nmdetect/internal/watchdog"
 )
+
+// ErrDiverged re-exports the shared watchdog sentinel: a Minimize call that
+// returns an error wrapping it saw its sampling density leave the finite
+// region (typically a NaN-producing objective) and exhausted its retries.
+var ErrDiverged = watchdog.ErrDiverged
 
 // Objective evaluates a candidate point. Lower is better.
 type Objective func(x []float64) float64
@@ -76,7 +82,7 @@ func (o Options) Validate() error {
 	if o.Samples < 2 {
 		return fmt.Errorf("ceopt: need at least 2 samples, got %d", o.Samples)
 	}
-	if o.EliteFrac <= 0 || o.EliteFrac > 1 {
+	if math.IsNaN(o.EliteFrac) || o.EliteFrac <= 0 || o.EliteFrac > 1 {
 		return fmt.Errorf("ceopt: elite fraction %v out of (0,1]", o.EliteFrac)
 	}
 	if int(o.EliteFrac*float64(o.Samples)) < 1 {
@@ -85,14 +91,14 @@ func (o Options) Validate() error {
 	if o.MaxIter < 1 {
 		return fmt.Errorf("ceopt: max iterations %d must be positive", o.MaxIter)
 	}
-	if o.InitStdFrac <= 0 {
-		return fmt.Errorf("ceopt: initial std fraction %v must be positive", o.InitStdFrac)
+	if math.IsNaN(o.InitStdFrac) || math.IsInf(o.InitStdFrac, 0) || o.InitStdFrac <= 0 {
+		return fmt.Errorf("ceopt: initial std fraction %v must be positive and finite", o.InitStdFrac)
 	}
-	if o.Smoothing <= 0 || o.Smoothing > 1 {
+	if math.IsNaN(o.Smoothing) || o.Smoothing <= 0 || o.Smoothing > 1 {
 		return fmt.Errorf("ceopt: smoothing %v out of (0,1]", o.Smoothing)
 	}
-	if o.StdTol < 0 || o.MinStd < 0 {
-		return fmt.Errorf("ceopt: negative tolerance")
+	if math.IsNaN(o.StdTol) || math.IsNaN(o.MinStd) || o.StdTol < 0 || o.MinStd < 0 {
+		return fmt.Errorf("ceopt: negative or NaN tolerance")
 	}
 	return nil
 }
@@ -181,6 +187,16 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		evalWorkers = 1
 	}
 
+	// Watchdog state: lastMean/lastStd hold the sampling density of the most
+	// recent healthy iteration. An elite update that leaves the finite region
+	// (a NaN-producing objective poisons the elite statistics) restores it
+	// and redraws — the source keeps advancing, so the retry explores a
+	// different population. Healthy runs never restore, so their draws and
+	// results are bitwise unchanged.
+	lastMean := append([]float64(nil), mean...)
+	lastStd := append([]float64(nil), std...)
+	retries := 0
+
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -210,7 +226,10 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		}
 		res.Evaluations += len(pop)
 		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
-		if pop[0].f < res.F {
+		// A NaN incumbent (the seed point evaluated NaN) loses every ordered
+		// comparison, so it must be displaced explicitly or the optimizer
+		// could return NaN even after recovering.
+		if pop[0].f < res.F || math.IsNaN(res.F) {
 			res.F = pop[0].f
 			copy(res.X, pop[0].x)
 		}
@@ -234,6 +253,21 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 				std[i] = floor
 			}
 		}
+
+		// Iteration-boundary health check: the density must stay finite and
+		// the best sampled objective must not be NaN or unbounded below.
+		if !watchdog.AllFinite(mean, std) || math.IsNaN(pop[0].f) || math.IsInf(pop[0].f, -1) {
+			retries++
+			if retries > watchdog.Retries {
+				return res, fmt.Errorf("ceopt: sampling density diverged at iteration %d after %d retries: %w",
+					iter, watchdog.Retries, watchdog.ErrDiverged)
+			}
+			copy(mean, lastMean)
+			copy(std, lastStd)
+			continue
+		}
+		copy(lastMean, mean)
+		copy(lastStd, std)
 
 		converged := true
 		for i := 0; i < d; i++ {

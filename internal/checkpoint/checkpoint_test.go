@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Day  int
+	Vals []float64
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	in := payload{Day: 7, Vals: []float64{1, math.NaN(), math.Inf(1), -3.5}}
+	if err := Save(path, "test", &in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Day != 7 || len(out.Vals) != 4 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	// NaN must survive (the reason the format is gob, not JSON).
+	if !math.IsNaN(out.Vals[1]) || !math.IsInf(out.Vals[2], 1) {
+		t.Fatalf("non-finite values lost: %v", out.Vals)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, "test", &payload{Day: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "test", &payload{Day: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Day != 2 {
+		t.Fatalf("got day %d, want the newer checkpoint", out.Day)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the checkpoint", len(entries))
+	}
+}
+
+func TestLoadRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out payload
+
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(garbage, "test", &out); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("garbage file: got %v, want ErrIncompatible", err)
+	}
+
+	wrongKind := filepath.Join(dir, "wrong-kind.ckpt")
+	if err := Save(wrongKind, "other", &payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(wrongKind, "test", &out); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("wrong kind: got %v, want ErrIncompatible", err)
+	}
+
+	if err := Load(filepath.Join(dir, "missing.ckpt"), "test", &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestExists(t *testing.T) {
+	dir := t.TempDir()
+	if Exists(dir) {
+		t.Fatal("directory reported as checkpoint file")
+	}
+	path := filepath.Join(dir, "run.ckpt")
+	if Exists(path) {
+		t.Fatal("missing file reported as existing")
+	}
+	if err := Save(path, "test", &payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(path) {
+		t.Fatal("saved checkpoint not found")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"nmdetect/internal/attack"
 	"nmdetect/internal/detect"
@@ -53,6 +54,56 @@ func (k *DetectorKit) ensureFlagger(n int) error {
 		return err
 	}
 	k.flagger = f
+	return nil
+}
+
+// KitState is a deep snapshot of a kit's mutable detection state — the
+// persistent deviation channel and the POMDP belief — for checkpointing.
+// Calibrated parameters (FP/FN, Baseline, FlagTau) live in the kit's
+// configuration and are reproduced by the deterministic offline phase, so
+// they are not part of the runtime state.
+type KitState struct {
+	// Flagger is the deviation channel state; Slots < 0 marks a kit whose
+	// flagger has not been built yet.
+	Flagger detect.FlaggerState
+	// LongTerm is the POMDP monitor state; nil when the kit has none.
+	LongTerm *detect.LongTermState
+}
+
+// State snapshots the kit's mutable detection state.
+func (k *DetectorKit) State() KitState {
+	st := KitState{Flagger: detect.FlaggerState{Slots: -1}}
+	if k.flagger != nil {
+		st.Flagger = k.flagger.State()
+	}
+	if k.LongTerm != nil {
+		lt := k.LongTerm.State()
+		st.LongTerm = &lt
+	}
+	return st
+}
+
+// RestoreState restores a snapshot taken with State. n is the fleet size the
+// flagger must cover.
+func (k *DetectorKit) RestoreState(st KitState, n int) error {
+	if st.Flagger.Slots >= 0 {
+		if err := k.ensureFlagger(n); err != nil {
+			return err
+		}
+		if err := k.flagger.Restore(st.Flagger); err != nil {
+			return fmt.Errorf("community: kit %q flagger: %w", k.Name, err)
+		}
+	} else {
+		k.flagger = nil
+	}
+	if st.LongTerm != nil {
+		if k.LongTerm == nil {
+			return fmt.Errorf("community: kit %q snapshot has POMDP state but kit has no long-term detector", k.Name)
+		}
+		if err := k.LongTerm.Restore(*st.LongTerm); err != nil {
+			return fmt.Errorf("community: kit %q long-term: %w", k.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -139,6 +190,14 @@ func (e *Engine) LearnBaselines(ctx context.Context, days int, kits ...*Detector
 			sums[ki][n] = make([]float64, 24)
 		}
 	}
+	// Dropped (NaN) readings carry no baseline evidence; they are skipped and
+	// each (meter, slot) averages over its valid samples only. The counts are
+	// shared across kits — missingness lives in the realized trace, not in
+	// any kit's expectation.
+	counts := make([][]float64, e.cfg.N)
+	for n := range counts {
+		counts[n] = make([]float64, 24)
+	}
 	for d := 0; d < days; d++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -160,10 +219,15 @@ func (e *Engine) LearnBaselines(ctx context.Context, days int, kits ...*Detector
 		if err != nil {
 			return err
 		}
-		for ki := range kits {
-			for n := range sums[ki] {
-				for h := 0; h < 24; h++ {
-					sums[ki][n][h] += trace.RealizedMeter[n][h] - expecteds[ki][n][h]
+		for n := range counts {
+			for h := 0; h < 24; h++ {
+				v := trace.RealizedMeter[n][h]
+				if math.IsNaN(v) {
+					continue
+				}
+				counts[n][h]++
+				for ki := range kits {
+					sums[ki][n][h] += v - expecteds[ki][n][h]
 				}
 			}
 		}
@@ -171,7 +235,10 @@ func (e *Engine) LearnBaselines(ctx context.Context, days int, kits ...*Detector
 	for ki, kit := range kits {
 		for n := range sums[ki] {
 			for h := range sums[ki][n] {
-				sums[ki][n][h] /= float64(days)
+				if counts[n][h] > 0 {
+					sums[ki][n][h] /= counts[n][h]
+				}
+				// A slot with no valid sample keeps a zero correction.
 			}
 		}
 		kit.Baseline = sums[ki]
@@ -199,6 +266,16 @@ type MonitorDayResult struct {
 	Actions []int
 	// Trace is the underlying day trace.
 	Trace *DayTrace
+	// ImputedReadings counts meter-slots whose reading was missing (AMI
+	// dropout or rejected corruption) and reconstructed from history.
+	ImputedReadings int
+	// Degraded marks a day monitored on incomplete inputs — imputed
+	// readings or a stale guideline broadcast. Detection still ran, but its
+	// observations carry less evidence than on a clean day.
+	Degraded bool
+	// Confidence is the fraction of meter-slot readings observed directly
+	// (1 = nothing imputed).
+	Confidence float64
 }
 
 // MonitorDay simulates one day with the kit in the loop: each slot the
@@ -237,9 +314,27 @@ func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.
 		BeliefBucket:   make([]int, 24),
 		TrueBucket:     make([]int, 24),
 		Actions:        make([]int, 24),
+		Confidence:     1,
+	}
+	// Missing readings are imputed from the accumulated history (the world
+	// runs with net metering, so the measured quantity is the net flow y);
+	// the original trace record keeps its NaNs. measured holds the filled
+	// view the deviation channel observes.
+	imputer, err := detect.NewImputer(e.hist, e.cfg.N, true)
+	if err != nil {
+		return nil, fmt.Errorf("community: imputer: %w", err)
+	}
+	measured := make([][]float64, e.cfg.N)
+	for n := range measured {
+		measured[n] = make([]float64, 24)
 	}
 	inspect := func(h int, trace *DayTrace) (bool, error) {
-		flagged, err := kit.flagger.Observe(expected, trace.RealizedMeter, h)
+		imputed, err := imputer.FillSlot(measured, expected, trace.RealizedMeter, h)
+		if err != nil {
+			return false, fmt.Errorf("community: impute slot %d: %w", h, err)
+		}
+		res.ImputedReadings += imputed
+		flagged, err := kit.flagger.Observe(expected, measured, h)
 		if err != nil {
 			return false, fmt.Errorf("community: flag channel: %w", err)
 		}
@@ -266,6 +361,8 @@ func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.
 		return nil, err
 	}
 	res.Trace = trace
+	res.Confidence = 1 - float64(res.ImputedReadings)/float64(e.cfg.N*24)
+	res.Degraded = res.ImputedReadings > 0 || (env.Faults != nil && env.Faults.StalePrice)
 	return res, nil
 }
 
@@ -285,10 +382,12 @@ func (e *Engine) ChannelRates(ctx context.Context, kit *DetectorKit, hackedFrac 
 	savedHist := e.hist
 	savedDay := e.day
 	savedLoad := e.lastLoad.Clone()
+	savedPublished := cloneOrNil(e.lastPublished)
 	defer func() {
 		e.hist = savedHist
 		e.day = savedDay
 		e.lastLoad = savedLoad
+		e.lastPublished = savedPublished
 	}()
 
 	batch := int(hackedFrac * float64(e.cfg.N))
@@ -317,14 +416,27 @@ func (e *Engine) ChannelRates(ctx context.Context, kit *DetectorKit, hackedFrac 
 	}
 
 	// The compromised set is fixed for the whole day; replay the running-
-	// mean channel over the day and count per-slot flag outcomes.
+	// mean channel over the day and count per-slot flag outcomes. Dropped
+	// readings are imputed exactly as MonitorDay imputes them, so the
+	// calibrated rates describe the channel the monitor actually runs.
 	flagger, err := detect.NewFlagger(e.cfg.N, kit.FlagTau)
 	if err != nil {
 		return 0, 0, err
 	}
+	imputer, err := detect.NewImputer(savedHist, e.cfg.N, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	measured := make([][]float64, e.cfg.N)
+	for n := range measured {
+		measured[n] = make([]float64, 24)
+	}
 	var fpFlags, fpTotal, fnMisses, fnTotal int
 	for h := 0; h < 24; h++ {
-		if _, err := flagger.Observe(expected, trace.RealizedMeter, h); err != nil {
+		if _, err := imputer.FillSlot(measured, expected, trace.RealizedMeter, h); err != nil {
+			return 0, 0, err
+		}
+		if _, err := flagger.Observe(expected, measured, h); err != nil {
 			return 0, 0, err
 		}
 		for n := range e.customers {

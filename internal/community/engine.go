@@ -26,8 +26,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"nmdetect/internal/attack"
+	"nmdetect/internal/faultinject"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
@@ -81,6 +83,14 @@ type Config struct {
 	// select a (deterministically) different equilibrium path, and it flows
 	// through GameConfig so detectors reproduce the engine's solves exactly.
 	GameJacobiBlock int
+	// Faults injects deterministic data-plane faults (meter-reading dropout
+	// and corruption, stale guideline-price broadcasts, PV-sensor outages)
+	// into every simulated day. The zero value injects nothing and leaves
+	// the engine's behavior bitwise identical to a fault-free build. Faults
+	// live on the measurement/broadcast plane: the physical community —
+	// realized PV, loads, grid demand, history — is never corrupted; what
+	// the utility and detectors *see* is.
+	Faults faultinject.Config
 }
 
 // DefaultConfig mirrors the paper's simulation setup.
@@ -108,8 +118,10 @@ func (c Config) Validate() error {
 	if c.N <= 0 {
 		return fmt.Errorf("community: size %d must be positive", c.N)
 	}
-	if c.SolarForecastSigma < 0 || c.MeasurementNoise < 0 {
-		return errors.New("community: negative noise parameter")
+	if math.IsNaN(c.SolarForecastSigma) || math.IsInf(c.SolarForecastSigma, 0) ||
+		math.IsNaN(c.MeasurementNoise) || math.IsInf(c.MeasurementNoise, 0) ||
+		c.SolarForecastSigma < 0 || c.MeasurementNoise < 0 {
+		return errors.New("community: noise parameters must be finite and non-negative")
 	}
 	if c.GameSweeps < 1 {
 		return fmt.Errorf("community: game sweeps %d must be positive", c.GameSweeps)
@@ -120,8 +132,11 @@ func (c Config) Validate() error {
 	if c.GameJacobiBlock < 0 {
 		return fmt.Errorf("community: negative Jacobi block size %d", c.GameJacobiBlock)
 	}
-	if c.Tariff.W < 1 {
-		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1", c.Tariff.W)
+	if math.IsNaN(c.Tariff.W) || math.IsInf(c.Tariff.W, 0) || c.Tariff.W < 1 {
+		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1 and finite", c.Tariff.W)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if err := c.Solar.Validate(); err != nil {
 		return err
@@ -134,11 +149,17 @@ type Engine struct {
 	cfg       Config
 	customers []*household.Customer
 	src       *rng.Source
+	faults    *faultinject.Plan // nil when Config.Faults is zero
 	hist      tariff.History
 	day       int
 	// lastLoad is the utility's demand forecast basis: the most recent
 	// realized community consumption profile (24 slots).
 	lastLoad timeseries.Series
+	// lastPublished is the most recent price actually broadcast to the
+	// community — the price a stuck head-end re-sends on a stale-broadcast
+	// fault. Stale days chain: a stuck broadcast re-sends whatever went out
+	// last, which may itself have been stale.
+	lastPublished timeseries.Series
 }
 
 // NewEngine draws the community and prepares the utility state.
@@ -151,6 +172,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var plan *faultinject.Plan
+	if !cfg.Faults.IsZero() {
+		if plan, err = faultinject.NewPlan(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	// Initial demand-forecast basis: base loads plus evenly spread task
 	// energy (the utility's cold-start heuristic).
 	last := make(timeseries.Series, 24)
@@ -160,7 +187,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			last[h] += c.BaseLoadAt(h) + perSlot
 		}
 	}
-	return &Engine{cfg: cfg, customers: customers, src: src, hist: tariff.History{}, lastLoad: last}, nil
+	return &Engine{cfg: cfg, customers: customers, src: src, faults: plan, hist: tariff.History{}, lastLoad: last}, nil
 }
 
 // Customers exposes the community (read-only use expected).
@@ -212,6 +239,11 @@ type DayEnvironment struct {
 	Renewable timeseries.Series
 	// RenewableForecast is the community-total forecast Θ̂.
 	RenewableForecast timeseries.Series
+	// Faults is the day's realized fault plan (nil on a fault-free engine).
+	// It is drawn once in PrepareDay so the clean and attacked solve paths
+	// of SimulateDay, and any detector consuming the environment, all see
+	// the same faults.
+	Faults *faultinject.DayFaults
 }
 
 // PrepareDay draws the day's weather and PV generation and publishes the
@@ -225,6 +257,9 @@ func (e *Engine) PrepareDay(ctx context.Context, netMetering bool) (*DayEnvironm
 		Weather:    e.cfg.Solar.DrawWeather(daySrc.Derive("weather")),
 		PV:         make([][]float64, len(e.customers)),
 		PVForecast: make([][]float64, len(e.customers)),
+	}
+	if e.faults != nil {
+		env.Faults = e.faults.Day(e.day, len(e.customers))
 	}
 	// Per-customer generation is embarrassingly parallel: each customer
 	// draws from a stream derived from its own ID (derivation does not
@@ -244,6 +279,24 @@ func (e *Engine) PrepareDay(ctx context.Context, netMetering bool) (*DayEnvironm
 	}); err != nil {
 		return nil, err
 	}
+	// PV-sensor outage: the affected customer's day-ahead forecast feed
+	// reads zero inside the window. The fault is on the sensor/telemetry
+	// plane, so realized generation (env.PV) is untouched — the utility
+	// prices and the detectors predict against a forecast that is missing
+	// real generation.
+	if df := env.Faults; df != nil {
+		for i := range env.PVForecast {
+			w := df.PVOutage[i]
+			if w.From < 0 {
+				continue
+			}
+			for h := range env.PVForecast[i] {
+				if w.Active(h % 24) {
+					env.PVForecast[i][h] = 0
+				}
+			}
+		}
+	}
 	var err error
 	if env.Renewable, err = solar.Aggregate(toSeries(env.PV)); err != nil {
 		return nil, err
@@ -254,6 +307,13 @@ func (e *Engine) PrepareDay(ctx context.Context, netMetering bool) (*DayEnvironm
 	env.Published, err = e.cfg.Formation.Publish(e.demandBasis(), env.RenewableForecast, e.cfg.N, netMetering, daySrc.Derive("price-noise"))
 	if err != nil {
 		return nil, err
+	}
+	// Stale broadcast: the head-end is stuck and the whole community
+	// receives the previous day's published price again. The fresh price is
+	// still formed above (keeping every derived stream identical), it just
+	// never reaches the meters. Day 0 has nothing to be stale against.
+	if df := env.Faults; df != nil && df.StalePrice && len(e.lastPublished) == len(env.Published) {
+		env.Published = e.lastPublished.Clone()
 	}
 	return env, nil
 }
@@ -329,6 +389,9 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 	if camp != nil && camp.N != e.cfg.N {
 		return nil, fmt.Errorf("community: campaign size %d != community %d", camp.N, e.cfg.N)
 	}
+	if env.Faults != nil && env.Faults.Day != e.day {
+		return nil, fmt.Errorf("community: environment prepared for day %d, engine is at day %d", env.Faults.Day, e.day)
+	}
 	daySrc := e.src.Derive(fmt.Sprintf("sim-%d", e.day))
 
 	cfg := e.gameConfig(netMetering)
@@ -400,7 +463,17 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 				v = trace.AttackedMeter[n][h]
 				l = attackedCons[n][h]
 			}
+			// The noise draw always happens — even for a reading about to
+			// be dropped — so the measurement stream is identical with and
+			// without faults.
 			noisy := v + noiseSrc.Normal(0, e.cfg.MeasurementNoise)
+			if df := env.Faults; df != nil {
+				if fv := df.Readings[n][h]; math.IsNaN(fv) {
+					noisy = math.NaN() // reading lost (or rejected as garbage)
+				} else {
+					noisy += fv // additive falsification spike (0 = clean)
+				}
+			}
 			trace.RealizedMeter[n][h] = noisy
 			sumY += v
 			sumL += l
@@ -427,6 +500,7 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 		e.hist.Append(env.Published[h], env.Renewable[h], trace.Load[h])
 	}
 	e.lastLoad = trace.Load.Clone()
+	e.lastPublished = env.Published.Clone()
 	e.day++
 	return trace, nil
 }
@@ -438,6 +512,73 @@ func meterFlows(res *game.Result, netMetering bool) [][]float64 {
 		return res.CustomerTrading
 	}
 	return res.CustomerLoad
+}
+
+// EngineState is the serializable snapshot of the engine's mutable utility
+// state. The community draw and every per-day RNG stream are pure functions
+// of (Seed, day) — Derive never advances the parent source — so no generator
+// state needs to be stored: rebuilding the engine from the same Config and
+// restoring this snapshot reproduces the remaining days bit for bit.
+type EngineState struct {
+	Day           int
+	Hist          tariff.History
+	LastLoad      timeseries.Series
+	LastPublished timeseries.Series
+}
+
+// cloneOrNil deep-copies a series, preserving nil-ness (Series.Clone turns
+// nil into an empty slice, which would change stale-broadcast behavior).
+func cloneOrNil(s timeseries.Series) timeseries.Series {
+	if s == nil {
+		return nil
+	}
+	return s.Clone()
+}
+
+// State captures the engine's mutable state for checkpointing.
+func (e *Engine) State() EngineState {
+	return EngineState{
+		Day: e.day,
+		Hist: tariff.History{
+			Price:     e.hist.Price.Clone(),
+			Renewable: e.hist.Renewable.Clone(),
+			Demand:    e.hist.Demand.Clone(),
+		},
+		LastLoad:      cloneOrNil(e.lastLoad),
+		LastPublished: cloneOrNil(e.lastPublished),
+	}
+}
+
+// RestoreState reinstates a snapshot previously captured with State on an
+// engine rebuilt from the same Config.
+func (e *Engine) RestoreState(st EngineState) error {
+	if st.Day < 0 {
+		return fmt.Errorf("community: snapshot day %d negative", st.Day)
+	}
+	if st.Hist.Len() > 0 {
+		if err := st.Hist.Validate(); err != nil {
+			return fmt.Errorf("community: snapshot history: %w", err)
+		}
+	}
+	if st.Hist.Len() != st.Day*24 {
+		return fmt.Errorf("community: snapshot history has %d slots for day %d (want %d)",
+			st.Hist.Len(), st.Day, st.Day*24)
+	}
+	if len(st.LastLoad) != 24 {
+		return fmt.Errorf("community: snapshot demand basis has %d slots, want 24", len(st.LastLoad))
+	}
+	if st.LastPublished != nil && len(st.LastPublished) != 24 {
+		return fmt.Errorf("community: snapshot last published price has %d slots, want 24", len(st.LastPublished))
+	}
+	e.day = st.Day
+	e.hist = tariff.History{
+		Price:     st.Hist.Price.Clone(),
+		Renewable: st.Hist.Renewable.Clone(),
+		Demand:    st.Hist.Demand.Clone(),
+	}
+	e.lastLoad = st.LastLoad.Clone()
+	e.lastPublished = cloneOrNil(st.LastPublished)
+	return nil
 }
 
 // Bootstrap simulates `days` clean (attack-free) days to accumulate the

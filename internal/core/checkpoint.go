@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nmdetect/internal/attack"
+	"nmdetect/internal/checkpoint"
+	"nmdetect/internal/community"
+)
+
+// MonitorKind is the checkpoint payload kind for monitoring runs.
+const MonitorKind = "monitor-run"
+
+// MonitorState is the complete runtime state of a monitoring run after some
+// number of completed days: everything MonitorDays mutates, and nothing the
+// deterministic offline phase (NewSystem) reproduces on its own. Restoring
+// it into a freshly constructed System with the same Options continues the
+// run bit-for-bit, because every per-day random stream is a pure function of
+// (seed, day index) — the engine carries no cursor-style RNG state.
+type MonitorState struct {
+	// KitName guards against resuming with the wrong detector variant.
+	KitName string
+	// Completed is the number of monitored days already in Results.
+	Completed int
+	// Enforce records whether inspections repaired the fleet; a resume with
+	// a different setting would splice two different experiments.
+	Enforce bool
+	// Engine is the simulated world's utility-side state.
+	Engine community.EngineState
+	// Campaign is the intrusion state (which meters are compromised).
+	Campaign attack.CampaignState
+	// Kit is the detector's mutable state (deviation channel + POMDP belief).
+	Kit community.KitState
+	// Results holds the completed days' monitoring results.
+	Results []*community.MonitorDayResult
+}
+
+// MonitorDaysCheckpointed is MonitorDays with kill/resume support: it writes
+// a checkpoint to path after every `every` completed days (and at the end),
+// and, if path already holds a checkpoint, restores it and continues from
+// the recorded day instead of starting over. An empty path degrades to plain
+// MonitorDays. A resumed run returns the full result slice — recorded days
+// plus freshly monitored ones — identical to what an uninterrupted run would
+// have produced.
+func (s *System) MonitorDaysCheckpointed(ctx context.Context, kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool, path string, every int) ([]*community.MonitorDayResult, error) {
+	if path == "" {
+		return s.MonitorDays(ctx, kit, camp, days, enforce)
+	}
+	if days < 1 {
+		return nil, fmt.Errorf("core: days %d must be positive", days)
+	}
+	if every < 1 {
+		every = 1
+	}
+	start := 0
+	var results []*community.MonitorDayResult
+	if checkpoint.Exists(path) {
+		var st MonitorState
+		if err := checkpoint.Load(path, MonitorKind, &st); err != nil {
+			return nil, err
+		}
+		if st.KitName != kit.Name {
+			return nil, fmt.Errorf("core: checkpoint was taken with kit %q, resuming with %q", st.KitName, kit.Name)
+		}
+		if st.Enforce != enforce {
+			return nil, fmt.Errorf("core: checkpoint was taken with enforce=%v, resuming with %v", st.Enforce, enforce)
+		}
+		if st.Completed > days {
+			return nil, fmt.Errorf("core: checkpoint already holds %d days, requested only %d", st.Completed, days)
+		}
+		if st.Completed != len(st.Results) {
+			return nil, fmt.Errorf("core: checkpoint inconsistent: %d days recorded, %d results", st.Completed, len(st.Results))
+		}
+		if err := s.Engine.RestoreState(st.Engine); err != nil {
+			return nil, fmt.Errorf("core: resume engine: %w", err)
+		}
+		if err := camp.Restore(st.Campaign); err != nil {
+			return nil, fmt.Errorf("core: resume campaign: %w", err)
+		}
+		if err := kit.RestoreState(st.Kit, s.opts.Community.N); err != nil {
+			return nil, fmt.Errorf("core: resume kit: %w", err)
+		}
+		start = st.Completed
+		results = st.Results
+	}
+	for d := start; d < days; d++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		res, err := s.Engine.MonitorDay(ctx, kit, camp, s.Buckets, enforce)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		if (d+1)%every == 0 || d+1 == days {
+			if err := s.saveMonitor(path, kit, camp, enforce, results); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+func (s *System) saveMonitor(path string, kit *community.DetectorKit, camp *attack.Campaign, enforce bool, results []*community.MonitorDayResult) error {
+	st := MonitorState{
+		KitName:   kit.Name,
+		Completed: len(results),
+		Enforce:   enforce,
+		Engine:    s.Engine.State(),
+		Campaign:  camp.State(),
+		Kit:       kit.State(),
+		Results:   results,
+	}
+	return checkpoint.Save(path, MonitorKind, &st)
+}

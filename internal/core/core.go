@@ -92,19 +92,12 @@ func DefaultOptions(n int, seed uint64) Options {
 		// window, slow enough that states persist across the load-response
 		// observation lag.
 		HackProb:  0.10,
-		BatchLo:   maxInt(1, n/20),
-		BatchHi:   maxInt(2, n/8),
+		BatchLo:   max(1, n/20),
+		BatchHi:   max(2, n/8),
 		CalibFrac: 0.4,
 		Solver:    SolverPBVI,
 		PBVI:      pomdp.DefaultPBVIOptions(),
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Validate checks the options.
@@ -120,6 +113,13 @@ func (o Options) Validate() error {
 	}
 	if o.FlagTau <= 0 || o.DeltaPAR <= 0 {
 		return errors.New("core: thresholds must be positive")
+	}
+	// NaN passes every ordered comparison above (NaN <= 0 is false), so
+	// finiteness needs its own check.
+	for _, v := range []float64{o.FlagTau, o.DeltaPAR, o.HackProb, o.CalibFrac} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("core: non-finite option")
+		}
 	}
 	if o.Attack == nil {
 		return errors.New("core: nil attack")

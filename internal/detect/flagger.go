@@ -70,6 +70,34 @@ func (f *Flagger) Flagged(i int) bool { return f.maxDev[i] > f.Tau }
 // Size returns the number of meters the flagger tracks.
 func (f *Flagger) Size() int { return len(f.maxDev) }
 
+// FlaggerState is a serializable snapshot of the channel's accumulated
+// deviations, captured by State and reinstated by Restore for
+// checkpoint/resume.
+type FlaggerState struct {
+	MaxDev []float64
+	Slots  int
+}
+
+// State captures the flagger's mutable state.
+func (f *Flagger) State() FlaggerState {
+	dev := make([]float64, len(f.maxDev))
+	copy(dev, f.maxDev)
+	return FlaggerState{MaxDev: dev, Slots: f.slots}
+}
+
+// Restore reinstates a snapshot previously captured with State.
+func (f *Flagger) Restore(st FlaggerState) error {
+	if len(st.MaxDev) != len(f.maxDev) {
+		return fmt.Errorf("detect: snapshot covers %d meters, flagger has %d", len(st.MaxDev), len(f.maxDev))
+	}
+	if st.Slots < 0 {
+		return fmt.Errorf("detect: snapshot slot count %d negative", st.Slots)
+	}
+	copy(f.maxDev, st.MaxDev)
+	f.slots = st.Slots
+	return nil
+}
+
 // Reset clears the accumulated deviations (called after a repair, when past
 // deviations no longer reflect the fleet's state).
 func (f *Flagger) Reset() {

@@ -1,0 +1,98 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"nmdetect/internal/tariff"
+)
+
+// Imputer reconstructs missing (NaN) meter readings so the deviation channel
+// can keep monitoring through AMI dropouts instead of failing. It learns a
+// per-slot-of-day community per-meter mean from the utility's tariff history
+// — under net metering the mean net flow (demand − renewable)/N, otherwise
+// the mean consumption/N — and substitutes that climatological value for a
+// lost reading. The substitution is deliberately crude: an imputed reading
+// carries no evidence about the individual meter, so detection quality
+// degrades gracefully (and measurably — see experiments.FaultSweep) as the
+// dropout rate grows.
+type Imputer struct {
+	slotMean [24]float64
+	ok       bool
+}
+
+// NewImputer learns per-slot means from the history. meters scales community
+// totals to per-meter values; netMetering selects net flow vs consumption as
+// the imputed quantity. An empty history yields an imputer with no learned
+// value — FillSlot then falls back to the expected reading (zero deviation
+// evidence).
+func NewImputer(hist tariff.History, meters int, netMetering bool) (*Imputer, error) {
+	if meters <= 0 {
+		return nil, fmt.Errorf("detect: imputer meter count %d must be positive", meters)
+	}
+	im := &Imputer{}
+	if hist.Len() == 0 {
+		return im, nil
+	}
+	if err := hist.Validate(); err != nil {
+		return nil, err
+	}
+	var sums, counts [24]float64
+	for t := 0; t < hist.Len(); t++ {
+		v := hist.Demand[t]
+		if netMetering {
+			v -= hist.Renewable[t]
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		sums[t%24] += v
+		counts[t%24]++
+	}
+	for h := 0; h < 24; h++ {
+		if counts[h] > 0 {
+			im.slotMean[h] = sums[h] / counts[h] / float64(meters)
+			im.ok = true
+		}
+	}
+	return im, nil
+}
+
+// Value returns the learned per-meter mean for slot-of-day h, and whether the
+// imputer has learned one.
+func (im *Imputer) Value(h int) (float64, bool) {
+	if !im.ok {
+		return 0, false
+	}
+	return im.slotMean[h%24], true
+}
+
+// FillSlot writes slot h of realized into dst, replacing missing (NaN)
+// readings with the learned per-meter value — or, when no history was
+// available, with the expected reading. Non-missing readings pass through
+// untouched. It returns the number of imputed meters. dst, expected and
+// realized must have matching shapes; dst may not alias realized (the
+// original record stays intact).
+func (im *Imputer) FillSlot(dst, expected, realized [][]float64, h int) (int, error) {
+	if len(dst) != len(realized) || len(expected) != len(realized) {
+		return 0, fmt.Errorf("detect: imputer shape mismatch dst=%d expected=%d realized=%d",
+			len(dst), len(expected), len(realized))
+	}
+	imputed := 0
+	for n := range realized {
+		if h < 0 || h >= len(realized[n]) || h >= len(expected[n]) || h >= len(dst[n]) {
+			return 0, fmt.Errorf("detect: slot %d out of range for meter %d", h, n)
+		}
+		v := realized[n][h]
+		if math.IsNaN(v) {
+			if mv, ok := im.Value(h); ok {
+				v = mv
+			} else {
+				v = expected[n][h]
+			}
+			imputed++
+		}
+		dst[n][h] = v
+	}
+	return imputed, nil
+}

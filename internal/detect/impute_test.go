@@ -1,0 +1,121 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/tariff"
+)
+
+func histDays(days int, demand, renewable float64) tariff.History {
+	h := tariff.History{}
+	for d := 0; d < days; d++ {
+		for s := 0; s < 24; s++ {
+			h.Append(0.1, renewable, demand)
+		}
+	}
+	return h
+}
+
+func TestImputerLearnsPerMeterMean(t *testing.T) {
+	im, err := NewImputer(histDays(3, 50, 10), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := im.Value(12)
+	if !ok {
+		t.Fatal("imputer learned nothing from non-empty history")
+	}
+	if math.Abs(v-4.0) > 1e-12 { // (50-10)/10
+		t.Fatalf("net mean %v, want 4", v)
+	}
+	im2, err := NewImputer(histDays(3, 50, 10), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := im2.Value(12)
+	if math.Abs(v2-5.0) > 1e-12 { // 50/10
+		t.Fatalf("consumption mean %v, want 5", v2)
+	}
+}
+
+func TestImputerEmptyHistoryFallsBack(t *testing.T) {
+	im, err := NewImputer(tariff.History{}, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := im.Value(0); ok {
+		t.Fatal("empty history produced a learned value")
+	}
+	expected := [][]float64{{1, 2}, {3, 4}}
+	realized := [][]float64{{math.NaN(), 2}, {3, 4}}
+	dst := [][]float64{make([]float64, 2), make([]float64, 2)}
+	n, err := im.FillSlot(dst, expected, realized, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("imputed %d, want 1", n)
+	}
+	if dst[0][0] != 1 { // fell back to expected
+		t.Fatalf("fallback value %v, want expected 1", dst[0][0])
+	}
+	if dst[1][0] != 3 {
+		t.Fatalf("clean value %v, want 3", dst[1][0])
+	}
+}
+
+func TestImputerFillSlot(t *testing.T) {
+	im, err := NewImputer(histDays(2, 30, 0), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := [][]float64{{0.5}, {0.5}, {0.5}}
+	realized := [][]float64{{math.NaN()}, {7}, {math.NaN()}}
+	dst := [][]float64{{0}, {0}, {0}}
+	n, err := im.FillSlot(dst, expected, realized, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("imputed %d, want 2", n)
+	}
+	if dst[0][0] != 3.0 || dst[2][0] != 3.0 { // 30/10
+		t.Fatalf("imputed values %v/%v, want 3", dst[0][0], dst[2][0])
+	}
+	if dst[1][0] != 7 {
+		t.Fatalf("clean reading altered: %v", dst[1][0])
+	}
+	// Original record must stay intact.
+	if !math.IsNaN(realized[0][0]) {
+		t.Fatal("realized record mutated")
+	}
+}
+
+func TestImputerSkipsCorruptHistory(t *testing.T) {
+	h := histDays(1, 20, 0)
+	h.Demand[5] = math.NaN()
+	h.Demand[6] = math.Inf(1)
+	im, err := NewImputer(h, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots 5 and 6 had their only sample corrupted; the imputer holds the
+	// zero fallback there but learned the rest.
+	if v, ok := im.Value(7); !ok || v != 2 {
+		t.Fatalf("slot 7 value %v ok=%v, want 2", v, ok)
+	}
+}
+
+func TestImputerRejectsBadShapes(t *testing.T) {
+	if _, err := NewImputer(tariff.History{}, 0, false); err == nil {
+		t.Fatal("zero meters accepted")
+	}
+	im, _ := NewImputer(tariff.History{}, 2, false)
+	if _, err := im.FillSlot([][]float64{{0}}, [][]float64{{0}, {0}}, [][]float64{{0}, {0}}, 0); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := im.FillSlot([][]float64{{0}, {0}}, [][]float64{{0}, {0}}, [][]float64{{0}, {0}}, 5); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}

@@ -110,13 +110,6 @@ func defaultBounds(n int) []int {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // BuildModel calibrates the detection POMDP ⟨S, O, A, T, R, Ω⟩ by Monte-Carlo
 // simulation of the campaign process (for T) and the flagging channel
 // (for Ω/Z).
@@ -319,4 +312,45 @@ func (d *LongTerm) MAPBucket() int { return d.belief.MAP() }
 func (d *LongTerm) Reset() {
 	d.belief = pomdp.PointBelief(d.model.NumStates, 0)
 	d.lastAct = ActionContinue
+}
+
+// LongTermState is a serializable snapshot of the detector's mutable state
+// (belief, pending action, and counters), captured by State and reinstated by
+// Restore for checkpoint/resume. The model and policy are rebuilt
+// deterministically from configuration, so only runtime state is stored.
+type LongTermState struct {
+	Belief      []float64
+	LastAct     int
+	Inspections int
+	Steps       int
+}
+
+// State captures the detector's mutable state.
+func (d *LongTerm) State() LongTermState {
+	b := make([]float64, len(d.belief))
+	copy(b, d.belief)
+	return LongTermState{
+		Belief:      b,
+		LastAct:     d.lastAct,
+		Inspections: d.Inspections,
+		Steps:       d.Steps,
+	}
+}
+
+// Restore reinstates a snapshot previously captured with State.
+func (d *LongTerm) Restore(st LongTermState) error {
+	if len(st.Belief) != d.model.NumStates {
+		return fmt.Errorf("detect: snapshot belief has %d states, model has %d", len(st.Belief), d.model.NumStates)
+	}
+	if st.LastAct != ActionContinue && st.LastAct != ActionInspect {
+		return fmt.Errorf("detect: snapshot action %d invalid", st.LastAct)
+	}
+	if st.Inspections < 0 || st.Steps < 0 {
+		return fmt.Errorf("detect: snapshot counters negative")
+	}
+	copy(d.belief, st.Belief)
+	d.lastAct = st.LastAct
+	d.Inspections = st.Inspections
+	d.Steps = st.Steps
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"nmdetect/internal/attack"
 	"nmdetect/internal/community"
 	"nmdetect/internal/core"
+	"nmdetect/internal/faultinject"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/loadpred"
 	"nmdetect/internal/metrics"
@@ -84,6 +85,10 @@ type Config struct {
 	// Attack overrides the manipulation payload; nil keeps the default
 	// zero-price window 16:00–17:00.
 	Attack attack.Attack
+	// Faults injects deterministic data-plane faults (package faultinject)
+	// into the simulated world. The zero value keeps the fault-free engine —
+	// recorded outputs are untouched.
+	Faults faultinject.Config
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -126,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if c.HackProb < 0 || c.HackProb > 1 {
 		return fmt.Errorf("experiments: hack probability %v out of [0,1]", c.HackProb)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -346,5 +354,6 @@ func communityConfig(cfg Config) community.Config {
 	} else if cfg.MeasurementNoise < 0 {
 		c.MeasurementNoise = 0
 	}
+	c.Faults = cfg.Faults
 	return c
 }

@@ -178,6 +178,46 @@ func TestRobustness(t *testing.T) {
 	}
 }
 
+// TestRobustnessSpreadBand pins the cross-seed stability claim on three
+// seeds: the aware detector's accuracy must stay inside a documented band,
+// and the spread (max − min) must stay small. The band is deliberately
+// loose — at test scale (N=18, 1 monitored day) the weather realizations
+// move absolute accuracy far more than at N=500 — but it still catches a
+// detector that collapses on an unlucky seed. Observed at the time of
+// writing: aware accuracies ≈ 0.67–1.00 (mean 0.79) with spread ≈ 0.33
+// across seeds {42, 43, 44}, blind mean 0.51, aware wins 3/3.
+func TestRobustnessSpreadBand(t *testing.T) {
+	cfg := fastConfig(42)
+	seeds := []uint64{42, 43, 44}
+	res, err := Robustness(context.Background(), cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AwareAccuracies) != len(seeds) {
+		t.Fatalf("got %d per-seed results, want %d", len(res.AwareAccuracies), len(seeds))
+	}
+	lo, hi := 1.0, 0.0
+	for i, acc := range res.AwareAccuracies {
+		if acc < 0.5 || acc > 1 {
+			t.Errorf("seed %d: aware accuracy %.4f outside the documented [0.5, 1] band", seeds[i], acc)
+		}
+		lo = min(lo, acc)
+		hi = max(hi, acc)
+	}
+	const maxSpread = 0.35
+	if hi-lo > maxSpread {
+		t.Errorf("aware accuracy spread %.4f exceeds the documented band %.2f (per seed: %v)",
+			hi-lo, maxSpread, res.AwareAccuracies)
+	}
+	// The reproduction's ordering claim: the aware detector wins on a
+	// majority of seeds.
+	if res.Wins*2 <= len(seeds) {
+		t.Errorf("aware detector won only %d/%d seeds", res.Wins, len(seeds))
+	}
+	t.Logf("aware %.4f±[%.4f,%.4f], blind mean %.4f, wins %d/%d",
+		res.AwareMean, lo, hi, res.BlindMean, res.Wins, len(seeds))
+}
+
 func TestRunningAccuracy(t *testing.T) {
 	// Construct via Fig6's helper on synthetic results.
 	cfg := fastConfig(7)

@@ -43,7 +43,13 @@ import (
 	"nmdetect/internal/rng"
 	"nmdetect/internal/tariff"
 	"nmdetect/internal/timeseries"
+	"nmdetect/internal/watchdog"
 )
+
+// ErrDiverged re-exports the shared watchdog sentinel: a solve that returns
+// an error wrapping it left the healthy numerical region (typically because
+// of non-finite prices or PV inputs) and exhausted its retry budget.
+var ErrDiverged = watchdog.ErrDiverged
 
 // Config tunes the game solver.
 type Config struct {
@@ -95,19 +101,21 @@ func DefaultConfig(t tariff.Quadratic, netMetering bool) Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Range checks are written to reject NaN
+// explicitly — NaN passes every ordered comparison, so `x < 0 || x > 1` alone
+// would admit it.
 func (c Config) Validate() error {
-	if c.BatteryInitFrac < 0 || c.BatteryInitFrac > 1 {
+	if math.IsNaN(c.BatteryInitFrac) || c.BatteryInitFrac < 0 || c.BatteryInitFrac > 1 {
 		return fmt.Errorf("game: battery init fraction %v out of [0,1]", c.BatteryInitFrac)
 	}
 	if c.MaxSweeps < 1 {
 		return fmt.Errorf("game: max sweeps %d must be positive", c.MaxSweeps)
 	}
-	if c.Tol <= 0 {
-		return fmt.Errorf("game: tolerance %v must be positive", c.Tol)
+	if math.IsNaN(c.Tol) || math.IsInf(c.Tol, 0) || c.Tol <= 0 {
+		return fmt.Errorf("game: tolerance %v must be positive and finite", c.Tol)
 	}
-	if c.Tariff.W < 1 {
-		return fmt.Errorf("game: tariff sell-back divisor %v must be >= 1", c.Tariff.W)
+	if math.IsNaN(c.Tariff.W) || math.IsInf(c.Tariff.W, 0) || c.Tariff.W < 1 {
+		return fmt.Errorf("game: tariff sell-back divisor %v must be >= 1 and finite", c.Tariff.W)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("game: negative worker count %d", c.Workers)
@@ -252,6 +260,34 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 	if block > 1 {
 		outs = make([]response, block)
 	}
+
+	// Watchdog state: lastGood is the iterate at the end of the most recent
+	// healthy sweep (initially the greedy starting point). On a health
+	// failure — a non-finite trading total, a diverging sweep delta, or a
+	// best response reporting ErrDiverged — the iterate is restored and the
+	// sweeps restart with retry-salted CE streams (a different stochastic
+	// path; retry 0 uses the historical labels so healthy runs are bitwise
+	// unchanged). The budget exhausted, the solve reports ErrDiverged.
+	lastGood := newGameSnapshot(res, totalY)
+	gapMon := watchdog.NewMonitor(100, 1)
+	retry := 0
+	ceLabel := func(sweep, i int) string {
+		if retry == 0 {
+			return fmt.Sprintf("ce-%d-%d", sweep, i)
+		}
+		return fmt.Sprintf("ce-r%d-%d-%d", retry, sweep, i)
+	}
+	failSweep := func(cause error) error {
+		retry++
+		if retry > watchdog.Retries {
+			return fmt.Errorf("game: sweeps diverged after %d retries: %w", watchdog.Retries, cause)
+		}
+		lastGood.restore(res, totalY)
+		gapMon.Reset()
+		return nil
+	}
+
+sweeps:
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
 		res.Sweeps = sweep + 1
 		maxDelta := 0.0
@@ -275,7 +311,7 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 				i := start
 				var csrc *rng.Source
 				if cfg.NetMetering {
-					csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
+					csrc = src.Derive(ceLabel(sweep, i))
 				}
 				oldY := res.CustomerTrading[i]
 				// Remove this customer's trading from the shared total.
@@ -284,6 +320,13 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 				}
 				newLoad, newY, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc)
 				if err != nil {
+					if errors.Is(err, watchdog.ErrDiverged) {
+						if ferr := failSweep(fmt.Errorf("customer %d: %w", i, err)); ferr != nil {
+							return nil, ferr
+						}
+						sweep = -1
+						continue sweeps
+					}
 					return nil, fmt.Errorf("game: customer %d: %w", i, err)
 				}
 				for t := 0; t < h; t++ {
@@ -309,7 +352,7 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 				i := start + k
 				var csrc *rng.Source
 				if cfg.NetMetering {
-					csrc = src.Derive(fmt.Sprintf("ce-%d-%d", sweep, i))
+					csrc = src.Derive(ceLabel(sweep, i))
 				}
 				oldY := res.CustomerTrading[i]
 				yOther := make([]float64, h)
@@ -324,6 +367,13 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 				return nil
 			})
 			if err != nil {
+				if errors.Is(err, watchdog.ErrDiverged) {
+					if ferr := failSweep(err); ferr != nil {
+						return nil, ferr
+					}
+					sweep = -1
+					continue sweeps
+				}
 				return nil, err
 			}
 			// Apply updates in index order (deterministic float accumulation).
@@ -344,6 +394,20 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 				res.Cost[i] = out[k].cost
 			}
 		}
+		// Sweep-boundary health check: trading totals must stay finite and
+		// the fixed-point gap must not grow without bound.
+		healthErr := gapMon.Observe(maxDelta)
+		if healthErr == nil && !watchdog.AllFinite(totalY) {
+			healthErr = fmt.Errorf("game: non-finite trading total after sweep %d: %w", sweep, watchdog.ErrDiverged)
+		}
+		if healthErr != nil {
+			if ferr := failSweep(healthErr); ferr != nil {
+				return nil, ferr
+			}
+			sweep = -1
+			continue
+		}
+		lastGood.capture(res, totalY)
 		if maxDelta < cfg.Tol {
 			res.Converged = true
 			break
@@ -360,6 +424,66 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 		res.GridDemand[t] = sumY
 	}
 	return res, nil
+}
+
+// gameSnapshot is a deep copy of the solver's mutable iterate — the
+// last-good state the watchdog restores on divergence. Capture reuses its
+// buffers, so the healthy path costs one value copy per sweep and no
+// steady-state allocation.
+type gameSnapshot struct {
+	totalY  []float64
+	load    [][]float64
+	trading [][]float64
+	traj    [][]float64
+	cost    []float64
+	sweeps  int
+}
+
+func newGameSnapshot(res *Result, totalY []float64) *gameSnapshot {
+	s := &gameSnapshot{
+		totalY:  make([]float64, len(totalY)),
+		load:    make([][]float64, len(res.CustomerLoad)),
+		trading: make([][]float64, len(res.CustomerTrading)),
+		traj:    make([][]float64, len(res.BatteryTraj)),
+		cost:    make([]float64, len(res.Cost)),
+	}
+	s.capture(res, totalY)
+	return s
+}
+
+// copyRowInto copies src into *dst, reallocating only on shape changes; a nil
+// src yields a nil *dst (customers without batteries have nil trajectories).
+func copyRowInto(dst *[]float64, src []float64) {
+	if src == nil {
+		*dst = nil
+		return
+	}
+	if len(*dst) != len(src) {
+		*dst = make([]float64, len(src))
+	}
+	copy(*dst, src)
+}
+
+func (s *gameSnapshot) capture(res *Result, totalY []float64) {
+	copy(s.totalY, totalY)
+	for i := range s.load {
+		copyRowInto(&s.load[i], res.CustomerLoad[i])
+		copyRowInto(&s.trading[i], res.CustomerTrading[i])
+		copyRowInto(&s.traj[i], res.BatteryTraj[i])
+	}
+	copy(s.cost, res.Cost)
+	s.sweeps = res.Sweeps
+}
+
+func (s *gameSnapshot) restore(res *Result, totalY []float64) {
+	copy(totalY, s.totalY)
+	for i := range s.load {
+		copyRowInto(&res.CustomerLoad[i], s.load[i])
+		copyRowInto(&res.CustomerTrading[i], s.trading[i])
+		copyRowInto(&res.BatteryTraj[i], s.traj[i])
+	}
+	copy(res.Cost, s.cost)
+	res.Sweeps = s.sweeps
 }
 
 // pvRow selects customer i's PV trace, or the caller's shared all-zero row

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadSpec exercises the scenario JSON loader with arbitrary input: it
+// must never panic, and any spec it accepts must round-trip through Save
+// and reload to the same content hash — the ID is the scenario's name, so a
+// save/load cycle may never silently rename an experiment.
+func FuzzLoadSpec(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := Default(20, 42).Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	withFaults := Default(20, 42)
+	withFaults.Faults = &Faults{DropoutRate: 0.02, StalePriceRate: 0.05}
+	seedBuf.Reset()
+	if err := withFaults.Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	f.Add(`{"n": 3}`)
+	f.Add(`{"n": 20, "seed": 1, "unknown_field": true}`)
+	f.Add(`garbage`)
+	f.Add(`{"n": 20, "faults": {"dropout_rate": 2.5}}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted specs are valid by Load's contract.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("accepted spec failed to serialize: %v", err)
+		}
+		again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to load: %v", err)
+		}
+		if again.ID() != s.ID() {
+			t.Fatalf("round trip changed content hash %s -> %s", s.ID(), again.ID())
+		}
+	})
+}

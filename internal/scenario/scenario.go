@@ -28,10 +28,13 @@ import (
 	"io"
 	"os"
 
+	"math"
+
 	"nmdetect/internal/attack"
 	"nmdetect/internal/community"
 	"nmdetect/internal/core"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/faultinject"
 	"nmdetect/internal/game"
 	"nmdetect/internal/tariff"
 )
@@ -118,6 +121,47 @@ type Game struct {
 	JacobiBlock int `json:"jacobi_block"`
 }
 
+// Faults describes deterministic data-plane fault injection (package
+// faultinject): AMI reading dropout/corruption, stale guideline-price
+// broadcasts and PV-sensor outages. All rates are per-day or per-reading
+// probabilities in [0,1]. The zero value injects nothing and lowers to a
+// fault-free engine.
+type Faults struct {
+	// DropoutRate is the per-meter, per-slot probability a reading is lost.
+	DropoutRate float64 `json:"dropout_rate"`
+	// CorruptRate is the per-meter, per-slot corruption probability; SpikeKW
+	// bounds the additive spike magnitude.
+	CorruptRate float64 `json:"corrupt_rate"`
+	SpikeKW     float64 `json:"spike_kw,omitempty"`
+	// StalePriceRate is the per-day probability the head-end re-broadcasts
+	// yesterday's guideline price.
+	StalePriceRate float64 `json:"stale_price_rate"`
+	// PVOutageRate is the per-customer, per-day probability of a PV-sensor
+	// outage window; PVOutageSlots is its length (0 selects the default).
+	PVOutageRate  float64 `json:"pv_outage_rate"`
+	PVOutageSlots int     `json:"pv_outage_slots,omitempty"`
+}
+
+// IsZero reports whether the block injects nothing.
+func (f Faults) IsZero() bool {
+	return f == Faults{}
+}
+
+// lower maps the block onto the injector configuration, keyed by the
+// scenario seed (the plan derives its own labelled streams, so fault draws
+// never collide with simulation draws).
+func (f Faults) lower(seed uint64) faultinject.Config {
+	return faultinject.Config{
+		Seed:           seed,
+		DropoutRate:    f.DropoutRate,
+		CorruptRate:    f.CorruptRate,
+		SpikeKW:        f.SpikeKW,
+		StalePriceRate: f.StalePriceRate,
+		PVOutageRate:   f.PVOutageRate,
+		PVOutageSlots:  f.PVOutageSlots,
+	}
+}
+
 // Spec is the complete declarative description of one experiment scenario.
 type Spec struct {
 	// Name labels the scenario (preset name or a user-chosen tag).
@@ -133,6 +177,11 @@ type Spec struct {
 	Campaign Campaign `json:"campaign"`
 	Detector Detector `json:"detector"`
 	Game     Game     `json:"game"`
+	// Faults optionally injects deterministic data-plane faults. nil (the
+	// block absent from the JSON) and an all-zero block both mean a
+	// fault-free run; ID() canonicalises the two to the same hash, so adding
+	// the feature changed no existing scenario ID.
+	Faults *Faults `json:"faults,omitempty"`
 }
 
 // Default returns the paper's scenario for a community of n meters: the
@@ -156,17 +205,23 @@ func Default(n int, seed uint64) Spec {
 			MeasurementNoise: 0.05,
 		},
 		Attack:   Attack{Kind: "zero", From: 16, To: 17},
-		Campaign: Campaign{HackProb: 0.10, BatchLo: maxInt(1, n/20), BatchHi: maxInt(2, n/8)},
+		Campaign: Campaign{HackProb: 0.10, BatchLo: max(1, n/20), BatchHi: max(2, n/8)},
 		Detector: Detector{FlagTau: 0.5, DeltaPAR: 0.05, CalibFrac: 0.4, Solver: "pbvi"},
 		Game:     Game{Sweeps: 3, Workers: 0, JacobiBlock: 0},
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// nonFinite reports whether any of the values is NaN or ±Inf. JSON cannot
+// encode non-finite numbers, but Specs are also built programmatically, and
+// a NaN threshold passes every ordered range check below — so finiteness is
+// enforced explicitly.
+func nonFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
 	}
-	return b
+	return false
 }
 
 // Validate checks every field range. A valid Spec lowers into valid
@@ -174,6 +229,11 @@ func maxInt(a, b int) int {
 func (s Spec) Validate() error {
 	if s.N < 3 {
 		return fmt.Errorf("scenario: community size %d too small (need >= 3)", s.N)
+	}
+	if nonFinite(s.Tariff.SellBackW, s.PV.ForecastSigma, s.PV.MeasurementNoise,
+		s.Attack.Factor, s.Campaign.HackProb, s.Detector.FlagTau,
+		s.Detector.DeltaPAR, s.Detector.CalibFrac) {
+		return fmt.Errorf("scenario: non-finite parameter")
 	}
 	if s.Horizon.BootstrapDays < 3 {
 		return fmt.Errorf("scenario: need at least 3 bootstrap days, got %d", s.Horizon.BootstrapDays)
@@ -228,6 +288,11 @@ func (s Spec) Validate() error {
 	if s.Game.Workers < 0 || s.Game.JacobiBlock < 0 {
 		return fmt.Errorf("scenario: negative parallelism knob")
 	}
+	if s.Faults != nil {
+		if err := s.Faults.lower(s.Seed).Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -239,6 +304,11 @@ func (s Spec) Validate() error {
 // same ID produce bitwise-identical results.
 func (s Spec) ID() string {
 	s.Game.Workers = 0
+	if s.Faults != nil && s.Faults.IsZero() {
+		// An all-zero faults block injects nothing; canonicalise it away so
+		// it hashes identically to a spec without the block.
+		s.Faults = nil
+	}
 	data, err := json.Marshal(s)
 	if err != nil {
 		// A Spec contains only plain data fields; Marshal cannot fail.
@@ -273,6 +343,9 @@ func (s Spec) CommunityConfig() community.Config {
 	c.GameSweeps = s.Game.Sweeps
 	c.Workers = s.Game.Workers
 	c.GameJacobiBlock = s.Game.JacobiBlock
+	if s.Faults != nil {
+		c.Faults = s.Faults.lower(s.Seed)
+	}
 	return c
 }
 
@@ -360,10 +433,10 @@ func (s Spec) ExperimentsConfig() experiments.Config {
 	if s.Campaign.HackProb != 0.10 {
 		cfg.HackProb = s.Campaign.HackProb
 	}
-	if s.Campaign.BatchLo != maxInt(1, s.N/20) {
+	if s.Campaign.BatchLo != max(1, s.N/20) {
 		cfg.BatchLo = s.Campaign.BatchLo
 	}
-	if s.Campaign.BatchHi != maxInt(2, s.N/8) {
+	if s.Campaign.BatchHi != max(2, s.N/8) {
 		cfg.BatchHi = s.Campaign.BatchHi
 	}
 	if s.Attack != (Attack{Kind: "zero", From: 16, To: 17}) {
@@ -371,6 +444,9 @@ func (s Spec) ExperimentsConfig() experiments.Config {
 		if atk, err := s.BuildAttack(); err == nil {
 			cfg.Attack = atk
 		}
+	}
+	if s.Faults != nil {
+		cfg.Faults = s.Faults.lower(s.Seed)
 	}
 	return cfg
 }

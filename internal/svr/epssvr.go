@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"nmdetect/internal/watchdog"
 )
+
+// ErrDiverged re-exports the shared watchdog sentinel: a training run that
+// returns an error wrapping it saw non-finite dual iterates (typically NaN
+// targets or features from corrupted history) persist across its retries.
+var ErrDiverged = watchdog.ErrDiverged
 
 // EpsSVROptions configures the ε-insensitive SVR SMO trainer.
 type EpsSVROptions struct {
@@ -112,6 +119,17 @@ func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error)
 		return best
 	}
 
+	// Watchdog state: lastGood holds the dual iterate at the end of the most
+	// recent healthy sweep (initially β = 0). SMO is deterministic, so a
+	// restore-and-retry distinguishes a transient excursion from structurally
+	// bad inputs (NaN targets poison grad at initialization and re-diverge
+	// every retry); persistent divergence reports ErrDiverged instead of
+	// silently returning a NaN model.
+	lastGoodBeta := append([]float64(nil), beta...)
+	lastGoodGrad := append([]float64(nil), grad...)
+	gapMon := watchdog.NewMonitor(100, 1)
+	retries := 0
+
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
 		maxStep := 0.0
 		for i := 0; i < n; i++ {
@@ -142,6 +160,24 @@ func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error)
 				maxStep = math.Abs(d)
 			}
 		}
+		// Sweep-boundary health check: dual coefficients and gradient must
+		// stay finite and the step size must not grow without bound.
+		healthErr := gapMon.Observe(maxStep)
+		if healthErr == nil && !watchdog.AllFinite(beta, grad) {
+			healthErr = fmt.Errorf("svr: non-finite dual iterate after sweep %d: %w", sweep, watchdog.ErrDiverged)
+		}
+		if healthErr != nil {
+			retries++
+			if retries > watchdog.Retries {
+				return nil, fmt.Errorf("svr: eps-svr training diverged after %d retries: %w", watchdog.Retries, healthErr)
+			}
+			copy(beta, lastGoodBeta)
+			copy(grad, lastGoodGrad)
+			gapMon.Reset()
+			continue
+		}
+		copy(lastGoodBeta, beta)
+		copy(lastGoodGrad, grad)
 		if maxStep < opts.Tol {
 			break
 		}

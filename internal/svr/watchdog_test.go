@@ -1,0 +1,28 @@
+package svr
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// NaN targets poison the SMO gradient at initialization; the sweep-boundary
+// finiteness check must surface the typed sentinel rather than silently
+// returning a model with a NaN bias.
+func TestTrainEpsSVRDivergesOnNaNTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	y := []float64{0, 1, math.NaN(), 3, 4}
+	_, err := TrainEpsSVR(x, y, DefaultEpsSVROptions())
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("want ErrDiverged, got %v", err)
+	}
+}
+
+func TestTrainEpsSVRDivergesOnInfTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	y := []float64{0, 1, math.Inf(1), 3, 4}
+	_, err := TrainEpsSVR(x, y, DefaultEpsSVROptions())
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("want ErrDiverged, got %v", err)
+	}
+}

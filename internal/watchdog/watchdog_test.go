@@ -1,0 +1,80 @@
+package watchdog
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}, []float64{}) {
+		t.Fatal("finite slices reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{1}, []float64{math.Inf(-1)}) {
+		t.Fatal("-Inf not detected")
+	}
+}
+
+func TestMonitorConvergingSequence(t *testing.T) {
+	m := NewMonitor(10, 1)
+	for _, gap := range []float64{5, 3, 1, 0.5, 0.1, 0.02} {
+		if err := m.Observe(gap); err != nil {
+			t.Fatalf("converging gap %v flagged: %v", gap, err)
+		}
+	}
+}
+
+func TestMonitorOscillationTolerated(t *testing.T) {
+	// Bounded oscillation (block-Jacobi behavior) must not trip the monitor.
+	m := NewMonitor(10, 1)
+	for i := 0; i < 50; i++ {
+		gap := 1.0
+		if i%2 == 0 {
+			gap = 2.0
+		}
+		if err := m.Observe(gap); err != nil {
+			t.Fatalf("bounded oscillation flagged at step %d: %v", i, err)
+		}
+	}
+}
+
+func TestMonitorSustainedGrowthFlagged(t *testing.T) {
+	m := NewMonitor(10, 1)
+	var err error
+	gap := 1.0
+	for i := 0; i < 20 && err == nil; i++ {
+		err = m.Observe(gap)
+		gap *= 4
+	}
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("sustained growth not flagged, err=%v", err)
+	}
+}
+
+func TestMonitorNonFinite(t *testing.T) {
+	m := NewMonitor(10, 1)
+	if err := m.Observe(math.NaN()); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("NaN gap not flagged, err=%v", err)
+	}
+	m.Reset()
+	if err := m.Observe(math.Inf(1)); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Inf gap not flagged, err=%v", err)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(2, 0)
+	if err := m.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(100); !errors.Is(err, ErrDiverged) {
+		t.Fatal("growth past factor with zero patience not flagged")
+	}
+	m.Reset()
+	if err := m.Observe(100); err != nil {
+		t.Fatalf("first observation after reset flagged: %v", err)
+	}
+}

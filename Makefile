@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint bench-parallel
+.PHONY: build test vet race check panic-lint bench-parallel bench-obs-overhead
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs
 
 panic-lint:
 	sh scripts/panic_lint.sh
@@ -27,3 +27,9 @@ check: vet panic-lint race
 # Regenerate the numbers behind BENCH_game_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkGameSolveParallel' -benchmem .
+
+# Observability overhead guard: events-on vs events-off on the parallel game
+# solve; fails above the DESIGN.md §9 budget and regenerates
+# BENCH_obs_overhead.json.
+bench-obs-overhead:
+	sh scripts/bench_obs_overhead.sh

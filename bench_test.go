@@ -14,6 +14,7 @@ package bench
 
 import (
 	"context"
+	"io"
 	"math"
 	"testing"
 
@@ -28,6 +29,7 @@ import (
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/pomdp"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/solar"
@@ -181,6 +183,30 @@ func benchmarkGameSolveParallel(b *testing.B, workers int) {
 func BenchmarkGameSolveParallel1(b *testing.B) { benchmarkGameSolveParallel(b, 1) }
 func BenchmarkGameSolveParallel4(b *testing.B) { benchmarkGameSolveParallel(b, 4) }
 func BenchmarkGameSolveParallel8(b *testing.B) { benchmarkGameSolveParallel(b, 8) }
+
+// BenchmarkGameSolveParallel4Events is the observability overhead guard: the
+// same solve as Parallel4, but with a live event sink attached to the
+// context (writing to io.Discard, so the cost measured is instrumentation,
+// not disk). scripts/bench_obs_overhead.sh compares it against Parallel4 and
+// fails the build if events-on costs more than the DESIGN.md §9 budget (5%).
+func BenchmarkGameSolveParallel4Events(b *testing.B) {
+	customers, pv := benchCommunity(b, 24)
+	q, _ := tariff.NewQuadratic(1.5)
+	cfg := game.DefaultConfig(q, true)
+	cfg.MaxSweeps = 2
+	cfg.JacobiBlock = 8
+	cfg.Workers = 4
+	price := benchPrice()
+	sink := obs.NewSink(io.Discard)
+	defer sink.Close()
+	ctx := obs.With(context.Background(), sink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Solve(ctx, customers, price, pv, cfg, rng.New(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEnginePrepareDay measures the parallel per-customer PV generation
 // path of the engine's day preparation.

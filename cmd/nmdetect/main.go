@@ -8,6 +8,7 @@
 //	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
 //	         [-scenario file.json|preset] [-dump-scenario]
 //	         [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
+//	         [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -scenario, the world is described by a scenario spec — a preset name
 // or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
@@ -34,6 +35,7 @@ import (
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/scenario"
 )
 
@@ -54,6 +56,10 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file for the monitoring run (empty = no checkpointing)")
 		ckptK    = flag.Int("checkpoint-every", 10, "days between checkpoints")
 		resume   = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
+		events   = flag.String("events", "", "write a JSONL run-event stream to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -83,6 +89,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, spec.ID())
 		return
 	}
+
+	if err := obs.Setup(obs.RunConfig{
+		Cmd: "nmdetect", EventsPath: *events, PprofAddr: *pprofA,
+		CPUProfile: *cpuProf, MemProfile: *memProf,
+		ScenarioID: spec.ID(), Seed: spec.Seed, Workers: spec.Game.Workers,
+	}); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmdetect:", err)
+		}
+	}()
 
 	opts, err := spec.CoreOptions()
 	if err != nil {
@@ -151,6 +170,8 @@ func main() {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred calls; flush profiles and the event sink here.
+	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmdetect:", err)
 	os.Exit(1)
 }

@@ -8,6 +8,8 @@
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
 //	        [-scenario file.json|preset] [-dump-scenario]
 //	        [-checkpoint run.ckpt] [-resume]
+//	        [-report out.md] [-json out.json]
+//	        [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
 // forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
@@ -34,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +45,7 @@ import (
 
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/scenario"
 	"nmdetect/internal/timeseries"
 )
@@ -71,10 +75,15 @@ func main() {
 		jacobi     = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
+		jsonPath   = flag.String("json", "", "also write the report as JSON here (requires -experiment all)")
 		scenRef    = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
 		dumpScen   = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
 		ckpt       = flag.String("checkpoint", "", "checkpoint file for experiment results (empty = no checkpointing)")
 		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
+		events     = flag.String("events", "", "write a JSONL run-event stream to this file")
+		pprofA     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -104,6 +113,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, spec.ID())
 		return
 	}
+
+	if err := obs.Setup(obs.RunConfig{
+		Cmd: "nmrepro", EventsPath: *events, PprofAddr: *pprofA,
+		CPUProfile: *cpuProf, MemProfile: *memProf,
+		ScenarioID: spec.ID(), Seed: spec.Seed, Workers: spec.Game.Workers,
+	}); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmrepro:", err)
+		}
+	}()
 
 	cfg := spec.ExperimentsConfig()
 	if err := cfg.Validate(); err != nil {
@@ -236,23 +258,23 @@ func main() {
 		h := experiments.ComputeHeadline(f3, f4, f5, f6, t1)
 		fmt.Println(h)
 
-		if *reportPath != "" {
+		if *reportPath != "" || *jsonPath != "" {
 			rep := &experiments.Report{
 				Config: cfg, Fig3: f3, Fig4: f4, Fig5: f5, Fig6: f6, Table1: t1,
 				Headline: h, Generated: time.Now(),
 			}
-			f, err := os.Create(*reportPath)
-			if err != nil {
-				fatal(err)
+			if *reportPath != "" {
+				if err := writeReport(*reportPath, rep.Render); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("\nreport written to %s\n", *reportPath)
 			}
-			if err := rep.Render(f); err != nil {
-				f.Close()
-				fatal(err)
+			if *jsonPath != "" {
+				if err := writeReport(*jsonPath, rep.WriteJSON); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("\nJSON report written to %s\n", *jsonPath)
 			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("\nreport written to %s\n", *reportPath)
 		}
 
 		fmt.Println()
@@ -364,7 +386,22 @@ func saveCSV(dir, name string, header []string, series ...timeseries.Series) {
 	}
 }
 
+// writeReport creates path and streams render into it.
+func writeReport(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func fatal(err error) {
+	// os.Exit skips deferred calls; flush profiles and the event sink here.
+	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmrepro:", err)
 	os.Exit(1)
 }

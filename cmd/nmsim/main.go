@@ -8,6 +8,7 @@
 //	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
 //	      [-scenario file.json|preset] [-dump-scenario]
 //	      [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
+//	      [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With an attack selected, every meter is compromised on the final day and
 // the realized (attacked) trace is printed for that day.
@@ -36,6 +37,7 @@ import (
 	"nmdetect/internal/attack"
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/community"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/scenario"
 	"nmdetect/internal/traceio"
@@ -69,6 +71,10 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file for the simulation (empty = no checkpointing)")
 		ckptK    = flag.Int("checkpoint-every", 10, "days between checkpoints")
 		resume   = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
+		events   = flag.String("events", "", "write a JSONL run-event stream to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -101,6 +107,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, spec.ID())
 		return
 	}
+
+	if err := obs.Setup(obs.RunConfig{
+		Cmd: "nmsim", EventsPath: *events, PprofAddr: *pprofA,
+		CPUProfile: *cpuProf, MemProfile: *memProf,
+		ScenarioID: spec.ID(), Seed: spec.Seed, Workers: spec.Game.Workers,
+	}); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmsim:", err)
+		}
+	}()
 
 	engine, err := spec.NewEngine()
 	if err != nil {
@@ -205,6 +224,8 @@ func main() {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred calls; flush profiles and the event sink here.
+	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmsim:", err)
 	os.Exit(1)
 }

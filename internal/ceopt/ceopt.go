@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"nmdetect/internal/obs"
 	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/watchdog"
@@ -196,6 +197,7 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 	lastMean := append([]float64(nil), mean...)
 	lastStd := append([]float64(nil), std...)
 	retries := 0
+	sink := obs.From(ctx)
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if ctx != nil {
@@ -226,6 +228,8 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		}
 		res.Evaluations += len(pop)
 		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+		sink.Count("ceopt.generations", 1)
+		sink.Observe("ceopt.elite.best", pop[0].f)
 		// A NaN incumbent (the seed point evaluated NaN) loses every ordered
 		// comparison, so it must be displaced explicitly or the optimizer
 		// could return NaN even after recovering.
@@ -258,6 +262,7 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		// the best sampled objective must not be NaN or unbounded below.
 		if !watchdog.AllFinite(mean, std) || math.IsNaN(pop[0].f) || math.IsInf(pop[0].f, -1) {
 			retries++
+			sink.Count("ceopt.watchdog.retries", 1)
 			if retries > watchdog.Retries {
 				return res, fmt.Errorf("ceopt: sampling density diverged at iteration %d after %d retries: %w",
 					iter, watchdog.Retries, watchdog.ErrDiverged)

@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
+
+	"nmdetect/internal/obs"
 )
 
 // Version is the on-disk format version. Bump it whenever the layout of any
@@ -39,9 +42,24 @@ type header struct {
 	Kind string
 }
 
+// fsyncDir opens dir and fsyncs it, making a just-renamed directory entry
+// durable. A package variable so tests can observe the call and inject
+// failures without a real crash.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // Save atomically writes state to path. kind names the payload type and must
-// match the kind passed to Load.
+// match the kind passed to Load. The temp file is fsynced before the rename
+// and the parent directory after it, so once Save returns nil the checkpoint
+// survives a crash or power loss.
 func Save(path, kind string, state any) error {
+	start := time.Now()
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
@@ -69,6 +87,16 @@ func Save(path, kind string, state any) error {
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("checkpoint: commit: %w", err)
+	}
+	// The rename is only durable once the directory entry itself is on
+	// disk; without this a crash can lose a checkpoint Save already
+	// reported as written.
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	if sink := obs.Default(); sink != nil {
+		sink.Count("checkpoint.saves", 1)
+		sink.Observe("checkpoint.save_seconds", time.Since(start).Seconds())
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -96,5 +97,35 @@ func TestExists(t *testing.T) {
 	}
 	if !Exists(path) {
 		t.Fatal("saved checkpoint not found")
+	}
+}
+
+// TestSaveFsyncsParentDir: after the atomic rename the parent directory must
+// be fsynced, or a crash can lose a checkpoint Save already reported as
+// durable. The fsync hook is injectable so both the happy path and the
+// failure path are testable without a real crash.
+func TestSaveFsyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+
+	var synced []string
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := Save(path, "test-kind", &payload{Day: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("directory fsync calls = %v, want exactly [%s]", synced, dir)
+	}
+
+	fsyncDir = func(string) error { return errors.New("injected fsync failure") }
+	err := Save(path, "test-kind", &payload{Day: 2})
+	if err == nil || !strings.Contains(err.Error(), "injected fsync failure") {
+		t.Fatalf("Save with failing dir fsync = %v, want wrapped injected error", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"nmdetect/internal/detect"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/loadpred"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/timeseries"
 )
 
@@ -290,6 +291,8 @@ func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.
 	if err := kit.ensureFlagger(e.cfg.N); err != nil {
 		return nil, err
 	}
+	sink := obs.From(ctx)
+	defer sink.Span("engine.monitor_day")()
 	// Without enforcement, inspections are advisory: the belief must not
 	// assume the fleet was repaired.
 	kit.LongTerm.DryRun = !enforce
@@ -363,6 +366,26 @@ func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.
 	res.Trace = trace
 	res.Confidence = 1 - float64(res.ImputedReadings)/float64(e.cfg.N*24)
 	res.Degraded = res.ImputedReadings > 0 || (env.Faults != nil && env.Faults.StalePrice)
+	if sink != nil {
+		// Summaries read from the finished result only: peak flagged-meter
+		// count over the day and the number of inspection slots. e.day was
+		// advanced by SimulateDay, so the monitored day is e.day-1.
+		peakFlagged, inspections := 0, 0
+		for h := 0; h < 24; h++ {
+			if res.Flagged[h] > peakFlagged {
+				peakFlagged = res.Flagged[h]
+			}
+			if res.Actions[h] == detect.ActionInspect {
+				inspections++
+			}
+		}
+		sink.Count("detect.imputed_readings", int64(res.ImputedReadings))
+		sink.Day(obs.DayRecord{
+			Day: e.day - 1, Kit: kit.Name, Flagged: peakFlagged,
+			Imputed: res.ImputedReadings, Inspections: inspections,
+			Degraded: res.Degraded, Confidence: res.Confidence,
+		})
+	}
 	return res, nil
 }
 

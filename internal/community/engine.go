@@ -33,6 +33,7 @@ import (
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/solar"
@@ -252,6 +253,7 @@ type DayEnvironment struct {
 // metering setting). Cancelling the context aborts between per-customer PV
 // draws and returns ctx.Err(); a nil ctx never cancels.
 func (e *Engine) PrepareDay(ctx context.Context, netMetering bool) (*DayEnvironment, error) {
+	defer obs.From(ctx).Span("engine.prepare_day")()
 	daySrc := e.src.Derive(fmt.Sprintf("day-%d", e.day))
 	env := &DayEnvironment{
 		Weather:    e.cfg.Solar.DrawWeather(daySrc.Derive("weather")),
@@ -383,6 +385,7 @@ type InspectFn func(slot int, realized *DayTrace) (bool, error)
 // underlying game solves (see game.Solve) and returns ctx.Err(); a cancelled
 // day does not advance the engine's utility state.
 func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *attack.Campaign, netMetering bool, inspect InspectFn) (*DayTrace, error) {
+	defer obs.From(ctx).Span("engine.simulate_day")()
 	if env == nil {
 		return nil, errors.New("community: nil day environment")
 	}

@@ -28,6 +28,7 @@ import (
 	"nmdetect/internal/detect"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/metrics"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/pomdp"
 	"nmdetect/internal/timeseries"
 )
@@ -162,10 +163,17 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Stage spans over the sequential offline pipeline: ended explicitly at
+	// each stage boundary rather than deferred, so the event stream shows
+	// where a long system build spends its time.
+	sink := obs.From(ctx)
+	end := sink.Span("core.bootstrap")
 	if err := engine.Bootstrap(ctx, opts.BootstrapDays, true); err != nil {
 		return nil, err
 	}
+	end()
 
+	end = sink.Span("core.train_forecasters")
 	fAware, err := forecast.Train(engine.History(), forecast.ModeNetMeteringAware, opts.Forecast)
 	if err != nil {
 		return nil, err
@@ -174,6 +182,7 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	end()
 
 	sys := &System{
 		Engine: engine,
@@ -184,10 +193,13 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 
 	// Baseline learning: both kits observe the same clean days, recording
 	// their systematic per-meter expectation errors.
+	end = sink.Span("core.learn_baselines")
 	if err := engine.LearnBaselines(ctx, opts.BaselineDays, sys.Aware, sys.Blind); err != nil {
 		return nil, fmt.Errorf("core: baseline learning: %w", err)
 	}
+	end()
 
+	end = sink.Span("core.calibrate")
 	sys.AwareFP, sys.AwareFN, err = engine.ChannelRates(ctx, sys.Aware, opts.CalibFrac, opts.Attack)
 	if err != nil {
 		return nil, fmt.Errorf("core: aware channel calibration: %w", err)
@@ -198,12 +210,14 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: blind channel calibration: %w", err)
 	}
 	sys.Blind.FP, sys.Blind.FN = sys.BlindFP, sys.BlindFN
+	end()
 
 	params := detect.DefaultModelParams(opts.Community.N, sys.AwareFP, sys.AwareFN)
 	params.HackProb = opts.HackProb
 	params.BatchLo, params.BatchHi = opts.BatchLo, opts.BatchHi
 	sys.Buckets = params.Buckets
 
+	end = sink.Span("core.solve_policy")
 	sys.Aware.LongTerm, err = sys.buildLongTerm(ctx, params, sys.AwareFP, sys.AwareFN)
 	if err != nil {
 		return nil, err
@@ -212,6 +226,7 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	end()
 	return sys, nil
 }
 

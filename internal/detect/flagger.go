@@ -64,8 +64,15 @@ func (f *Flagger) Count() int {
 	return count
 }
 
-// Flagged reports whether meter i is currently flagged.
-func (f *Flagger) Flagged(i int) bool { return f.maxDev[i] > f.Tau }
+// Flagged reports whether meter i is currently flagged. An out-of-range
+// index is not flagged — detect is a no-panic package, and a caller probing
+// a meter the flagger does not track learns nothing incriminating about it.
+func (f *Flagger) Flagged(i int) bool {
+	if i < 0 || i >= len(f.maxDev) {
+		return false
+	}
+	return f.maxDev[i] > f.Tau
+}
 
 // Size returns the number of meters the flagger tracks.
 func (f *Flagger) Size() int { return len(f.maxDev) }

@@ -180,3 +180,26 @@ func TestEstimateHackedRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlaggedOutOfRange(t *testing.T) {
+	f, err := NewFlagger(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := [][]float64{{1, 1}, {1, 1}}
+	realized := [][]float64{{3, 1}, {1, 1}}
+	if _, err := f.Observe(expected, realized, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Flagged(0) {
+		t.Fatal("meter 0 should be flagged")
+	}
+	// An index the flagger does not track is simply not flagged — detect is
+	// a no-panic package, so probing past the fleet must not crash a
+	// monitoring run.
+	for _, i := range []int{-1, 2, 1000} {
+		if f.Flagged(i) {
+			t.Errorf("Flagged(%d) = true for out-of-range index", i)
+		}
+	}
+}

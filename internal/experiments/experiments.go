@@ -23,6 +23,7 @@ import (
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/loadpred"
 	"nmdetect/internal/metrics"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/solar"
 	"nmdetect/internal/timeseries"
@@ -233,11 +234,15 @@ func prediction(ctx context.Context, cfg Config, mode forecast.Mode) (*Predictio
 	if err != nil {
 		return nil, err
 	}
+	par, err := metrics.FinitePAR(load)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: predicted load: %w", err)
+	}
 	return &PredictionResult{
 		Received:      env.Published,
 		Predicted:     predicted,
 		PredictedLoad: load,
-		PAR:           load.PAR(),
+		PAR:           par,
 		PriceRMSE:     rmse,
 	}, nil
 }
@@ -246,6 +251,7 @@ func prediction(ctx context.Context, cfg Config, mode forecast.Mode) (*Predictio
 // load it implies. The paper reports PAR = 1.4700 and a visible midday
 // mismatch against the received price.
 func Fig3(ctx context.Context, cfg Config) (*PredictionResult, error) {
+	defer obs.From(ctx).Span("experiments.fig3")()
 	return prediction(ctx, cfg, forecast.ModePriceOnly)
 }
 
@@ -253,6 +259,7 @@ func Fig3(ctx context.Context, cfg Config) (*PredictionResult, error) {
 // reports PAR = 1.3986, 5.11% below Figure 3, and a visibly better price
 // match.
 func Fig4(ctx context.Context, cfg Config) (*PredictionResult, error) {
+	defer obs.From(ctx).Span("experiments.fig4")()
 	return prediction(ctx, cfg, forecast.ModeNetMeteringAware)
 }
 
@@ -272,6 +279,7 @@ type Fig5Result struct {
 // Fig5 reproduces Figure 5: the guideline price is zeroed between 16:00 and
 // 17:00 on every meter and the community piles its flexible load there.
 func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
+	defer obs.From(ctx).Span("experiments.fig5")()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -302,11 +310,15 @@ func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	}
 	load := trace.Load.Clone()
 	_, peak := load.Max()
+	par, err := metrics.FinitePAR(load)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: attacked load: %w", err)
+	}
 	return &Fig5Result{
 		Published:    env.Published,
 		Manipulated:  atk.Apply(env.Published),
 		AttackedLoad: load,
-		PAR:          load.PAR(),
+		PAR:          par,
 		PeakSlot:     peak,
 	}, nil
 }

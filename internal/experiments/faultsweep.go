@@ -7,6 +7,8 @@ import (
 
 	"nmdetect/internal/core"
 	"nmdetect/internal/faultinject"
+	"nmdetect/internal/metrics"
+	"nmdetect/internal/obs"
 )
 
 // FaultSweepPoint is one point of the fault-rate sweep: the NM-aware
@@ -42,6 +44,7 @@ type FaultSweepResult struct {
 // is the fault-free world — by construction it reproduces the Table-1
 // NM-aware row bit for bit, anchoring the sweep to the recorded baseline.
 func FaultSweep(ctx context.Context, cfg Config, base faultinject.Config, scales []float64) (*FaultSweepResult, error) {
+	defer obs.From(ctx).Span("experiments.faultsweep")()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,10 +75,14 @@ func FaultSweep(ctx context.Context, cfg Config, base faultinject.Config, scales
 		if err != nil {
 			return nil, err
 		}
+		par, err := metrics.Finite("realized PAR", core.RealizedPAR(results))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scale %v: %w", scale, err)
+		}
 		pt := FaultSweepPoint{
 			Scale:    scale,
 			Accuracy: core.ObservationAccuracy(results),
-			PAR:      core.RealizedPAR(results),
+			PAR:      par,
 		}
 		for _, r := range results {
 			pt.ImputedReadings += r.ImputedReadings

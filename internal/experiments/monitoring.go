@@ -6,6 +6,8 @@ import (
 
 	"nmdetect/internal/community"
 	"nmdetect/internal/core"
+	"nmdetect/internal/metrics"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/timeseries"
 )
 
@@ -25,6 +27,7 @@ type Fig6Result struct {
 // world with their inspections enforced (as deployed), and their per-slot
 // state estimates are scored against the true hacked-count buckets.
 func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
+	defer obs.From(ctx).Span("experiments.fig6")()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,6 +102,7 @@ type Table1Result struct {
 // with enforcement. Reported are the realized grid PAR and the labor cost
 // (inspection count, normalized to the blind detector).
 func Table1(ctx context.Context, cfg Config) (*Table1Result, error) {
+	defer obs.From(ctx).Span("experiments.table1")()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,9 +130,13 @@ func Table1(ctx context.Context, cfg Config) (*Table1Result, error) {
 		if err != nil {
 			return Table1Row{}, err
 		}
+		par, err := metrics.Finite("realized PAR", core.RealizedPAR(results))
+		if err != nil {
+			return Table1Row{}, fmt.Errorf("experiments: %s: %w", kit.Name, err)
+		}
 		return Table1Row{
 			Technique:   kit.Name,
-			PAR:         core.RealizedPAR(results),
+			PAR:         par,
 			Inspections: core.TotalInspections(results),
 		}, nil
 	}
@@ -178,7 +186,11 @@ func runNoDetection(ctx context.Context, cfg Config) (Table1Row, error) {
 		}
 		load = append(load, trace.Load...)
 	}
-	return Table1Row{Technique: "no-detection", PAR: load.PAR(), Inspections: 0, LaborCost: 0}, nil
+	par, err := metrics.FinitePAR(load)
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("experiments: no-detection: %w", err)
+	}
+	return Table1Row{Technique: "no-detection", PAR: par, Inspections: 0, LaborCost: 0}, nil
 }
 
 // RobustnessResult reports the cross-seed stability of the Figure-6

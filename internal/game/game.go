@@ -39,6 +39,7 @@ import (
 	"nmdetect/internal/ceopt"
 	"nmdetect/internal/dpsched"
 	"nmdetect/internal/household"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/tariff"
@@ -179,6 +180,8 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sink := obs.From(ctx)
+	defer sink.Span("game.solve")()
 	if len(customers) == 0 {
 		return nil, errors.New("game: empty community")
 	}
@@ -282,6 +285,7 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 		if retry > watchdog.Retries {
 			return fmt.Errorf("game: sweeps diverged after %d retries: %w", watchdog.Retries, cause)
 		}
+		sink.Count("game.watchdog.retries", 1)
 		lastGood.restore(res, totalY)
 		gapMon.Reset()
 		return nil
@@ -396,6 +400,8 @@ sweeps:
 		}
 		// Sweep-boundary health check: trading totals must stay finite and
 		// the fixed-point gap must not grow without bound.
+		sink.Count("game.sweeps", 1)
+		sink.Observe("game.sweep.residual", maxDelta)
 		healthErr := gapMon.Observe(maxDelta)
 		if healthErr == nil && !watchdog.AllFinite(totalY) {
 			healthErr = fmt.Errorf("game: non-finite trading total after sweep %d: %w", sweep, watchdog.ErrDiverged)

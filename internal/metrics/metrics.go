@@ -80,6 +80,29 @@ func PAR(load []float64) float64 {
 	return timeseries.Series(load).PAR()
 }
 
+// Finite passes v through unchanged if it is a finite number and reports an
+// error naming the metric otherwise. It is the guard between internal
+// computations — where NaN and ±Inf are legal sentinels (a zero-mean PAR is
+// +Inf by definition) — and report boundaries like JSON, which cannot
+// represent non-finite floats.
+func Finite(name string, v float64) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("metrics: %s is non-finite (%v)", name, v)
+	}
+	return v, nil
+}
+
+// FinitePAR returns the peak-to-average ratio of load, rejecting the inputs
+// on which Series.PAR is not a finite number: an empty series (no PAR) and a
+// zero-mean series with a nonzero peak (+Inf by definition). Report builders
+// use it so non-finite values never reach a JSON encoder.
+func FinitePAR(load []float64) (float64, error) {
+	if len(load) == 0 {
+		return 0, errors.New("metrics: PAR of empty series")
+	}
+	return Finite("PAR", timeseries.Series(load).PAR())
+}
+
 // Accuracy returns the fraction of slots where the observed state matches the
 // true state — the paper's "observation accuracy" (Figure 6). The slices hold
 // per-slot discrete states (e.g. number of hacked meters, possibly bucketed).

@@ -226,3 +226,32 @@ func TestRelChange(t *testing.T) {
 		t.Fatal("zero base did not error")
 	}
 }
+
+func TestFinite(t *testing.T) {
+	if v, err := Finite("x", 1.5); err != nil || v != 1.5 {
+		t.Fatalf("Finite(1.5) = %v, %v", v, err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Finite("x", bad); err == nil {
+			t.Errorf("Finite(%v) accepted a non-finite value", bad)
+		}
+	}
+}
+
+func TestFinitePAR(t *testing.T) {
+	if v, err := FinitePAR([]float64{1, 3, 2}); err != nil || v != 1.5 {
+		t.Fatalf("FinitePAR = %v, %v; want 1.5", v, err)
+	}
+	// The raw Series.PAR is +Inf for a zero-mean series with a nonzero peak
+	// — that sentinel must not cross the report boundary.
+	if _, err := FinitePAR([]float64{-1, 1}); err == nil {
+		t.Error("FinitePAR accepted a zero-mean series (raw PAR is +Inf)")
+	}
+	if _, err := FinitePAR(nil); err == nil {
+		t.Error("FinitePAR accepted an empty series")
+	}
+	// All-zero series: raw PAR is 0, which is finite and passes.
+	if v, err := FinitePAR([]float64{0, 0}); err != nil || v != 0 {
+		t.Errorf("FinitePAR(zeros) = %v, %v; want 0", v, err)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// ctxKey is the private context key for the sink. A zero-size key type keeps
+// context.Value lookups allocation-free.
+type ctxKey struct{}
+
+// With returns a context carrying sink. Passing the returned context down
+// the solver stack is the preferred way to scope instrumentation to a run.
+func With(ctx context.Context, sink *Sink) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sink)
+}
+
+// From returns the sink carried by ctx, falling back to the process default
+// (see SetDefault) and finally to nil — which every Sink method treats as
+// "disabled, free". A nil ctx is safe.
+func From(ctx context.Context) *Sink {
+	if ctx != nil {
+		if s, ok := ctx.Value(ctxKey{}).(*Sink); ok {
+			return s
+		}
+	}
+	return Default()
+}
+
+// defaultSink is the process-wide fallback for call sites that have no
+// context to thread a sink through (the SVR trainer, checkpoint writes).
+var defaultSink atomic.Pointer[Sink]
+
+// Default returns the process-wide default sink, or nil when none is set.
+func Default() *Sink {
+	return defaultSink.Load()
+}
+
+// SetDefault installs (or, with nil, clears) the process-wide default sink.
+func SetDefault(s *Sink) {
+	defaultSink.Store(s)
+}

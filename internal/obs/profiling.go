@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartProfiling wires up the three profiling hooks the cmds expose:
+//
+//   - pprofAddr: serve net/http/pprof on this address (e.g. "localhost:6060")
+//     for live CPU/heap/goroutine inspection;
+//   - cpuProfile: stream a CPU profile to this file until stop is called;
+//   - memProfile: write a heap profile to this file when stop is called.
+//
+// Empty strings disable the corresponding hook. The returned stop function
+// is idempotent and must be called before the process exits so the profiles
+// are complete; it is safe to call even when every hook is disabled.
+func StartProfiling(pprofAddr, cpuProfile, memProfile string) (stop func(), err error) {
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		stops = append(stops, func() { srv.Close() })
+	}
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+
+	if memProfile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "obs: mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: mem profile:", err)
+			}
+		})
+	}
+
+	var once sync.Once
+	return func() { once.Do(stopAll) }, nil
+}

@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"nmdetect/internal/obs"
 )
 
 // limiter is a token bucket bounding the number of helper goroutines alive
@@ -181,6 +183,10 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			run()
 		}()
 	}
+	// Pool-occupancy sample at fan-out time: how many helper tokens the
+	// whole process has checked out right now. Reads only limiter state, so
+	// the work items (and their results) are untouched.
+	obs.From(ctx).Observe("parallel.occupancy", float64(Outstanding()))
 	run()
 	wg.Wait()
 

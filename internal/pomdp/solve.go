@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 )
 
@@ -26,6 +27,8 @@ func SolveQMDP(ctx context.Context, m *Model, tol float64, maxIter int) (*QMDPPo
 	if tol <= 0 || maxIter < 1 {
 		return nil, fmt.Errorf("pomdp: bad QMDP parameters tol=%v maxIter=%d", tol, maxIter)
 	}
+	sink := obs.From(ctx)
+	defer sink.Span("pomdp.qmdp.solve")()
 	v := make([]float64, m.NumStates)
 	q := make([][]float64, m.NumStates)
 	for s := range q {
@@ -37,6 +40,7 @@ func SolveQMDP(ctx context.Context, m *Model, tol float64, maxIter int) (*QMDPPo
 				return nil, err
 			}
 		}
+		sink.Count("pomdp.qmdp.iterations", 1)
 		delta := 0.0
 		for s := 0; s < m.NumStates; s++ {
 			best := math.Inf(-1)
@@ -134,6 +138,8 @@ func SolvePBVI(ctx context.Context, m *Model, opts PBVIOptions) (*PBVIPolicy, er
 	if opts.NumBeliefs < 1 || opts.Iterations < 1 {
 		return nil, fmt.Errorf("pomdp: bad PBVI options %+v", opts)
 	}
+	sink := obs.From(ctx)
+	defer sink.Span("pomdp.pbvi.solve")()
 
 	src := rng.New(opts.Seed)
 	beliefs := make([]Belief, 0, opts.NumBeliefs+m.NumStates+1)
@@ -195,6 +201,7 @@ func SolvePBVI(ctx context.Context, m *Model, opts PBVIOptions) (*PBVIPolicy, er
 				return nil, err
 			}
 		}
+		sink.Count("pomdp.backups", int64(len(beliefs)))
 		next := make([]alphaVec, 0, len(beliefs))
 		for _, b := range beliefs {
 			// Point-based backup at b.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"nmdetect/internal/obs"
 	"nmdetect/internal/watchdog"
 )
 
@@ -129,8 +130,14 @@ func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error)
 	lastGoodGrad := append([]float64(nil), grad...)
 	gapMon := watchdog.NewMonitor(100, 1)
 	retries := 0
+	// TrainEpsSVR has no context parameter, so instrumentation goes through
+	// the process-default sink. All emissions are post-hoc reads of solver
+	// state — the SMO iterates are untouched.
+	sink := obs.Default()
+	sweepsRun := 0
 
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		sweepsRun++
 		maxStep := 0.0
 		for i := 0; i < n; i++ {
 			// Second-choice heuristic: pair i with the point of maximal
@@ -168,7 +175,9 @@ func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error)
 		}
 		if healthErr != nil {
 			retries++
+			sink.Count("svr.watchdog.retries", 1)
 			if retries > watchdog.Retries {
+				sink.Count("svr.smo.sweeps", int64(sweepsRun))
 				return nil, fmt.Errorf("svr: eps-svr training diverged after %d retries: %w", watchdog.Retries, healthErr)
 			}
 			copy(beta, lastGoodBeta)
@@ -182,6 +191,7 @@ func TrainEpsSVR(x [][]float64, y []float64, opts EpsSVROptions) (*Model, error)
 			break
 		}
 	}
+	sink.Count("svr.smo.sweeps", int64(sweepsRun))
 
 	// Bias from interior support vectors: β>0 ⇒ b = −G−ε; β<0 ⇒ b = −G+ε.
 	var bs []float64

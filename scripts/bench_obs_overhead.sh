@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_obs_overhead.sh — observability overhead guard.
+#
+# Runs BenchmarkGameSolveParallel4 (events off) and
+# BenchmarkGameSolveParallel4Events (live sink on the context) several times,
+# takes the minimum ns/op of each (minimum, not mean: the best observed run
+# is the least noisy estimate on a shared machine), and fails if events-on
+# costs more than OBS_OVERHEAD_MAX (fraction, default 0.05 = 5%).
+#
+# Writes BENCH_obs_overhead.json next to the repo root:
+#   {"base_ns": ..., "events_ns": ..., "overhead_frac": ..., "max_frac": ..., "pass": true}
+#
+# Usage: scripts/bench_obs_overhead.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs_overhead.json}"
+max_frac="${OBS_OVERHEAD_MAX:-0.05}"
+count="${OBS_BENCH_COUNT:-3}"
+benchtime="${OBS_BENCH_TIME:-1x}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkGameSolveParallel4(Events)?$' \
+	-benchtime "$benchtime" -count "$count" .)
+echo "$raw"
+
+min_ns() {
+	# Minimum ns/op over the repeated runs of one benchmark.
+	echo "$raw" | awk -v name="$1" '
+		$1 ~ "^"name"-" || $1 == name {
+			for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") v = $i
+			if (min == "" || v + 0 < min + 0) min = v
+		}
+		END { if (min == "") { exit 1 }; print min }'
+}
+
+base=$(min_ns BenchmarkGameSolveParallel4) || { echo "obs-overhead: base benchmark missing" >&2; exit 1; }
+events=$(min_ns BenchmarkGameSolveParallel4Events) || { echo "obs-overhead: events benchmark missing" >&2; exit 1; }
+
+python3 - "$base" "$events" "$max_frac" "$out" <<'EOF'
+import json, sys
+base, events, max_frac = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+overhead = events / base - 1.0
+result = {
+    "benchmark": "BenchmarkGameSolveParallel4",
+    "base_ns": base,
+    "events_ns": events,
+    "overhead_frac": round(overhead, 4),
+    "max_frac": max_frac,
+    "pass": overhead <= max_frac,
+}
+with open(sys.argv[4], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"obs-overhead: base {base:.0f} ns/op, events {events:.0f} ns/op, "
+      f"overhead {overhead*100:+.2f}% (budget {max_frac*100:.0f}%)")
+sys.exit(0 if result["pass"] else 1)
+EOF

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint bench-parallel bench-obs-overhead
+.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,19 @@ panic-lint:
 
 check: vet panic-lint race
 
+# Statement-coverage floor (>=70%) for the hot-path solver packages
+# (internal/dpsched, internal/game, internal/ceopt) — see DESIGN.md §10.
+cover:
+	sh scripts/cover_check.sh
+
 # Regenerate the numbers behind BENCH_game_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkGameSolveParallel' -benchmem .
+
+# Regenerate the numbers behind BENCH_hotpath.json: the reusable-workspace
+# solve vs the allocating baseline, and the active-set on/off pair.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkGameSolveParallel1$$|BenchmarkGameSolveWorkspace$$|BenchmarkGameSolveActiveSet' -benchmem -benchtime 1s .
 
 # Observability overhead guard: events-on vs events-off on the parallel game
 # solve; fails above the DESIGN.md §9 budget and regenerates

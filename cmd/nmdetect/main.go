@@ -47,6 +47,7 @@ func main() {
 		sweeps   = flag.Int("sweeps", 3, "game best-response sweeps")
 		workers  = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
 		jacobi   = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
+		activeT  = flag.Float64("active-tol", 0, "game active-set tolerance in kW (0 = re-solve every customer every sweep)")
 		boot     = flag.Int("boot", 6, "bootstrap days")
 		detector = flag.String("detector", "aware", "aware|blind")
 		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
@@ -72,6 +73,7 @@ func main() {
 	spec.Game.Sweeps = *sweeps
 	spec.Game.Workers = *workers
 	spec.Game.JacobiBlock = *jacobi
+	spec.Game.ActiveTol = *activeT
 	spec.Detector.Solver = *solver
 	if *scenRef != "" {
 		var err error

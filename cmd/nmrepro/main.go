@@ -73,6 +73,7 @@ func main() {
 		solver     = flag.String("solver", "pbvi", "POMDP solver: pbvi|qmdp|threshold")
 		workers    = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
 		jacobi     = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
+		activeT    = flag.Float64("active-tol", 0, "game active-set tolerance in kW (0 = re-solve every customer every sweep)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		reportPath = flag.String("report", "", "also write a markdown report here (requires -experiment all)")
 		jsonPath   = flag.String("json", "", "also write the report as JSON here (requires -experiment all)")
@@ -96,6 +97,7 @@ func main() {
 	spec.Game.Sweeps = *sweeps
 	spec.Game.Workers = *workers
 	spec.Game.JacobiBlock = *jacobi
+	spec.Game.ActiveTol = *activeT
 	spec.Detector.Solver = *solver
 	if *scenRef != "" {
 		var err error

@@ -119,6 +119,67 @@ type Result struct {
 	Evaluations int
 }
 
+// sample is one candidate point and its objective value.
+type sample struct {
+	x []float64
+	f float64
+}
+
+// popSorter sorts a population by objective value. It implements
+// sort.Interface so the per-iteration sort allocates nothing when the
+// interface value is taken from a long-lived Workspace; the underlying sort
+// algorithm performs the exact comparison/swap sequence sort.Slice did, so
+// the elite ordering (and therefore every downstream bit) is unchanged.
+type popSorter struct{ pop []sample }
+
+func (p *popSorter) Len() int           { return len(p.pop) }
+func (p *popSorter) Less(i, j int) bool { return p.pop[i].f < p.pop[j].f }
+func (p *popSorter) Swap(i, j int)      { p.pop[i], p.pop[j] = p.pop[j], p.pop[i] }
+
+// Workspace holds the sampling-density state and population buffers one
+// Minimize call needs, so hot paths (the game solver's per-customer battery
+// steps) can reuse them across calls. Buffers grow monotonically to the
+// largest (samples, dimension) seen. A Workspace is NOT safe for concurrent
+// use; give each goroutine its own. The zero value is ready to use.
+//
+// Contract: ws.Minimize draws the same candidates and returns bitwise-
+// identical results to the package-level Minimize (which is now a thin
+// wrapper over a fresh workspace).
+type Workspace struct {
+	width, mean, std  []float64
+	lastMean, lastStd []float64
+	pop               []sample
+	sorter            popSorter
+}
+
+// NewWorkspace returns an empty workspace; buffers are allocated lazily.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// population returns ws.pop resized to k samples of dimension d, reusing
+// every buffer that is already large enough.
+func (ws *Workspace) population(k, d int) []sample {
+	if cap(ws.pop) < k {
+		pop := make([]sample, k)
+		copy(pop, ws.pop)
+		ws.pop = pop
+	}
+	ws.pop = ws.pop[:k]
+	for i := range ws.pop {
+		ws.pop[i].x = grow(ws.pop[i].x, d)
+		ws.pop[i].f = 0
+	}
+	return ws.pop
+}
+
 // Minimize runs cross-entropy optimization of f over the box [lo, hi]^d.
 // The initial sampling mean may be supplied via init (nil means box center).
 // The source must not be nil.
@@ -127,7 +188,18 @@ type Result struct {
 // return ctx.Err() together with the best result found so far (X is always a
 // feasible point once the initial evaluation has run). A nil ctx never
 // cancels.
+//
+// Minimize allocates its density and population buffers per call; hot paths
+// should reuse a Workspace instead (same draws, same results, bitwise).
 func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64, src *rng.Source, opts Options) (Result, error) {
+	var ws Workspace
+	return ws.Minimize(ctx, f, lo, hi, init, src, opts)
+}
+
+// Minimize is the workspace-backed equivalent of the package-level Minimize.
+// Result.X is always freshly allocated (it escapes into solver results); only
+// the internal buffers are reused.
+func (ws *Workspace) Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64, src *rng.Source, opts Options) (Result, error) {
 	if f == nil {
 		return Result{}, errors.New("ceopt: nil objective")
 	}
@@ -144,7 +216,8 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 	if init != nil && len(init) != d {
 		return Result{}, fmt.Errorf("ceopt: init dimension %d != %d", len(init), d)
 	}
-	width := make([]float64, d)
+	ws.width = grow(ws.width, d)
+	width := ws.width
 	for i := range lo {
 		if hi[i] < lo[i] {
 			return Result{}, fmt.Errorf("ceopt: box [%v,%v] inverted at dim %d", lo[i], hi[i], i)
@@ -152,8 +225,10 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		width[i] = hi[i] - lo[i]
 	}
 
-	mean := make([]float64, d)
-	std := make([]float64, d)
+	ws.mean = grow(ws.mean, d)
+	ws.std = grow(ws.std, d)
+	mean := ws.mean
+	std := ws.std
 	for i := range mean {
 		if init != nil {
 			mean[i] = rng.Clamp(init[i], lo[i], hi[i])
@@ -167,14 +242,7 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 	}
 
 	nElite := int(opts.EliteFrac * float64(opts.Samples))
-	type sample struct {
-		x []float64
-		f float64
-	}
-	pop := make([]sample, opts.Samples)
-	for i := range pop {
-		pop[i].x = make([]float64, d)
-	}
+	pop := ws.population(opts.Samples, d)
 
 	res := Result{X: make([]float64, d), F: math.Inf(1)}
 	// Seed the incumbent with the initial mean so a degenerate run still
@@ -187,6 +255,13 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 	if evalWorkers < 1 {
 		evalWorkers = 1
 	}
+	// One closure for every generation: pop's identity is fixed for the whole
+	// run (sorting swaps elements in place), so hoisting the evaluator out of
+	// the iteration loop changes no draw and no result.
+	evalOne := func(k int) error {
+		pop[k].f = f(pop[k].x)
+		return nil
+	}
 
 	// Watchdog state: lastMean/lastStd hold the sampling density of the most
 	// recent healthy iteration. An elite update that leaves the finite region
@@ -194,8 +269,11 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 	// and redraws — the source keeps advancing, so the retry explores a
 	// different population. Healthy runs never restore, so their draws and
 	// results are bitwise unchanged.
-	lastMean := append([]float64(nil), mean...)
-	lastStd := append([]float64(nil), std...)
+	ws.lastMean = grow(ws.lastMean, d)
+	ws.lastStd = grow(ws.lastStd, d)
+	lastMean, lastStd := ws.lastMean, ws.lastStd
+	copy(lastMean, mean)
+	copy(lastStd, std)
 	retries := 0
 	sink := obs.From(ctx)
 
@@ -220,14 +298,12 @@ func Minimize(ctx context.Context, f Objective, lo, hi []float64, init []float64
 		}
 		// Evaluate candidates, fanning out when Workers > 1; each worker
 		// writes only its own sample's f field.
-		if err := parallel.ForEach(ctx, evalWorkers, len(pop), func(k int) error {
-			pop[k].f = f(pop[k].x)
-			return nil
-		}); err != nil {
+		if err := parallel.ForEach(ctx, evalWorkers, len(pop), evalOne); err != nil {
 			return res, err
 		}
 		res.Evaluations += len(pop)
-		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+		ws.sorter.pop = pop
+		sort.Sort(&ws.sorter)
 		sink.Count("ceopt.generations", 1)
 		sink.Observe("ceopt.elite.best", pop[0].f)
 		// A NaN incumbent (the seed point evaluated NaN) loses every ordered

@@ -84,6 +84,13 @@ type Config struct {
 	// select a (deterministically) different equilibrium path, and it flows
 	// through GameConfig so detectors reproduce the engine's solves exactly.
 	GameJacobiBlock int
+	// GameActiveTol is the game solver's residual-gated active-set tolerance
+	// (game.Config.ActiveTol). 0 — the default — re-solves every customer
+	// every sweep, bitwise identical to the historical engine; values > 0
+	// skip customers whose neighborhood moved less than the tolerance. Like
+	// GameJacobiBlock it selects a (deterministically) different equilibrium
+	// path and flows through GameConfig so detectors match the engine.
+	GameActiveTol float64
 	// Faults injects deterministic data-plane faults (meter-reading dropout
 	// and corruption, stale guideline-price broadcasts, PV-sensor outages)
 	// into every simulated day. The zero value injects nothing and leaves
@@ -133,6 +140,9 @@ func (c Config) Validate() error {
 	if c.GameJacobiBlock < 0 {
 		return fmt.Errorf("community: negative Jacobi block size %d", c.GameJacobiBlock)
 	}
+	if math.IsNaN(c.GameActiveTol) || math.IsInf(c.GameActiveTol, 0) || c.GameActiveTol < 0 {
+		return fmt.Errorf("community: active-set tolerance %v must be finite and non-negative", c.GameActiveTol)
+	}
 	if math.IsNaN(c.Tariff.W) || math.IsInf(c.Tariff.W, 0) || c.Tariff.W < 1 {
 		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1 and finite", c.Tariff.W)
 	}
@@ -161,6 +171,12 @@ type Engine struct {
 	// fault. Stale days chain: a stuck broadcast re-sends whatever went out
 	// last, which may itself have been stale.
 	lastPublished timeseries.Series
+	// solveWS are the reusable game-solver workspaces for SimulateDay's
+	// clean (0) and attacked (1) solves, which run concurrently and so need
+	// one workspace each. Reuse across days keeps the per-day loop's
+	// steady-state allocation flat without changing results (game.Workspace
+	// documents the bitwise-reuse contract).
+	solveWS [2]*game.Workspace
 }
 
 // NewEngine draws the community and prepares the utility state.
@@ -188,7 +204,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 			last[h] += c.BaseLoadAt(h) + perSlot
 		}
 	}
-	return &Engine{cfg: cfg, customers: customers, src: src, faults: plan, hist: tariff.History{}, lastLoad: last}, nil
+	return &Engine{
+		cfg: cfg, customers: customers, src: src, faults: plan,
+		hist: tariff.History{}, lastLoad: last,
+		solveWS: [2]*game.Workspace{game.NewWorkspace(), game.NewWorkspace()},
+	}, nil
 }
 
 // Customers exposes the community (read-only use expected).
@@ -220,6 +240,7 @@ func (e *Engine) GameConfig(netMetering bool) game.Config {
 	cfg.MaxSweeps = e.cfg.GameSweeps
 	cfg.Workers = e.cfg.Workers
 	cfg.JacobiBlock = e.cfg.GameJacobiBlock
+	cfg.ActiveTol = e.cfg.GameActiveTol
 	return cfg
 }
 
@@ -408,13 +429,13 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 	// from the shared controller seed and only reads the community, so the
 	// pair runs concurrently under the engine's worker budget. The attacked
 	// solution is spliced per meter from its hack hour later.
-	solve := func(price timeseries.Series, dst **game.Result) func() error {
+	solve := func(price timeseries.Series, ws *game.Workspace, dst **game.Result) func() error {
 		return func() error {
 			var src *rng.Source
 			if netMetering {
 				src = rng.New(e.ControllerSeed())
 			}
-			res, err := game.Solve(ctx, e.customers, price, pv, cfg, src)
+			res, err := game.SolveWS(ctx, ws, e.customers, price, pv, cfg, src)
 			if err != nil {
 				return err
 			}
@@ -423,9 +444,9 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 		}
 	}
 	var clean, attacked *game.Result
-	tasks := []func() error{solve(env.Published, &clean)}
+	tasks := []func() error{solve(env.Published, e.solveWS[0], &clean)}
 	if camp != nil {
-		tasks = append(tasks, solve(camp.Attack.Apply(env.Published), &attacked))
+		tasks = append(tasks, solve(camp.Attack.Apply(env.Published), e.solveWS[1], &attacked))
 	}
 	if err := parallel.Do(ctx, e.cfg.Workers, tasks...); err != nil {
 		return nil, err

@@ -17,8 +17,6 @@ package dpsched
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"nmdetect/internal/appliance"
 )
@@ -35,139 +33,12 @@ var ErrInfeasible = errors.New("dpsched: no feasible schedule")
 // inside the appliance's window; the second result is the optimal cost
 // (excluding slots outside the window, where the appliance is off and the
 // cost of power 0 is not charged).
+//
+// Schedule allocates its DP tables per call; hot paths that schedule many
+// appliances should reuse a Workspace instead (same results, bitwise).
 func Schedule(a *appliance.Appliance, horizon int, cost CostFn) (appliance.Schedule, float64, error) {
-	if err := a.Validate(horizon); err != nil {
-		return nil, 0, fmt.Errorf("dpsched: %w", err)
-	}
-	if cost == nil {
-		return nil, 0, errors.New("dpsched: nil cost function")
-	}
-	if a.Contiguous {
-		return scheduleContiguous(a, horizon, cost)
-	}
-
-	q, err := appliance.Quantum(a.Levels)
-	if err != nil {
-		return nil, 0, fmt.Errorf("dpsched: %w", err)
-	}
-	target := int(a.Energy/q + 0.5)
-	window := a.WindowLen()
-
-	// Level step sizes, deduplicated, including "off".
-	type lvl struct {
-		steps int
-		power float64
-	}
-	levels := []lvl{{0, 0}}
-	seen := map[int]bool{0: true}
-	for _, p := range a.Levels {
-		st := int(p/q + 0.5)
-		if !seen[st] {
-			seen[st] = true
-			levels = append(levels, lvl{st, p})
-		}
-	}
-
-	// value[w][e]: minimum cost from window-slot w onward with e energy
-	// steps still to deliver. choice[w][e]: index into levels.
-	inf := math.Inf(1)
-	value := make([][]float64, window+1)
-	choice := make([][]int, window)
-	for w := range value {
-		value[w] = make([]float64, target+1)
-		for e := range value[w] {
-			value[w][e] = inf
-		}
-	}
-	for w := range choice {
-		choice[w] = make([]int, target+1)
-		for e := range choice[w] {
-			choice[w][e] = -1
-		}
-	}
-	value[window][0] = 0
-
-	for w := window - 1; w >= 0; w-- {
-		h := a.Start + w
-		for e := 0; e <= target; e++ {
-			best := inf
-			bestIdx := -1
-			for i, l := range levels {
-				if l.steps > e {
-					continue
-				}
-				next := value[w+1][e-l.steps]
-				if math.IsInf(next, 1) {
-					continue
-				}
-				c := cost(h, l.power) + next
-				if c < best {
-					best = c
-					bestIdx = i
-				}
-			}
-			value[w][e] = best
-			choice[w][e] = bestIdx
-		}
-	}
-
-	if math.IsInf(value[0][target], 1) {
-		return nil, 0, fmt.Errorf("%w: %q cannot deliver %.3f kWh in window [%d,%d]",
-			ErrInfeasible, a.Name, a.Energy, a.Start, a.Deadline)
-	}
-
-	sched := make(appliance.Schedule, horizon)
-	e := target
-	for w := 0; w < window; w++ {
-		idx := choice[w][e]
-		if idx < 0 {
-			return nil, 0, fmt.Errorf("%w: broken DP back-pointer", ErrInfeasible)
-		}
-		l := levels[idx]
-		sched[a.Start+w] = l.power
-		e -= l.steps
-	}
-	if e != 0 {
-		return nil, 0, fmt.Errorf("%w: reconstruction left %d steps", ErrInfeasible, e)
-	}
-	return sched, value[0][target], nil
-}
-
-// scheduleContiguous finds the cheapest single consecutive run for a
-// non-preemptible appliance: it enumerates every feasible (level, start)
-// pair — the run's duration is Energy/level whole slots — and picks the
-// minimum total cost. O(|levels| · window) cost evaluations.
-func scheduleContiguous(a *appliance.Appliance, horizon int, cost CostFn) (appliance.Schedule, float64, error) {
-	if a.Energy == 0 {
-		return make(appliance.Schedule, horizon), 0, nil
-	}
-	bestCost := math.Inf(1)
-	bestLevel, bestStart, bestDur := 0.0, -1, 0
-	for _, l := range a.Levels {
-		slots := a.Energy / l
-		dur := int(slots + 0.5)
-		if dur < 1 || math.Abs(slots-float64(dur)) > 1e-9 || dur > a.WindowLen() {
-			continue // this level cannot deliver the energy in whole slots
-		}
-		for start := a.Start; start+dur-1 <= a.Deadline; start++ {
-			total := 0.0
-			for h := start; h < start+dur; h++ {
-				total += cost(h, l)
-			}
-			if total < bestCost {
-				bestCost, bestLevel, bestStart, bestDur = total, l, start, dur
-			}
-		}
-	}
-	if bestStart < 0 {
-		return nil, 0, fmt.Errorf("%w: %q has no feasible contiguous run for %.3f kWh in [%d,%d]",
-			ErrInfeasible, a.Name, a.Energy, a.Start, a.Deadline)
-	}
-	sched := make(appliance.Schedule, horizon)
-	for h := bestStart; h < bestStart+bestDur; h++ {
-		sched[h] = bestLevel
-	}
-	return sched, bestCost, nil
+	var ws Workspace
+	return ws.Schedule(a, horizon, cost)
 }
 
 // ScheduleAll schedules each appliance of a set in sequence, accumulating the
@@ -177,10 +48,11 @@ func scheduleContiguous(a *appliance.Appliance, horizon int, cost CostFn) (appli
 // cost function for the next appliance. It returns the per-appliance
 // schedules and the total load profile they imply.
 func ScheduleAll(apps []*appliance.Appliance, horizon int, makeCost func(current []float64) CostFn) ([]appliance.Schedule, []float64, error) {
+	var ws Workspace
 	load := make([]float64, horizon)
 	scheds := make([]appliance.Schedule, len(apps))
 	for i, a := range apps {
-		sched, _, err := Schedule(a, horizon, makeCost(load))
+		sched, _, err := ws.Schedule(a, horizon, makeCost(load))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -51,6 +51,10 @@ type Config struct {
 	// (community.Config.GameJacobiBlock). 0 keeps the sequential
 	// Gauss-Seidel semantics the recorded results were produced with.
 	JacobiBlock int
+	// ActiveTol is the game solver's residual-gated active-set tolerance
+	// (community.Config.GameActiveTol). 0 re-solves every customer every
+	// sweep — the semantics the recorded results were produced with.
+	ActiveTol float64
 
 	// The remaining fields are zero-is-default overrides so a full scenario
 	// spec (package scenario) can flow through the figure harness without
@@ -117,6 +121,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 || c.JacobiBlock < 0 {
 		return fmt.Errorf("experiments: negative parallelism knob")
+	}
+	if c.ActiveTol < 0 {
+		return fmt.Errorf("experiments: negative active-set tolerance %v", c.ActiveTol)
 	}
 	if c.FlagTau < 0 || c.DeltaPAR < 0 || c.SolarForecastSigma < 0 {
 		return fmt.Errorf("experiments: negative detector/noise override")
@@ -355,6 +362,7 @@ func communityConfig(cfg Config) community.Config {
 	c.GameSweeps = cfg.GameSweeps
 	c.Workers = cfg.Workers
 	c.GameJacobiBlock = cfg.JacobiBlock
+	c.GameActiveTol = cfg.ActiveTol
 	if cfg.SellBackW != 0 {
 		c.Tariff.W = cfg.SellBackW
 	}

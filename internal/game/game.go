@@ -85,6 +85,20 @@ type Config struct {
 	// rather than the Converged flag. The block size — never Workers —
 	// determines the solution.
 	JacobiBlock int
+	// ActiveTol enables residual-gated active-set sweeps: a customer whose
+	// last best response moved their trading by at most ActiveTol (kW,
+	// max-norm) AND whose observed input — the other customers' total
+	// trading — moved by at most ActiveTol since they last solved is skipped
+	// instead of re-solved. Nash fixed points leave most players stationary
+	// after the early sweeps, so skipping them trades a bounded amount of
+	// equilibrium quality (certify with EquilibriumGap) for sweeps that only
+	// pay for customers whose neighborhood actually changed. 0 — the default
+	// — disables gating entirely: every customer re-solves every sweep and
+	// the solve is bitwise identical to the historical solver (the same
+	// contract JacobiBlock <= 1 keeps for the sweep schedule). Like
+	// JacobiBlock and unlike Workers, a non-zero ActiveTol selects a
+	// (deterministic) different equilibrium path.
+	ActiveTol float64
 }
 
 // DefaultConfig returns the solver configuration used by the experiments.
@@ -124,6 +138,9 @@ func (c Config) Validate() error {
 	if c.JacobiBlock < 0 {
 		return fmt.Errorf("game: negative Jacobi block size %d", c.JacobiBlock)
 	}
+	if math.IsNaN(c.ActiveTol) || math.IsInf(c.ActiveTol, 0) || c.ActiveTol < 0 {
+		return fmt.Errorf("game: active-set tolerance %v must be finite and non-negative", c.ActiveTol)
+	}
 	return c.CE.Validate()
 }
 
@@ -150,6 +167,67 @@ type Result struct {
 	Converged bool
 }
 
+// custWorkspace holds the per-customer scratch memory one best response
+// needs: the DP tables (dpsched), the CE population (ceopt), the trajectory /
+// base-load / cost-snapshot buffers of bestResponse, and the active-set state
+// (last solved-against neighborhood, last residual). All buffers grow
+// monotonically; none escape into Results.
+type custWorkspace struct {
+	dp dpsched.Workspace
+	ce ceopt.Workspace
+
+	curTraj  []float64
+	baseLoad []float64
+	snapshot []float64
+	lo       []float64
+	hi       []float64
+	init     []float64
+
+	// Active-set state (meaningful only when cfg.ActiveTol > 0).
+	yOther     []float64 // block-Jacobi scratch: the frozen neighborhood total
+	lastYOther []float64 // neighborhood total this customer last solved against
+	residual   float64   // max-norm trading change of the last best response
+	solved     bool      // whether lastYOther/residual are populated
+}
+
+// Workspace holds per-customer solver scratch that SolveWS/SolveMixedWS reuse
+// across calls — across sweeps within a solve and across solves (e.g. the
+// per-day simulation loop). Reuse changes nothing about results: a Result
+// fully owns its memory (loads, trading, trajectories are freshly allocated),
+// so Results from earlier solves remain valid after the workspace is reused,
+// and a solve through a reused workspace is bitwise identical to one through
+// a fresh workspace. A Workspace is NOT safe for concurrent solves; give each
+// concurrent solve its own. The per-customer entries are handed to the
+// (possibly concurrent) best responses one-to-one, which is safe because each
+// customer index is processed by exactly one goroutine per block.
+type Workspace struct {
+	cust []*custWorkspace
+}
+
+// NewWorkspace returns an empty solver workspace; per-customer scratch is
+// allocated on first use and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure grows the per-customer slice to n entries. Called before any
+// concurrent phase so workers only index, never append.
+func (w *Workspace) ensure(n int) {
+	for len(w.cust) < n {
+		w.cust = append(w.cust, &custWorkspace{})
+	}
+}
+
+// invalidate forgets all active-set state, forcing every customer to re-solve
+// on their next turn. Used when the watchdog rewinds to the last good iterate
+// (the recorded residuals describe the abandoned path, not the restored one)
+// and at the start of every solve (state must never leak across solves: each
+// solve starts from the greedy iterate, not from where the previous solve
+// ended).
+func (w *Workspace) invalidate() {
+	for _, cw := range w.cust {
+		cw.solved = false
+	}
+}
+
 // Solve runs Algorithm 1. price is the guideline price over the horizon
 // (len == H ≥ 24); pv[n] is customer n's renewable forecast θₙ (ignored when
 // net metering is disabled; may be nil then). The source drives CE sampling
@@ -161,6 +239,13 @@ type Result struct {
 // never cancels, and cancellation never alters the result of a solve that
 // completes.
 func Solve(ctx context.Context, customers []*household.Customer, price timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+	return SolveWS(ctx, nil, customers, price, pv, cfg, src)
+}
+
+// SolveWS is Solve with a reusable solver workspace. A nil workspace is
+// equivalent to a fresh one (and to Solve). See Workspace for the reuse
+// contract.
+func SolveWS(ctx context.Context, ws *Workspace, customers []*household.Customer, price timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
 	if len(customers) == 0 {
 		return nil, errors.New("game: empty community")
 	}
@@ -168,7 +253,7 @@ func Solve(ctx context.Context, customers []*household.Customer, price timeserie
 	for i := range prices {
 		prices[i] = price
 	}
-	return SolveMixed(ctx, customers, prices, pv, cfg, src)
+	return SolveMixedWS(ctx, ws, customers, prices, pv, cfg, src)
 }
 
 // SolveMixed runs Algorithm 1 with per-customer guideline prices — the
@@ -177,6 +262,12 @@ func Solve(ctx context.Context, customers []*household.Customer, price timeserie
 // customer best-responds to their own price; all interact through the shared
 // community trading total. Cancellation semantics match Solve.
 func SolveMixed(ctx context.Context, customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+	return SolveMixedWS(ctx, nil, customers, prices, pv, cfg, src)
+}
+
+// SolveMixedWS is SolveMixed with a reusable solver workspace. A nil
+// workspace is equivalent to a fresh one.
+func SolveMixedWS(ctx context.Context, ws *Workspace, customers []*household.Customer, prices []timeseries.Series, pv [][]float64, cfg Config, src *rng.Source) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,6 +303,12 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 	}
 
 	n := len(customers)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(n)
+	ws.invalidate()
+	active := cfg.ActiveTol > 0
 	res := &Result{
 		Load:            make(timeseries.Series, h),
 		GridDemand:      make(timeseries.Series, h),
@@ -230,7 +327,9 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 			load[t] = c.BaseLoadAt(t)
 		}
 		for _, a := range c.Appliances {
-			greedyFill(a, load)
+			if err := greedyFill(a, load); err != nil {
+				return nil, fmt.Errorf("game: customer %d: %w", i, err)
+			}
 		}
 		res.CustomerLoad[i] = load
 		y := make([]float64, h)
@@ -258,6 +357,7 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 	type response struct {
 		load, y, traj []float64
 		cost          float64
+		skip          bool
 	}
 	var outs []response
 	if block > 1 {
@@ -288,6 +388,9 @@ func SolveMixed(ctx context.Context, customers []*household.Customer, prices []t
 		sink.Count("game.watchdog.retries", 1)
 		lastGood.restore(res, totalY)
 		gapMon.Reset()
+		// The recorded residuals describe the abandoned path; after the
+		// rewind every customer must be treated as unsolved.
+		ws.invalidate()
 		return nil
 	}
 
@@ -295,6 +398,7 @@ sweeps:
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
 		res.Sweeps = sweep + 1
 		maxDelta := 0.0
+		var skippedSweep, resolvedSweep int64
 		for start := 0; start < n; start += block {
 			// Cancellation check per block (per customer in the Gauss-Seidel
 			// schedule) keeps the abort latency to one best response even for
@@ -312,17 +416,36 @@ sweeps:
 				// Single-customer block: the original Gauss-Seidel body,
 				// kept verbatim (including its floating-point update order)
 				// so JacobiBlock <= 1 reproduces historical results bitwise.
+				// The active-set gate runs strictly before any float work on
+				// totalY, so with ActiveTol == 0 (gate off) the path is
+				// untouched, and a skipped customer leaves totalY bitwise
+				// alone (no subtract-then-re-add round trip).
 				i := start
+				cw := ws.cust[i]
+				oldY := res.CustomerTrading[i]
+				if active && cw.solved && cw.residual <= cfg.ActiveTol {
+					moved := 0.0
+					for t := 0; t < h; t++ {
+						if d := math.Abs((totalY[t] - oldY[t]) - cw.lastYOther[t]); d > moved {
+							moved = d
+						}
+					}
+					if moved <= cfg.ActiveTol {
+						// A skipped customer did not move, so they contribute
+						// nothing to this sweep's trading delta.
+						skippedSweep++
+						continue
+					}
+				}
 				var csrc *rng.Source
 				if cfg.NetMetering {
 					csrc = src.Derive(ceLabel(sweep, i))
 				}
-				oldY := res.CustomerTrading[i]
 				// Remove this customer's trading from the shared total.
 				for t := 0; t < h; t++ {
 					totalY[t] -= oldY[t]
 				}
-				newLoad, newY, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc)
+				newLoad, newY, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), totalY, cfg, csrc, cw)
 				if err != nil {
 					if errors.Is(err, watchdog.ErrDiverged) {
 						if ferr := failSweep(fmt.Errorf("customer %d: %w", i, err)); ferr != nil {
@@ -333,11 +456,25 @@ sweeps:
 					}
 					return nil, fmt.Errorf("game: customer %d: %w", i, err)
 				}
+				if active {
+					// totalY currently holds exactly the neighborhood this
+					// customer just solved against.
+					cw.lastYOther = growFloats(cw.lastYOther, h)
+					copy(cw.lastYOther, totalY)
+				}
+				cd := 0.0
 				for t := 0; t < h; t++ {
-					if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
-						maxDelta = d
+					if d := math.Abs(newY[t] - oldY[t]); d > cd {
+						cd = d
 					}
 					totalY[t] += newY[t]
+				}
+				if cd > maxDelta {
+					maxDelta = cd
+				}
+				if active {
+					cw.residual, cw.solved = cd, true
+					resolvedSweep++
 				}
 				res.CustomerLoad[i] = newLoad
 				res.CustomerTrading[i] = newY
@@ -354,18 +491,36 @@ sweeps:
 			out := outs[:end-start]
 			err := parallel.ForEach(ctx, cfg.Workers, end-start, func(k int) error {
 				i := start + k
+				cw := ws.cust[i]
+				oldY := res.CustomerTrading[i]
+				cw.yOther = growFloats(cw.yOther, h)
+				yOther := cw.yOther
+				for t := 0; t < h; t++ {
+					yOther[t] = totalY[t] - oldY[t]
+				}
+				if active && cw.solved && cw.residual <= cfg.ActiveTol {
+					moved := 0.0
+					for t := 0; t < h; t++ {
+						if d := math.Abs(yOther[t] - cw.lastYOther[t]); d > moved {
+							moved = d
+						}
+					}
+					if moved <= cfg.ActiveTol {
+						out[k] = response{skip: true}
+						return nil
+					}
+				}
 				var csrc *rng.Source
 				if cfg.NetMetering {
 					csrc = src.Derive(ceLabel(sweep, i))
 				}
-				oldY := res.CustomerTrading[i]
-				yOther := make([]float64, h)
-				for t := 0; t < h; t++ {
-					yOther[t] = totalY[t] - oldY[t]
-				}
-				load, y, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
+				load, y, traj, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc, cw)
 				if err != nil {
 					return fmt.Errorf("game: customer %d: %w", i, err)
+				}
+				if active {
+					cw.lastYOther = growFloats(cw.lastYOther, h)
+					copy(cw.lastYOther, yOther)
 				}
 				out[k] = response{load: load, y: y, traj: traj, cost: cost}
 				return nil
@@ -381,16 +536,30 @@ sweeps:
 				return nil, err
 			}
 			// Apply updates in index order (deterministic float accumulation).
+			// Skipped customers leave their slot of res and totalY untouched.
 			for k := range out {
+				if out[k].skip {
+					skippedSweep++
+					continue
+				}
 				i := start + k
 				oldY := res.CustomerTrading[i]
 				newY := out[k].y
+				cd := 0.0
 				for t := 0; t < h; t++ {
-					if d := math.Abs(newY[t] - oldY[t]); d > maxDelta {
-						maxDelta = d
+					if d := math.Abs(newY[t] - oldY[t]); d > cd {
+						cd = d
 					}
 					totalY[t] -= oldY[t]
 					totalY[t] += newY[t]
+				}
+				if cd > maxDelta {
+					maxDelta = cd
+				}
+				if active {
+					cw := ws.cust[i]
+					cw.residual, cw.solved = cd, true
+					resolvedSweep++
 				}
 				res.CustomerLoad[i] = out[k].load
 				res.CustomerTrading[i] = newY
@@ -402,6 +571,10 @@ sweeps:
 		// the fixed-point gap must not grow without bound.
 		sink.Count("game.sweeps", 1)
 		sink.Observe("game.sweep.residual", maxDelta)
+		if active {
+			sink.Count("game.active.skipped", skippedSweep)
+			sink.Count("game.active.resolved", resolvedSweep)
+		}
 		healthErr := gapMon.Observe(maxDelta)
 		if healthErr == nil && !watchdog.AllFinite(totalY) {
 			healthErr = fmt.Errorf("game: non-finite trading total after sweep %d: %w", sweep, watchdog.ErrDiverged)
@@ -586,11 +759,17 @@ func EquilibriumGap(ctx context.Context, customers []*household.Customer, prices
 
 	// Each customer's probe best response is independent of the others
 	// (streams are derived per index), so the gap scan parallelizes freely;
-	// the reduction below runs in index order either way.
+	// the reduction below runs in index order either way. The probe workspace
+	// is local — one entry per customer, pre-grown before the fan-out so the
+	// workers only index into it.
+	probeWS := NewWorkspace()
+	probeWS.ensure(len(customers))
 	zeroPV := make([]float64, h)
 	improvement := make([]float64, len(customers))
 	err = parallel.ForEach(ctx, cfg.Workers, len(customers), func(i int) error {
-		yOther := make([]float64, h)
+		cw := probeWS.cust[i]
+		cw.yOther = growFloats(cw.yOther, h)
+		yOther := cw.yOther
 		for t := 0; t < h; t++ {
 			yOther[t] = totalY[t] - res.CustomerTrading[i][t]
 		}
@@ -598,7 +777,7 @@ func EquilibriumGap(ctx context.Context, customers []*household.Customer, prices
 		if cfg.NetMetering {
 			csrc = src.Derive(fmt.Sprintf("gap-%d", i))
 		}
-		_, _, _, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc)
+		_, _, _, cost, err := bestResponse(ctx, customers[i], prices[i], pvRow(pv, i, cfg.NetMetering, zeroPV), yOther, cfg, csrc, cw)
 		if err != nil {
 			return fmt.Errorf("game: customer %d: %w", i, err)
 		}
@@ -623,7 +802,16 @@ func EquilibriumGap(ctx context.Context, customers []*household.Customer, prices
 // starting point. Residual energy below the maximum level is dropped into the
 // next slot at the largest level that does not overshoot (close enough for an
 // initial guess; the DP step immediately replaces it).
-func greedyFill(a *appliance.Appliance, load []float64) {
+//
+// An appliance whose energy exceeds window-length × max-level cannot fit, and
+// silently dropping the residual would start the game from an iterate that
+// under-reports demand; such appliances are rejected (wrapping
+// dpsched.ErrInfeasible, like the DP step would for the quantized problem).
+func greedyFill(a *appliance.Appliance, load []float64) error {
+	if a.Start < 0 || a.Deadline >= len(load) || a.Start > a.Deadline {
+		return fmt.Errorf("appliance %q: window [%d,%d] outside horizon %d: %w",
+			a.Name, a.Start, a.Deadline, len(load), dpsched.ErrInfeasible)
+	}
 	remaining := a.Energy
 	maxLv := a.MaxLevel()
 	for t := a.Start; t <= a.Deadline && remaining > 1e-9; t++ {
@@ -634,13 +822,33 @@ func greedyFill(a *appliance.Appliance, load []float64) {
 		load[t] += x
 		remaining -= x
 	}
+	if remaining > 1e-9 {
+		return fmt.Errorf("appliance %q: %.3f kWh of %.3f kWh do not fit window [%d,%d] at max level %.3f kW: %w",
+			a.Name, remaining, a.Energy, a.Start, a.Deadline, maxLv, dpsched.ErrInfeasible)
+	}
+	return nil
+}
+
+// growFloats returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // bestResponse solves customer n's Problem P1 given the other customers'
 // total trading yOther, alternating the DP appliance step and the CE battery
 // step (the inner while-loop of Algorithm 1). The context flows into the CE
 // battery optimizer, whose per-iteration poll bounds the abort latency.
-func bestResponse(ctx context.Context, c *household.Customer, price timeseries.Series, pv []float64, yOther []float64, cfg Config, src *rng.Source) (load, y []float64, traj []float64, cost float64, err error) {
+//
+// cw supplies every scratch buffer (DP tables, CE population, trajectory and
+// cost-snapshot vectors); the returned load, y and traj slices are freshly
+// allocated — they escape into the Result — so reusing cw never aliases
+// previously returned responses, and a reused cw yields bitwise-identical
+// results to a fresh one.
+func bestResponse(ctx context.Context, c *household.Customer, price timeseries.Series, pv []float64, yOther []float64, cfg Config, src *rng.Source, cw *custWorkspace) (load, y []float64, traj []float64, cost float64, err error) {
 	h := len(price)
 
 	// tradeCost evaluates the customer's per-slot cost Cₙʰ for trading v at
@@ -655,7 +863,8 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 		b0 = cfg.BatteryInitFrac * c.Battery.Capacity
 	}
 	// Battery trajectory points b[0..H]; flat start.
-	curTraj := make([]float64, h+1)
+	cw.curTraj = growFloats(cw.curTraj, h+1)
+	curTraj := cw.curTraj
 	for i := range curTraj {
 		curTraj[i] = b0
 	}
@@ -664,7 +873,8 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 	// (or may sell, if negative) at slot t beyond consumption − generation.
 	batteryShift := func(tr []float64, t int) float64 { return tr[t+1] - tr[t] }
 
-	baseLoad := make([]float64, h)
+	cw.baseLoad = growFloats(cw.baseLoad, h)
+	baseLoad := cw.baseLoad
 	for t := 0; t < h; t++ {
 		baseLoad[t] = c.BaseLoadAt(t)
 	}
@@ -677,7 +887,8 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 	// this best response: ScheduleAll consumes each returned CostFn fully
 	// before requesting the next, so overwriting the buffer between
 	// appliances is safe and avoids a per-appliance allocation.
-	snapshot := make([]float64, h)
+	cw.snapshot = growFloats(cw.snapshot, h)
+	snapshot := cw.snapshot
 	var schedLoad []float64
 	const innerRounds = 2
 	for round := 0; round < innerRounds; round++ {
@@ -691,7 +902,7 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 			}
 		}
 		var sErr error
-		_, schedLoad, sErr = dpsched.ScheduleAll(c.Appliances, h, makeCost)
+		schedLoad, sErr = cw.dp.ScheduleAllLoad(c.Appliances, h, makeCost)
 		if sErr != nil {
 			return nil, nil, nil, 0, sErr
 		}
@@ -730,14 +941,16 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 			}
 			return total
 		}
-		lo := make([]float64, h)
-		hi := make([]float64, h)
-		init := make([]float64, h)
+		cw.lo = growFloats(cw.lo, h)
+		cw.hi = growFloats(cw.hi, h)
+		cw.init = growFloats(cw.init, h)
+		lo, hi, init := cw.lo, cw.hi, cw.init
 		for t := 0; t < h; t++ {
+			lo[t] = 0
 			hi[t] = c.Battery.Capacity
 			init[t] = curTraj[t+1]
 		}
-		ceRes, ceErr := ceopt.Minimize(ctx, objective, lo, hi, init, src, cfg.CE)
+		ceRes, ceErr := cw.ce.Minimize(ctx, objective, lo, hi, init, src, cfg.CE)
 		if ceErr != nil {
 			return nil, nil, nil, 0, ceErr
 		}
@@ -760,7 +973,10 @@ func bestResponse(ctx context.Context, c *household.Customer, price timeseries.S
 		cost += tradeCost(t, y[t])
 	}
 	if useBattery {
-		traj = curTraj
+		// Fresh copy: curTraj is workspace scratch and will be overwritten by
+		// the next best response, but the trajectory escapes into the Result.
+		traj = make([]float64, h+1)
+		copy(traj, curTraj)
 	}
 	return load, y, traj, cost, nil
 }

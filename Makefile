@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead
+.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,8 @@ panic-lint:
 check: vet panic-lint race
 
 # Statement-coverage floor (>=70%) for the hot-path solver packages
-# (internal/dpsched, internal/game, internal/ceopt) — see DESIGN.md §10.
+# (internal/dpsched, internal/game, internal/ceopt, internal/meterstate) —
+# see DESIGN.md §10.
 cover:
 	sh scripts/cover_check.sh
 
@@ -43,3 +44,16 @@ bench-hotpath:
 # BENCH_obs_overhead.json.
 bench-obs-overhead:
 	sh scripts/bench_obs_overhead.sh
+
+# Regenerate BENCH_scale.json: the customers-vs-ns/op curve of the
+# hierarchical solver at the paper's sizes. TestWriteBenchScale fails the run
+# if the curve is not monotone in N or grows quadratically or worse.
+bench-scale:
+	$(GO) test -run 'TestWriteBenchScale$$' -v . -args -bench-scale-out BENCH_scale.json -bench-scale-sizes 24,100,500
+
+# CI smoke for the scale curve: tiny sizes, same harness and assertions
+# (file produced, curve monotone, sub-quadratic growth), seconds not minutes.
+bench-scale-smoke:
+	$(GO) test -run 'TestWriteBenchScale$$' . -args -bench-scale-out bench_scale_smoke.json -bench-scale-sizes 8,16,32
+	test -s bench_scale_smoke.json
+	rm -f bench_scale_smoke.json

@@ -14,8 +14,15 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
 	"io"
 	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"nmdetect/internal/appliance"
@@ -232,6 +239,137 @@ func benchmarkGameSolveActiveSet(b *testing.B, tol float64) {
 
 func BenchmarkGameSolveActiveSet(b *testing.B)    { benchmarkGameSolveActiveSet(b, 0.05) }
 func BenchmarkGameSolveActiveSetOff(b *testing.B) { benchmarkGameSolveActiveSet(b, 0) }
+
+// --- Paper-scale curve (BENCH_scale.json) --------------------------------
+
+// scaleShards returns the shard count the scale curve runs an n-customer
+// community with: near-64-customer shards, so 500 customers land on the same
+// 8 shards as the scale500 preset and 24 customers stay on the flat solver
+// (shards <= 1 is the reference semantics — the curve's small-N anchor is
+// exactly today's path).
+func scaleShards(n int) int { return (n + 63) / 64 }
+
+// benchmarkScaleSolve is one point of the customers-vs-ns/op curve: a full
+// Algorithm-1 solve (MaxSweeps 2, net metering on) of an n-customer
+// community through the hierarchical solver with scaleShards(n) shards and a
+// reused workspace — the steady-state shape of the sharded engine's day loop.
+func benchmarkScaleSolve(b *testing.B, n int) {
+	customers, pv := benchCommunity(b, n)
+	q, _ := tariff.NewQuadratic(1.5)
+	cfg := game.DefaultConfig(q, true)
+	cfg.MaxSweeps = 2
+	cfg.Shards = scaleShards(n)
+	price := benchPrice()
+	ws := game.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.SolveWS(context.Background(), ws, customers, price, pv, cfg, rng.New(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleSolve24(b *testing.B)  { benchmarkScaleSolve(b, 24) }
+func BenchmarkScaleSolve100(b *testing.B) { benchmarkScaleSolve(b, 100) }
+func BenchmarkScaleSolve500(b *testing.B) { benchmarkScaleSolve(b, 500) }
+
+var (
+	benchScaleOut = flag.String("bench-scale-out", "",
+		"write the customers-vs-ns/op curve to this JSON path (empty = skip TestWriteBenchScale)")
+	benchScaleSizes = flag.String("bench-scale-sizes", "24,100,500",
+		"comma-separated community sizes for the scale curve")
+)
+
+// TestWriteBenchScale runs the scale curve at the sizes given by
+// -bench-scale-sizes and writes BENCH_scale.json-shaped output to
+// -bench-scale-out, labelled with the execution environment (Go version,
+// GOMAXPROCS, NumCPU). It fails if the curve is not strictly monotone in N
+// or if ns/op grows quadratically or worse from the first point to the last
+// — the sub-quadratic claim the hierarchical solver exists to make good on.
+// `make bench-scale` records the paper curve; `make bench-scale-smoke` runs
+// tiny sizes as a CI guard. Skipped unless -bench-scale-out is set.
+func TestWriteBenchScale(t *testing.T) {
+	if *benchScaleOut == "" {
+		t.Skip("set -bench-scale-out to record the scale curve")
+	}
+	var sizes []int
+	for _, f := range strings.Split(*benchScaleSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 4 {
+			t.Fatalf("bad -bench-scale-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+
+	type point struct {
+		N         int     `json:"n"`
+		Shards    int     `json:"shards"`
+		NsPerOp   float64 `json:"ns_per_op"`
+		BytesOp   int64   `json:"bytes_per_op"`
+		AllocsOp  int64   `json:"allocs_per_op"`
+		NsPerCust float64 `json:"ns_per_customer"`
+	}
+	var curve []point
+	for _, n := range sizes {
+		n := n
+		r := testing.Benchmark(func(b *testing.B) { benchmarkScaleSolve(b, n) })
+		p := point{
+			N:         n,
+			Shards:    scaleShards(n),
+			NsPerOp:   float64(r.NsPerOp()),
+			BytesOp:   r.AllocedBytesPerOp(),
+			AllocsOp:  r.AllocsPerOp(),
+			NsPerCust: float64(r.NsPerOp()) / float64(n),
+		}
+		curve = append(curve, p)
+		t.Logf("N=%d shards=%d: %.0f ns/op (%.0f ns/customer)", p.N, p.Shards, p.NsPerOp, p.NsPerCust)
+	}
+
+	// Monotone in N, with a 5% margin: at small sizes a point can sit within
+	// scheduler noise of its neighbour, and the claim being guarded is shape,
+	// not per-point precision.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].NsPerOp <= curve[i-1].NsPerOp*0.95 {
+			t.Errorf("curve not monotone: N=%d at %.0f ns/op <= N=%d at %.0f ns/op",
+				curve[i].N, curve[i].NsPerOp, curve[i-1].N, curve[i-1].NsPerOp)
+		}
+	}
+	var growth float64
+	if len(curve) >= 2 {
+		first, last := curve[0], curve[len(curve)-1]
+		nRatio := float64(last.N) / float64(first.N)
+		growth = last.NsPerOp / first.NsPerOp
+		if growth >= nRatio*nRatio {
+			t.Errorf("ns/op growth %.1fx over a %.1fx size increase is quadratic or worse", growth, nRatio)
+		}
+	}
+
+	out := map[string]any{
+		"description": "Customers-vs-ns/op curve for the hierarchical (sharded) game solve: " +
+			"one MaxSweeps-2 net-metering solve per op, shards ~= N/64 (500 customers = the " +
+			"scale500 preset's 8 shards). Regenerate with `make bench-scale`.",
+		"go":          runtime.Version(),
+		"goos":        runtime.GOOS,
+		"goarch":      runtime.GOARCH,
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"num_cpu":     runtime.NumCPU(),
+		"curve":       curve,
+		"growth_frac": growth,
+	}
+	f, err := os.Create(*benchScaleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-scale: wrote %d points to %s\n", len(curve), *benchScaleOut)
+}
 
 // BenchmarkGameSolveParallel4Events is the observability overhead guard: the
 // same solve as Parallel4, but with a live event sink attached to the

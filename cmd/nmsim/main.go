@@ -60,6 +60,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
 		jacobi   = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		activeT  = flag.Float64("active-tol", 0, "game active-set tolerance in kW (0 = re-solve every customer every sweep)")
+		shards   = flag.Int("shards", 0, "hierarchical-solve shard count (<= 1 = flat solver, the reference semantics)")
 		noNM     = flag.Bool("nonm", false, "disable net metering in the world model")
 		atkStr   = flag.String("attack", "none", "attack on the final day: zero|scale|invert|none")
 		from     = flag.Int("from", 16, "attack window start slot")
@@ -90,6 +91,7 @@ func main() {
 	spec.Game.Workers = *workers
 	spec.Game.JacobiBlock = *jacobi
 	spec.Game.ActiveTol = *activeT
+	spec.Game.Shards = *shards
 	spec.Attack = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
 	campaignWanted := *atkStr != "none"
 	if *scenRef != "" {

@@ -10,6 +10,7 @@ import (
 	"nmdetect/internal/detect"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/loadpred"
+	"nmdetect/internal/meterstate"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/timeseries"
 )
@@ -186,19 +187,13 @@ func (e *Engine) LearnBaselines(ctx context.Context, days int, kits ...*Detector
 	sums := make([][][]float64, len(kits))
 	for ki, kit := range kits {
 		kit.Baseline = nil // learn from scratch; ExpectedProfiles must not correct
-		sums[ki] = make([][]float64, e.cfg.N)
-		for n := range sums[ki] {
-			sums[ki][n] = make([]float64, 24)
-		}
+		sums[ki] = meterstate.NewRows(e.cfg.N, 24)
 	}
 	// Dropped (NaN) readings carry no baseline evidence; they are skipped and
 	// each (meter, slot) averages over its valid samples only. The counts are
 	// shared across kits — missingness lives in the realized trace, not in
 	// any kit's expectation.
-	counts := make([][]float64, e.cfg.N)
-	for n := range counts {
-		counts[n] = make([]float64, 24)
-	}
+	counts := meterstate.NewRows(e.cfg.N, 24)
 	for d := 0; d < days; d++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -327,10 +322,7 @@ func (e *Engine) MonitorDay(ctx context.Context, kit *DetectorKit, camp *attack.
 	if err != nil {
 		return nil, fmt.Errorf("community: imputer: %w", err)
 	}
-	measured := make([][]float64, e.cfg.N)
-	for n := range measured {
-		measured[n] = make([]float64, 24)
-	}
+	measured := meterstate.NewRows(e.cfg.N, 24)
 	inspect := func(h int, trace *DayTrace) (bool, error) {
 		imputed, err := imputer.FillSlot(measured, expected, trace.RealizedMeter, h)
 		if err != nil {
@@ -450,10 +442,7 @@ func (e *Engine) ChannelRates(ctx context.Context, kit *DetectorKit, hackedFrac 
 	if err != nil {
 		return 0, 0, err
 	}
-	measured := make([][]float64, e.cfg.N)
-	for n := range measured {
-		measured[n] = make([]float64, 24)
-	}
+	measured := meterstate.NewRows(e.cfg.N, 24)
 	var fpFlags, fpTotal, fnMisses, fnTotal int
 	for h := 0; h < 24; h++ {
 		if _, err := imputer.FillSlot(measured, expected, trace.RealizedMeter, h); err != nil {

@@ -33,6 +33,7 @@ import (
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
+	"nmdetect/internal/meterstate"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/parallel"
 	"nmdetect/internal/rng"
@@ -91,6 +92,15 @@ type Config struct {
 	// GameJacobiBlock it selects a (deterministically) different equilibrium
 	// path and flows through GameConfig so detectors match the engine.
 	GameActiveTol float64
+	// Shards is the hierarchical-solve shard count (game.Config.Shards):
+	// values > 1 partition the community into that many contiguous shards
+	// that solve their own inner fixed point and exchange only per-slot
+	// aggregate trading vectors in an outer Jacobi loop. <= 1 — the default
+	// — keeps the flat solver, bitwise identical to the historical engine
+	// (test-enforced). Like GameJacobiBlock and GameActiveTol this knob
+	// selects a (deterministically) different equilibrium path, and it flows
+	// through GameConfig so detectors reproduce the engine's solves exactly.
+	Shards int
 	// Faults injects deterministic data-plane faults (meter-reading dropout
 	// and corruption, stale guideline-price broadcasts, PV-sensor outages)
 	// into every simulated day. The zero value injects nothing and leaves
@@ -142,6 +152,9 @@ func (c Config) Validate() error {
 	}
 	if math.IsNaN(c.GameActiveTol) || math.IsInf(c.GameActiveTol, 0) || c.GameActiveTol < 0 {
 		return fmt.Errorf("community: active-set tolerance %v must be finite and non-negative", c.GameActiveTol)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("community: negative shard count %d", c.Shards)
 	}
 	if math.IsNaN(c.Tariff.W) || math.IsInf(c.Tariff.W, 0) || c.Tariff.W < 1 {
 		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1 and finite", c.Tariff.W)
@@ -241,6 +254,7 @@ func (e *Engine) GameConfig(netMetering bool) game.Config {
 	cfg.Workers = e.cfg.Workers
 	cfg.JacobiBlock = e.cfg.GameJacobiBlock
 	cfg.ActiveTol = e.cfg.GameActiveTol
+	cfg.Shards = e.cfg.Shards
 	return cfg
 }
 
@@ -452,10 +466,11 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 		return nil, err
 	}
 
+	nCust := len(e.customers)
 	trace := &DayTrace{
 		Env:           env,
 		CleanMeter:    meterFlows(clean, netMetering),
-		RealizedMeter: make([][]float64, len(e.customers)),
+		RealizedMeter: meterstate.NewRows(nCust, 24),
 		Load:          make(timeseries.Series, 24),
 		GridDemand:    make(timeseries.Series, 24),
 		TrueHacked:    make([]int, 24),
@@ -468,8 +483,21 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 		attackedCons = attacked.CustomerLoad
 	}
 
-	for n := range e.customers {
-		trace.RealizedMeter[n] = make([]float64, 24)
+	// Columnar views of the solved flows: the hour loop below scans across
+	// all meters within one slot, so a slot-major layout turns each scan
+	// into one contiguous walk instead of N row-pointer chases. The
+	// transpose copies values verbatim and the loop keeps its meter index
+	// order, so the realized trace is bitwise identical to the row-walk.
+	cleanYCols := meterstate.NewColumns(nCust, 24)
+	cleanYCols.FillFromRows(trace.CleanMeter)
+	cleanLCols := meterstate.NewColumns(nCust, 24)
+	cleanLCols.FillFromRows(cleanCons)
+	attackedYCols, attackedLCols := cleanYCols, cleanLCols
+	if attacked != nil {
+		attackedYCols = meterstate.NewColumns(nCust, 24)
+		attackedYCols.FillFromRows(trace.AttackedMeter)
+		attackedLCols = meterstate.NewColumns(nCust, 24)
+		attackedLCols.FillFromRows(attackedCons)
 	}
 
 	noiseSrc := daySrc.Derive("measurement")
@@ -479,13 +507,15 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 			camp.Step(daySrc.Derive(fmt.Sprintf("campaign-%d", h)))
 			trace.TrueHacked[h] = camp.Count()
 		}
+		yCol, lCol := cleanYCols.Col(h), cleanLCols.Col(h)
+		ayCol, alCol := attackedYCols.Col(h), attackedLCols.Col(h)
 		sumY, sumL := 0.0, 0.0
 		for n := range e.customers {
-			v := trace.CleanMeter[n][h]
-			l := cleanCons[n][h]
+			v := yCol[n]
+			l := lCol[n]
 			if camp != nil && camp.Hacked(n) {
-				v = trace.AttackedMeter[n][h]
-				l = attackedCons[n][h]
+				v = ayCol[n]
+				l = alCol[n]
 			}
 			// The noise draw always happens — even for a reading about to
 			// be dropped — so the measurement stream is identical with and

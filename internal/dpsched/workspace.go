@@ -8,12 +8,6 @@ import (
 	"nmdetect/internal/appliance"
 )
 
-// lvl is one deduplicated power level on the quantized energy lattice.
-type lvl struct {
-	steps int
-	power float64
-}
-
 // Workspace holds the DP tables and scratch buffers one scheduling call
 // needs, so hot paths (the game solver's per-customer best responses) can
 // reuse them across calls instead of reallocating per appliance per sweep.
@@ -30,7 +24,12 @@ type Workspace struct {
 	// choice is the matching back-pointer table.
 	value  []float64
 	choice []int
-	levels []lvl
+	// lvlSteps/lvlPower are the deduplicated power levels on the quantized
+	// energy lattice, kept as parallel arrays rather than a []struct so the
+	// innermost DP scan walks one densely packed int slice (the feasibility
+	// test `steps > e` rejects most levels without ever touching the power).
+	lvlSteps []int
+	lvlPower []float64
 	// load and sched back ScheduleAllLoad: the accumulated schedulable load
 	// and the per-appliance scratch schedule.
 	load  []float64
@@ -101,22 +100,28 @@ func (ws *Workspace) ScheduleInto(dst appliance.Schedule, a *appliance.Appliance
 	// Level step sizes, deduplicated, including "off". The dedup scans the
 	// (tiny) slice instead of using a map, preserving insertion order — the
 	// same order the allocating path produced.
-	levels := ws.levels[:0]
-	levels = append(levels, lvl{0, 0})
+	if ws.lvlSteps == nil {
+		n := len(a.Levels) + 1
+		ws.lvlSteps = make([]int, 0, n)
+		ws.lvlPower = make([]float64, 0, n)
+	}
+	steps := append(ws.lvlSteps[:0], 0)
+	power := append(ws.lvlPower[:0], 0)
 	for _, p := range a.Levels {
 		st := int(p/q + 0.5)
 		dup := false
-		for _, l := range levels {
-			if l.steps == st {
+		for _, s := range steps {
+			if s == st {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			levels = append(levels, lvl{st, p})
+			steps = append(steps, st)
+			power = append(power, p)
 		}
 	}
-	ws.levels = levels
+	ws.lvlSteps, ws.lvlPower = steps, power
 
 	// Flattened DP tables with row stride target+1. Only the terminal row
 	// needs initialization: every interior cell is written exactly once by
@@ -135,26 +140,30 @@ func (ws *Workspace) ScheduleInto(dst appliance.Schedule, a *appliance.Appliance
 	for w := window - 1; w >= 0; w-- {
 		h := a.Start + w
 		row := w * stride
-		nextRow := row + stride
+		// Full-capacity row subslices hoist the bounds proofs out of the
+		// per-cell loop: inside it every index is provably < stride.
+		cur := value[row : row+stride : row+stride]
+		next := value[row+stride : row+2*stride : row+2*stride]
+		pick := choice[row : row+stride : row+stride]
 		for e := 0; e <= target; e++ {
 			best := inf
 			bestIdx := -1
-			for i, l := range levels {
-				if l.steps > e {
+			for i, st := range steps {
+				if st > e {
 					continue
 				}
-				next := value[nextRow+e-l.steps]
-				if math.IsInf(next, 1) {
+				nv := next[e-st]
+				if math.IsInf(nv, 1) {
 					continue
 				}
-				c := cost(h, l.power) + next
+				c := cost(h, power[i]) + nv
 				if c < best {
 					best = c
 					bestIdx = i
 				}
 			}
-			value[row+e] = best
-			choice[row+e] = bestIdx
+			cur[e] = best
+			pick[e] = bestIdx
 		}
 	}
 
@@ -169,9 +178,8 @@ func (ws *Workspace) ScheduleInto(dst appliance.Schedule, a *appliance.Appliance
 		if idx < 0 {
 			return 0, fmt.Errorf("%w: broken DP back-pointer", ErrInfeasible)
 		}
-		l := levels[idx]
-		dst[a.Start+w] = l.power
-		e -= l.steps
+		dst[a.Start+w] = power[idx]
+		e -= steps[idx]
 	}
 	if e != 0 {
 		return 0, fmt.Errorf("%w: reconstruction left %d steps", ErrInfeasible, e)

@@ -55,6 +55,11 @@ type Config struct {
 	// (community.Config.GameActiveTol). 0 re-solves every customer every
 	// sweep — the semantics the recorded results were produced with.
 	ActiveTol float64
+	// Shards is the hierarchical-solve shard count (community.Config.Shards).
+	// <= 1 keeps the flat solver — the semantics the recorded results were
+	// produced with; values > 1 solve shard fixed points coupled only by
+	// aggregate trading.
+	Shards int
 
 	// The remaining fields are zero-is-default overrides so a full scenario
 	// spec (package scenario) can flow through the figure harness without
@@ -119,7 +124,7 @@ func (c Config) Validate() error {
 	if c.GameSweeps < 1 || c.MonitorDays < 1 {
 		return fmt.Errorf("experiments: non-positive budget")
 	}
-	if c.Workers < 0 || c.JacobiBlock < 0 {
+	if c.Workers < 0 || c.JacobiBlock < 0 || c.Shards < 0 {
 		return fmt.Errorf("experiments: negative parallelism knob")
 	}
 	if c.ActiveTol < 0 {
@@ -363,6 +368,7 @@ func communityConfig(cfg Config) community.Config {
 	c.Workers = cfg.Workers
 	c.GameJacobiBlock = cfg.JacobiBlock
 	c.GameActiveTol = cfg.ActiveTol
+	c.Shards = cfg.Shards
 	if cfg.SellBackW != 0 {
 		c.Tariff.W = cfg.SellBackW
 	}

@@ -99,6 +99,35 @@ type Config struct {
 	// JacobiBlock and unlike Workers, a non-zero ActiveTol selects a
 	// (deterministic) different equilibrium path.
 	ActiveTol float64
+	// Shards partitions the community into that many contiguous near-equal
+	// shards and solves hierarchically: each shard runs its own inner
+	// best-response iteration (this solver, with the shard's sub-community)
+	// while the shards exchange only their per-slot aggregate trading
+	// vectors in an outer Jacobi loop — O(H) of coupling state per shard per
+	// outer sweep instead of one flat O(N·H) neighborhood. Values <= 1 (the
+	// default) select the flat solver, bitwise identical to the historical
+	// engine; like JacobiBlock and ActiveTol — and unlike Workers — a larger
+	// value selects a (deterministic) different equilibrium path. Shards
+	// solve concurrently under Workers; per-shard CE streams are derived
+	// from (outer sweep, shard), so the fan-out schedule never affects bits.
+	Shards int
+	// OuterSweeps bounds the outer inter-shard Jacobi sweeps of a
+	// hierarchical solve (Shards > 1). 0 selects the default of 2: one
+	// uncoupled-warm-start pass refined by one coupled pass.
+	OuterSweeps int
+	// OuterTol is the convergence tolerance (kW, max-norm) on the per-shard
+	// aggregate trading change between consecutive outer sweeps. 0 selects
+	// Tol.
+	OuterTol float64
+	// ExternalY is a fixed per-slot trading aggregate from outside this
+	// community that every customer's best response prices against, exactly
+	// as if it were another (frozen) player's trading. nil — the default —
+	// adds nothing and leaves the solve bitwise identical to the historical
+	// solver. The hierarchical solver uses this hook to couple shards; it is
+	// exported so harnesses can embed a community in a larger neighborhood.
+	// Must have length H when non-nil. Result.Load/GridDemand still sum the
+	// community's own customers only.
+	ExternalY []float64
 }
 
 // DefaultConfig returns the solver configuration used by the experiments.
@@ -141,6 +170,18 @@ func (c Config) Validate() error {
 	if math.IsNaN(c.ActiveTol) || math.IsInf(c.ActiveTol, 0) || c.ActiveTol < 0 {
 		return fmt.Errorf("game: active-set tolerance %v must be finite and non-negative", c.ActiveTol)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("game: negative shard count %d", c.Shards)
+	}
+	if c.OuterSweeps < 0 {
+		return fmt.Errorf("game: negative outer sweep bound %d", c.OuterSweeps)
+	}
+	if math.IsNaN(c.OuterTol) || math.IsInf(c.OuterTol, 0) || c.OuterTol < 0 {
+		return fmt.Errorf("game: outer tolerance %v must be finite and non-negative", c.OuterTol)
+	}
+	if !watchdog.AllFinite(c.ExternalY) {
+		return errors.New("game: external trading aggregate has non-finite entries")
+	}
 	return c.CE.Validate()
 }
 
@@ -161,10 +202,21 @@ type Result struct {
 	BatteryTraj [][]float64
 	// Cost[n] is customer n's final monetary cost.
 	Cost []float64
-	// Sweeps is the number of best-response sweeps performed.
+	// Sweeps is the number of best-response sweeps performed. For a
+	// hierarchical solve it is the largest inner sweep count any shard used
+	// during the final outer iteration.
 	Sweeps int
-	// Converged reports whether the trading vector stabilized within Tol.
+	// Outer is the number of inter-shard Jacobi sweeps a hierarchical solve
+	// performed; 0 for flat solves (Shards <= 1).
+	Outer int
+	// Converged reports whether the trading vector stabilized within Tol
+	// (flat solves) or the per-shard aggregates stabilized within OuterTol
+	// (hierarchical solves).
 	Converged bool
+	// Skipped and Resolved count active-set gate outcomes over the whole
+	// solve, retried sweeps included (both zero when ActiveTol == 0). A
+	// hierarchical solve sums them across shards and outer sweeps.
+	Skipped, Resolved int64
 }
 
 // custWorkspace holds the per-customer scratch memory one best response
@@ -202,6 +254,11 @@ type custWorkspace struct {
 // customer index is processed by exactly one goroutine per block.
 type Workspace struct {
 	cust []*custWorkspace
+	// shards holds the lazily created child workspaces of a hierarchical
+	// solve, one per shard. Each shard's inner solve is driven by exactly
+	// one goroutine per outer sweep, so handing child s to shard s keeps the
+	// not-concurrency-safe contract intact.
+	shards []*Workspace
 }
 
 // NewWorkspace returns an empty solver workspace; per-customer scratch is
@@ -214,6 +271,16 @@ func (w *Workspace) ensure(n int) {
 	for len(w.cust) < n {
 		w.cust = append(w.cust, &custWorkspace{})
 	}
+}
+
+// shardChildren grows the per-shard child workspaces to s entries and
+// returns them. Children are created once and reused across outer sweeps and
+// across solves, like the per-customer scratch.
+func (w *Workspace) shardChildren(s int) []*Workspace {
+	for len(w.shards) < s {
+		w.shards = append(w.shards, NewWorkspace())
+	}
+	return w.shards[:s]
 }
 
 // invalidate forgets all active-set state, forcing every customer to re-solve
@@ -301,6 +368,16 @@ func SolveMixedWS(ctx context.Context, ws *Workspace, customers []*household.Cus
 			}
 		}
 	}
+	if cfg.ExternalY != nil && len(cfg.ExternalY) != h {
+		return nil, fmt.Errorf("game: external trading aggregate has length %d, want %d", len(cfg.ExternalY), h)
+	}
+	// Hierarchical route: with more than one effective shard the solve is the
+	// outer Jacobi loop of hier.go; a single-shard plan (Shards <= 1, or a
+	// one-customer community) falls through to the flat solver untouched, so
+	// the shards<=1 path stays bitwise identical to the historical engine.
+	if cfg.Shards > 1 && len(customers) > 1 {
+		return solveHierarchical(ctx, ws, customers, prices, pv, cfg, src)
+	}
 
 	n := len(customers)
 	if ws == nil {
@@ -342,6 +419,13 @@ func SolveMixedWS(ctx context.Context, ws *Workspace, customers []*household.Cus
 		res.CustomerTrading[i] = y
 		for t := 0; t < h; t++ {
 			totalY[t] += y[t]
+		}
+	}
+	// A fixed external aggregate joins the shared total exactly like one more
+	// (frozen) player; gating on nil keeps the historical path untouched.
+	if cfg.ExternalY != nil {
+		for t := 0; t < h; t++ {
+			totalY[t] += cfg.ExternalY[t]
 		}
 	}
 
@@ -574,6 +658,8 @@ sweeps:
 		if active {
 			sink.Count("game.active.skipped", skippedSweep)
 			sink.Count("game.active.resolved", resolvedSweep)
+			res.Skipped += skippedSweep
+			res.Resolved += resolvedSweep
 		}
 		healthErr := gapMon.Observe(maxDelta)
 		if healthErr == nil && !watchdog.AllFinite(totalY) {
@@ -750,10 +836,19 @@ func EquilibriumGap(ctx context.Context, customers []*household.Customer, prices
 		}
 	}
 
+	if cfg.ExternalY != nil && len(cfg.ExternalY) != h {
+		return 0, 0, fmt.Errorf("game: external trading aggregate has length %d, want %d", len(cfg.ExternalY), h)
+	}
+
 	totalY := make([]float64, h)
 	for i := range customers {
 		for t := 0; t < h; t++ {
 			totalY[t] += res.CustomerTrading[i][t]
+		}
+	}
+	if cfg.ExternalY != nil {
+		for t := 0; t < h; t++ {
+			totalY[t] += cfg.ExternalY[t]
 		}
 	}
 

@@ -1,0 +1,105 @@
+// Package meterstate provides the columnar per-meter storage behind the
+// engine's hot aggregation paths (community load, PAR, flagger inputs).
+//
+// The simulator's natural unit is the meter row — 24 hourly values per
+// customer — but its hot loops are per-slot scans ACROSS meters: summing the
+// community load at hour h, filling the flagger's measured column, folding
+// realized readings into baselines. Row-of-pointers [][]float64 matrices put
+// every row in its own allocation, so those scans chase N pointers into N
+// cache lines per slot. This package offers two layouts:
+//
+//   - Rows: a [][]float64 view backed by ONE flat allocation, row-major.
+//     Drop-in compatible with every existing consumer (imputer, flagger,
+//     gob encoding, range loops) while collapsing N+1 allocations into 2 and
+//     making consecutive rows contiguous.
+//
+//   - Columns: a slot-major matrix (all meters' values for slot h are
+//     adjacent) for the per-slot reductions where the scan direction is
+//     across meters.
+//
+// Neither layout changes a single value or summation order — callers iterate
+// in the same index order they always did — so converting a call site is
+// bitwise-neutral by construction (the engine's gob-byte identity tests
+// enforce this).
+package meterstate
+
+import "fmt"
+
+// NewRows returns an n×h matrix of float64 rows backed by a single flat
+// allocation. Row i is flat[i*h : (i+1)*h]; consecutive rows are contiguous,
+// so iterating rows in index order walks memory linearly. The returned rows
+// behave exactly like independently allocated []float64 slices (append-free
+// use assumed, as everywhere in the engine).
+func NewRows(n, h int) [][]float64 {
+	if n < 0 || h < 0 {
+		panic(fmt.Sprintf("meterstate: negative dimensions %dx%d", n, h)) // lint:allow-panic — programmer-error contract, like make([]T, -1)
+	}
+	flat := make([]float64, n*h)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*h : (i+1)*h : (i+1)*h]
+	}
+	return rows
+}
+
+// Columns is a slot-major meter matrix: Col(h) is the length-n vector of all
+// meters' values at slot h, stored contiguously. Use it where the hot scan
+// runs across meters within one slot.
+type Columns struct {
+	n, h int
+	data []float64 // data[h*n+i] = value of meter i at slot h
+}
+
+// NewColumns returns an empty slot-major matrix for n meters over h slots.
+func NewColumns(n, h int) *Columns {
+	if n < 0 || h < 0 {
+		panic(fmt.Sprintf("meterstate: negative dimensions %dx%d", n, h)) // lint:allow-panic — programmer-error contract, like make([]T, -1)
+	}
+	return &Columns{n: n, h: h, data: make([]float64, n*h)}
+}
+
+// N returns the meter count.
+func (c *Columns) N() int { return c.n }
+
+// H returns the slot count.
+func (c *Columns) H() int { return c.h }
+
+// Col returns the contiguous per-meter vector for slot h. The slice aliases
+// the matrix; writes through it are visible to every reader.
+func (c *Columns) Col(h int) []float64 {
+	return c.data[h*c.n : (h+1)*c.n : (h+1)*c.n]
+}
+
+// Set stores v for meter i at slot h.
+func (c *Columns) Set(i, h int, v float64) { c.data[h*c.n+i] = v }
+
+// At reads meter i's value at slot h.
+func (c *Columns) At(i, h int) float64 { return c.data[h*c.n+i] }
+
+// FillFromRows transposes a row-major matrix (rows[i][h]) into the slot-major
+// layout. Row lengths must be at least c.H(); extra row entries are ignored.
+func (c *Columns) FillFromRows(rows [][]float64) {
+	if len(rows) != c.n {
+		panic(fmt.Sprintf("meterstate: %d rows for %d meters", len(rows), c.n)) // lint:allow-panic — shape mismatch is a programmer error, like copy() misuse
+	}
+	for i, row := range rows {
+		if len(row) < c.h {
+			panic(fmt.Sprintf("meterstate: row %d has %d slots, want >= %d", i, len(row), c.h)) // lint:allow-panic — shape mismatch is a programmer error, like copy() misuse
+		}
+		for h := 0; h < c.h; h++ {
+			c.data[h*c.n+i] = row[h]
+		}
+	}
+}
+
+// SumCol sums the per-meter vector of slot h in meter index order — the same
+// order (and therefore the same floating-point result) as the historical
+// row-walk `for i { sum += rows[i][h] }`.
+func (c *Columns) SumCol(h int) float64 {
+	col := c.Col(h)
+	sum := 0.0
+	for _, v := range col {
+		sum += v
+	}
+	return sum
+}

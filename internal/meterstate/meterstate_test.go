@@ -1,0 +1,140 @@
+package meterstate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRowsShapeAndIndependence(t *testing.T) {
+	rows := NewRows(3, 4)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if len(r) != 4 || cap(r) != 4 {
+			t.Fatalf("row %d: len %d cap %d, want 4/4", i, len(r), cap(r))
+		}
+	}
+	// Writes land only in their own row.
+	rows[1][2] = 7
+	for i, r := range rows {
+		for h, v := range r {
+			want := 0.0
+			if i == 1 && h == 2 {
+				want = 7
+			}
+			if v != want {
+				t.Fatalf("rows[%d][%d] = %v, want %v", i, h, v, want)
+			}
+		}
+	}
+	// Full capacity slice expressions: appending to a row must not bleed
+	// into the next row's storage.
+	r0 := append(rows[0], 99)
+	if rows[1][0] != 0 {
+		t.Fatalf("append to row 0 corrupted row 1: %v", rows[1][0])
+	}
+	_ = r0
+}
+
+func TestNewRowsZeroSizes(t *testing.T) {
+	if got := NewRows(0, 24); len(got) != 0 {
+		t.Fatalf("NewRows(0,24) = %d rows", len(got))
+	}
+	rows := NewRows(2, 0)
+	if len(rows) != 2 || len(rows[0]) != 0 {
+		t.Fatalf("NewRows(2,0) shape wrong: %v", rows)
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	const n, h = 5, 3
+	rows := NewRows(n, h)
+	for i := 0; i < n; i++ {
+		for s := 0; s < h; s++ {
+			rows[i][s] = float64(10*i + s)
+		}
+	}
+	cols := NewColumns(n, h)
+	cols.FillFromRows(rows)
+	for i := 0; i < n; i++ {
+		for s := 0; s < h; s++ {
+			if got := cols.At(i, s); got != rows[i][s] {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, s, got, rows[i][s])
+			}
+		}
+	}
+	for s := 0; s < h; s++ {
+		col := cols.Col(s)
+		if len(col) != n {
+			t.Fatalf("Col(%d) length %d, want %d", s, len(col), n)
+		}
+		for i, v := range col {
+			if v != rows[i][s] {
+				t.Fatalf("Col(%d)[%d] = %v, want %v", s, i, v, rows[i][s])
+			}
+		}
+	}
+}
+
+// TestSumColMatchesRowWalk pins the bitwise contract: SumCol must reproduce
+// the historical `for i { sum += rows[i][h] }` accumulation exactly, values
+// chosen so that order matters if it were changed.
+func TestSumColMatchesRowWalk(t *testing.T) {
+	const n, h = 64, 24
+	rows := NewRows(n, h)
+	x := 0.1
+	for i := 0; i < n; i++ {
+		for s := 0; s < h; s++ {
+			x = math.Mod(x*997.13+float64(i*s), 37.7) - 11.1
+			rows[i][s] = x * math.Pow(10, float64((i+s)%7-3))
+		}
+	}
+	cols := NewColumns(n, h)
+	cols.FillFromRows(rows)
+	for s := 0; s < h; s++ {
+		want := 0.0
+		for i := 0; i < n; i++ {
+			want += rows[i][s]
+		}
+		if got := cols.SumCol(s); got != want {
+			t.Fatalf("slot %d: SumCol = %v, row walk = %v (must be bitwise equal)", s, got, want)
+		}
+	}
+}
+
+func TestColumnsSetAndCol(t *testing.T) {
+	cols := NewColumns(3, 2)
+	cols.Set(2, 1, 5)
+	if cols.At(2, 1) != 5 {
+		t.Fatalf("At(2,1) = %v, want 5", cols.At(2, 1))
+	}
+	col := cols.Col(1)
+	col[0] = -1 // aliasing contract: Col writes are visible
+	if cols.At(0, 1) != -1 {
+		t.Fatalf("Col aliasing broken: At(0,1) = %v", cols.At(0, 1))
+	}
+	if cols.N() != 3 || cols.H() != 2 {
+		t.Fatalf("dims = %dx%d, want 3x2", cols.N(), cols.H())
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewRows negative", func() { NewRows(-1, 24) })
+	mustPanic("NewColumns negative", func() { NewColumns(2, -1) })
+	mustPanic("FillFromRows row count", func() {
+		NewColumns(2, 2).FillFromRows(make([][]float64, 3))
+	})
+	mustPanic("FillFromRows short row", func() {
+		NewColumns(1, 4).FillFromRows([][]float64{make([]float64, 2)})
+	})
+}

@@ -11,7 +11,17 @@ import (
 // 42), so each preset is Default(500, 42) tagged with the experiment's name.
 // Which experiment consumes the scenario is the front end's choice
 // (nmrepro -experiment); the preset pins the world it runs in.
-var presetNames = []string{"fig3", "fig4", "fig5", "fig6", "table1"}
+//
+// "scale500" is the sharded paper-scale world: the same Default(500, 42)
+// community solved hierarchically with 8 community shards (game.Config.Shards)
+// — the configuration the BENCH_scale.json customers-vs-ns/op curve is
+// recorded against. Sharding selects a deterministically different
+// equilibrium path, so scale500 has its own content ID, pinned by the golden
+// scenario tests alongside the flat presets.
+var presetNames = []string{"fig3", "fig4", "fig5", "fig6", "scale500", "table1"}
+
+// scale500Shards is the shard count of the scale500 preset.
+const scale500Shards = 8
 
 // Preset returns the named preset scenario, or an error listing the valid
 // names. The returned spec always validates.
@@ -20,6 +30,9 @@ func Preset(name string) (Spec, error) {
 		if p == name {
 			s := Default(500, 42)
 			s.Name = name
+			if name == "scale500" {
+				s.Game.Shards = scale500Shards
+			}
 			return s, nil
 		}
 	}

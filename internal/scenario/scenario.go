@@ -125,6 +125,12 @@ type Game struct {
 	// different equilibrium path, so a non-zero value is part of the content
 	// hash; omitempty keeps the IDs of every pre-existing spec unchanged.
 	ActiveTol float64 `json:"active_tol,omitempty"`
+	// Shards is the hierarchical-solve shard count (game.Config.Shards;
+	// <= 1 = the flat solver, the reference semantics, bitwise identical to
+	// every pre-existing spec). Like JacobiBlock it selects a
+	// deterministically different equilibrium path, so a value > 1 is part
+	// of the content hash; omitempty keeps pre-existing IDs unchanged.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Faults describes deterministic data-plane fault injection (package
@@ -291,7 +297,7 @@ func (s Spec) Validate() error {
 	if s.Game.Sweeps < 1 {
 		return fmt.Errorf("scenario: game sweeps %d must be positive", s.Game.Sweeps)
 	}
-	if s.Game.Workers < 0 || s.Game.JacobiBlock < 0 {
+	if s.Game.Workers < 0 || s.Game.JacobiBlock < 0 || s.Game.Shards < 0 {
 		return fmt.Errorf("scenario: negative parallelism knob")
 	}
 	if nonFinite(s.Game.ActiveTol) || s.Game.ActiveTol < 0 {
@@ -353,6 +359,7 @@ func (s Spec) CommunityConfig() community.Config {
 	c.Workers = s.Game.Workers
 	c.GameJacobiBlock = s.Game.JacobiBlock
 	c.GameActiveTol = s.Game.ActiveTol
+	c.Shards = s.Game.Shards
 	if s.Faults != nil {
 		c.Faults = s.Faults.lower(s.Seed)
 	}
@@ -377,6 +384,7 @@ func (s Spec) GameConfig(netMetering bool) game.Config {
 	cfg.Workers = s.Game.Workers
 	cfg.JacobiBlock = s.Game.JacobiBlock
 	cfg.ActiveTol = s.Game.ActiveTol
+	cfg.Shards = s.Game.Shards
 	return cfg
 }
 
@@ -421,6 +429,7 @@ func (s Spec) ExperimentsConfig() experiments.Config {
 		Workers:       s.Game.Workers,
 		JacobiBlock:   s.Game.JacobiBlock,
 		ActiveTol:     s.Game.ActiveTol,
+		Shards:        s.Game.Shards,
 	}
 	if s.Detector.FlagTau != 0.5 {
 		cfg.FlagTau = s.Detector.FlagTau

@@ -86,9 +86,10 @@ func TestDefaultSpecLowersToPackageDefaults(t *testing.T) {
 
 func TestPresetsReproduceRecordedHarnessConfig(t *testing.T) {
 	// The recorded seed-42 figures were produced with
-	// experiments.DefaultConfig(); every preset must lower to exactly that
-	// so `nmrepro -scenario fig6` stays byte-identical to the archive.
-	want := experiments.DefaultConfig()
+	// experiments.DefaultConfig(); every flat preset must lower to exactly
+	// that so `nmrepro -scenario fig6` stays byte-identical to the archive.
+	// scale500 is the one deliberate exception: it is the same world with the
+	// hierarchical solver's shard count set, and differs in nothing else.
 	for _, name := range PresetNames() {
 		spec, err := Preset(name)
 		if err != nil {
@@ -99,6 +100,10 @@ func TestPresetsReproduceRecordedHarnessConfig(t *testing.T) {
 		}
 		if err := spec.Validate(); err != nil {
 			t.Errorf("Preset(%q) invalid: %v", name, err)
+		}
+		want := experiments.DefaultConfig()
+		if name == "scale500" {
+			want.Shards = 8
 		}
 		if got := spec.ExperimentsConfig(); !reflect.DeepEqual(got, want) {
 			t.Errorf("Preset(%q).ExperimentsConfig diverges:\n got %+v\nwant %+v", name, got, want)

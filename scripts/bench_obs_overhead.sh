@@ -35,8 +35,9 @@ min_ns() {
 
 base=$(min_ns BenchmarkGameSolveParallel4) || { echo "obs-overhead: base benchmark missing" >&2; exit 1; }
 events=$(min_ns BenchmarkGameSolveParallel4Events) || { echo "obs-overhead: events benchmark missing" >&2; exit 1; }
+envinfo=$(go run scripts/envinfo.go)
 
-python3 - "$base" "$events" "$max_frac" "$out" <<'EOF'
+python3 - "$base" "$events" "$max_frac" "$out" "$envinfo" <<'EOF'
 import json, sys
 base, events, max_frac = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
 overhead = events / base - 1.0
@@ -48,6 +49,10 @@ result = {
     "max_frac": max_frac,
     "pass": overhead <= max_frac,
 }
+# Label the numbers with the environment they were measured under
+# (go version, GOMAXPROCS, NumCPU) so artifacts from different runners
+# are never compared blind.
+result.update(json.loads(sys.argv[5]))
 with open(sys.argv[4], "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")

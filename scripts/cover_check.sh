@@ -10,7 +10,7 @@
 set -eu
 
 FLOOR=${COVER_FLOOR:-70}
-PKGS="internal/dpsched internal/game internal/ceopt"
+PKGS="internal/dpsched internal/game internal/ceopt internal/meterstate"
 PROFILE=${COVER_PROFILE:-coverage.out}
 
 fail=0

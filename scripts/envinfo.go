@@ -1,0 +1,27 @@
+//go:build ignore
+
+// Command envinfo prints the execution-environment labels every recorded
+// BENCH_*.json artifact carries, as one JSON object on stdout:
+//
+//	{"go":"go1.24.0","goos":"linux","goarch":"amd64","gomaxprocs":1,"num_cpu":1}
+//
+// Shell harnesses (scripts/bench_obs_overhead.sh) merge this into their
+// output so benchmark numbers are never divorced from the parallelism they
+// were measured under. Run with: go run scripts/envinfo.go
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+func main() {
+	json.NewEncoder(os.Stdout).Encode(map[string]any{
+		"go":         runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"num_cpu":    runtime.NumCPU(),
+	})
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke
+.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke bench-fleet bench-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs ./internal/fleet
 
 panic-lint:
 	sh scripts/panic_lint.sh
@@ -57,3 +57,16 @@ bench-scale-smoke:
 	$(GO) test -run 'TestWriteBenchScale$$' . -args -bench-scale-out bench_scale_smoke.json -bench-scale-sizes 8,16,32
 	test -s bench_scale_smoke.json
 	rm -f bench_scale_smoke.json
+
+# Regenerate BENCH_fleet.json: the total-meters-vs-ns/op curve of the fleet
+# day loop, ending at 10k meters (20 communities of 500). TestWriteBenchFleet
+# fails the run if the curve is not monotone in total meters or grows
+# quadratically or worse.
+bench-fleet:
+	$(GO) test -run 'TestWriteBenchFleet$$' -v -timeout 60m . -args -bench-fleet-out BENCH_fleet.json -bench-fleet-shapes 2x500,8x500,20x500
+
+# CI smoke for the fleet curve: tiny shapes, same harness and assertions.
+bench-fleet-smoke:
+	$(GO) test -run 'TestWriteBenchFleet$$' . -args -bench-fleet-out bench_fleet_smoke.json -bench-fleet-shapes 2x8,4x8,8x8
+	test -s bench_fleet_smoke.json
+	rm -f bench_fleet_smoke.json

@@ -33,6 +33,7 @@ import (
 	"nmdetect/internal/detect"
 	"nmdetect/internal/dpsched"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/fleet"
 	"nmdetect/internal/forecast"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
@@ -369,6 +370,157 @@ func TestWriteBenchScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Printf("bench-scale: wrote %d points to %s\n", len(curve), *benchScaleOut)
+}
+
+// --- Fleet curve (BENCH_fleet.json) --------------------------------------
+
+var (
+	benchFleetOut = flag.String("bench-fleet-out", "",
+		"write the total-meters-vs-ns/op fleet curve to this JSON path (empty = skip TestWriteBenchFleet)")
+	benchFleetShapes = flag.String("bench-fleet-shapes", "2x500,8x500,20x500",
+		"comma-separated FxN fleet shapes (F communities of N meters) for the fleet curve")
+)
+
+// benchFleetEngines builds one engine per community for an FxN fleet point:
+// fleet-derived seeds, the sharded solver at scaleShards(n), MaxSweeps 2 —
+// the same per-community configuration the scale curve runs flat.
+func benchFleetEngines(tb testing.TB, f, n int) []*community.Engine {
+	tb.Helper()
+	engines := make([]*community.Engine, f)
+	for i := range engines {
+		cfg := community.DefaultConfig(n, fleet.CommunitySeed(42, i))
+		cfg.GameSweeps = 2
+		cfg.Shards = scaleShards(n)
+		eng, err := community.NewEngine(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	return engines
+}
+
+// benchmarkFleetSimDay is one point of the fleet curve: one shared fleet
+// tick (fleet.SimDay — every community prepares and simulates one
+// net-metering day) over F communities of n meters. Engines are built
+// outside the timer; the op is the steady-state day loop.
+func benchmarkFleetSimDay(b *testing.B, f, n int) {
+	engines := benchFleetEngines(b, f, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.SimDay(context.Background(), 0, engines, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetSimDay2x100(b *testing.B) { benchmarkFleetSimDay(b, 2, 100) }
+func BenchmarkFleetSimDay4x100(b *testing.B) { benchmarkFleetSimDay(b, 4, 100) }
+
+// TestWriteBenchFleet runs the fleet day loop at the shapes given by
+// -bench-fleet-shapes (FxN = F communities of N meters) and writes
+// BENCH_fleet.json-shaped output to -bench-fleet-out, labelled with the
+// execution environment. It fails if ns/op is not monotone in total meters
+// or grows quadratically or worse from the first shape to the last — the
+// fleet exists precisely so total meters scale by adding communities, each
+// solved at its own bounded size. `make bench-fleet` records the paper curve
+// (the last shape is 10k meters); `make bench-fleet-smoke` runs tiny shapes
+// as a CI guard. Skipped unless -bench-fleet-out is set.
+func TestWriteBenchFleet(t *testing.T) {
+	if *benchFleetOut == "" {
+		t.Skip("set -bench-fleet-out to record the fleet curve")
+	}
+	type shape struct{ f, n int }
+	var shapes []shape
+	for _, entry := range strings.Split(*benchFleetShapes, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), "x", 2)
+		if len(parts) != 2 {
+			t.Fatalf("bad -bench-fleet-shapes entry %q (want FxN)", entry)
+		}
+		f, err1 := strconv.Atoi(parts[0])
+		n, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || f < 1 || n < 4 {
+			t.Fatalf("bad -bench-fleet-shapes entry %q (want FxN)", entry)
+		}
+		shapes = append(shapes, shape{f, n})
+	}
+
+	type point struct {
+		Communities int     `json:"communities"`
+		Size        int     `json:"size"`
+		TotalMeters int     `json:"total_meters"`
+		Shards      int     `json:"shards"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesOp     int64   `json:"bytes_per_op"`
+		AllocsOp    int64   `json:"allocs_per_op"`
+		NsPerMeter  float64 `json:"ns_per_meter"`
+	}
+	var curve []point
+	for _, s := range shapes {
+		s := s
+		r := testing.Benchmark(func(b *testing.B) { benchmarkFleetSimDay(b, s.f, s.n) })
+		p := point{
+			Communities: s.f,
+			Size:        s.n,
+			TotalMeters: s.f * s.n,
+			Shards:      scaleShards(s.n),
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesOp:     r.AllocedBytesPerOp(),
+			AllocsOp:    r.AllocsPerOp(),
+			NsPerMeter:  float64(r.NsPerOp()) / float64(s.f*s.n),
+		}
+		curve = append(curve, p)
+		t.Logf("%dx%d (%d meters): %.0f ns/op (%.0f ns/meter)",
+			p.Communities, p.Size, p.TotalMeters, p.NsPerOp, p.NsPerMeter)
+	}
+
+	// Same shape guards as the scale curve: monotone in total meters with a
+	// 5% noise margin, and sub-quadratic end to end.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TotalMeters <= curve[i-1].TotalMeters {
+			t.Fatalf("-bench-fleet-shapes must grow in total meters: %d then %d",
+				curve[i-1].TotalMeters, curve[i].TotalMeters)
+		}
+		if curve[i].NsPerOp <= curve[i-1].NsPerOp*0.95 {
+			t.Errorf("curve not monotone: %d meters at %.0f ns/op <= %d meters at %.0f ns/op",
+				curve[i].TotalMeters, curve[i].NsPerOp, curve[i-1].TotalMeters, curve[i-1].NsPerOp)
+		}
+	}
+	var growth float64
+	if len(curve) >= 2 {
+		first, last := curve[0], curve[len(curve)-1]
+		mRatio := float64(last.TotalMeters) / float64(first.TotalMeters)
+		growth = last.NsPerOp / first.NsPerOp
+		if growth >= mRatio*mRatio {
+			t.Errorf("ns/op growth %.1fx over a %.1fx meter increase is quadratic or worse", growth, mRatio)
+		}
+	}
+
+	out := map[string]any{
+		"description": "Total-meters-vs-ns/op curve for the fleet day loop: one fleet.SimDay " +
+			"tick per op over F communities of N meters each (fleet-derived seeds, MaxSweeps-2 " +
+			"net-metering days, shards ~= N/64 per community). Regenerate with `make bench-fleet`.",
+		"go":          runtime.Version(),
+		"goos":        runtime.GOOS,
+		"goarch":      runtime.GOARCH,
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"num_cpu":     runtime.NumCPU(),
+		"curve":       curve,
+		"growth_frac": growth,
+	}
+	f, err := os.Create(*benchFleetOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-fleet: wrote %d points to %s\n", len(curve), *benchFleetOut)
 }
 
 // BenchmarkGameSolveParallel4Events is the observability overhead guard: the

@@ -6,6 +6,7 @@
 //
 //	nmattack [-attack zero|scale|invert] [-from 16] [-to 17] [-factor 0.5]
 //	         [-n 500] [-prob 0.25] [-batchlo 5] [-batchhi 20] [-hours 48] [-seed 1]
+//	         [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"nmdetect/internal/attack"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/tariff"
 	"nmdetect/internal/timeseries"
@@ -31,8 +33,24 @@ func main() {
 		batchHi = flag.Int("batchhi", 20, "max meters per compromise batch")
 		hours   = flag.Int("hours", 48, "campaign length in slots")
 		seed    = flag.Uint64("seed", 1, "campaign seed")
+		events  = flag.String("events", "", "write a JSONL run-event stream to this file")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := obs.Setup(obs.RunConfig{
+		Cmd: "nmattack", EventsPath: *events, PprofAddr: *pprofA,
+		CPUProfile: *cpuProf, MemProfile: *memProf, Seed: *seed,
+	}); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmattack:", err)
+		}
+	}()
 
 	var atk attack.Attack
 	switch *atkStr {
@@ -73,12 +91,14 @@ func main() {
 		fatal(err)
 	}
 	src := rng.New(*seed)
+	endCampaign := obs.Default().Span("attack.campaign")
 	fmt.Println("\n# campaign trace")
 	fmt.Println("hour,newly_hacked,total_hacked")
 	for t := 0; t < *hours; t++ {
 		newly := camp.Step(src)
 		fmt.Printf("%d,%d,%d\n", t, newly, camp.Count())
 	}
+	endCampaign()
 }
 
 func dayShape(h int) float64 {
@@ -93,6 +113,8 @@ func dayShape(h int) float64 {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred calls; flush profiles and the event sink here.
+	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmattack:", err)
 	os.Exit(1)
 }

@@ -6,22 +6,32 @@
 //
 //	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
+//	         [-communities 1] [-fleet-workers 0] [-fleet-report fleet.json] [-fleet-checkpoint dir]
 //	         [-scenario file.json|preset] [-dump-scenario]
 //	         [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
 //	         [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -scenario, the world is described by a scenario spec — a preset name
 // or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
-// -workers, -jacobi, -boot, -solver) are ignored; -detector and -noenforce
-// still apply. -dump-scenario prints the effective spec as JSON to stdout
-// (and its content ID to stderr) and exits. SIGINT/SIGTERM cancel the build
-// and the monitoring loop at the next sweep/day boundary.
+// -workers, -jacobi, -boot, -solver, -communities) are ignored; -detector
+// and -noenforce still apply. -dump-scenario prints the effective spec as
+// JSON to stdout (and its content ID to stderr) and exits. SIGINT/SIGTERM
+// cancel the build and the monitoring loop at the next sweep/day boundary.
 //
 // With -checkpoint, the monitoring state is snapshotted to the given file
 // every -checkpoint-every days; a killed run restarted with the same flags
 // plus -resume continues from the snapshot and produces bit-for-bit the
 // output of an uninterrupted run. Without -resume an existing checkpoint is
 // an error (stale state is never silently reused).
+//
+// With -communities F >= 2 (or a scenario fleet block), the run is a fleet:
+// F independent communities of -n meters each, seeded by label derivation
+// from the base seed, monitored through a shared day loop and aggregated
+// into a per-community table plus rollup on stdout (-fleet-report also
+// writes it as JSON). -fleet-workers bounds the fleet fan-out and never
+// affects results. -fleet-checkpoint names a directory holding one
+// checkpoint per community plus a fleet manifest; kill/-resume semantics
+// match the single-community path.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
+	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/scenario"
 )
@@ -53,6 +64,10 @@ func main() {
 		detector = flag.String("detector", "aware", "aware|blind")
 		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
 		noEnf    = flag.Bool("noenforce", false, "observe only, never repair")
+		comms    = flag.Int("communities", 1, "fleet width: independent communities of -n meters each (>= 2 selects the fleet path)")
+		fleetW   = flag.Int("fleet-workers", 0, "fleet-level worker budget (0 = all cores; execution-only, never affects results)")
+		fleetRep = flag.String("fleet-report", "", "also write the fleet report as JSON to this file")
+		fleetCk  = flag.String("fleet-checkpoint", "", "checkpoint directory for a fleet run (one file per community + manifest)")
 		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
 		dumpScen = flag.Bool("dump-scenario", false, "print the effective scenario spec as JSON and exit")
 		ckpt     = flag.String("checkpoint", "", "checkpoint file for the monitoring run (empty = no checkpointing)")
@@ -77,6 +92,9 @@ func main() {
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
 	spec.Detector.Solver = *solver
+	if *comms > 1 {
+		spec.Fleet = &scenario.Fleet{Communities: *comms}
+	}
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {
@@ -106,6 +124,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nmdetect:", err)
 		}
 	}()
+
+	if spec.FleetCommunities() > 1 {
+		runFleet(ctx, spec, *detector, !*noEnf, *fleetW, *fleetRep, *fleetCk, *ckptK, *resume)
+		return
+	}
+	if *fleetRep != "" || *fleetCk != "" {
+		fatal(fmt.Errorf("-fleet-report/-fleet-checkpoint need a fleet (-communities >= 2 or a scenario fleet block)"))
+	}
 
 	opts, err := spec.CoreOptions()
 	if err != nil {
@@ -171,6 +197,56 @@ func main() {
 		kit.Name, 100*core.ObservationAccuracy(results), core.RealizedPAR(results), core.TotalInspections(results))
 	fmt.Fprintf(os.Stderr, "nmdetect: %d intrusion episodes, mean detection delay %.1f slots (-1 = never answered: %v)\n",
 		len(delays), meanDelay, delays)
+}
+
+// runFleet is the multi-community path: lower the spec into a fleet
+// configuration, run the shared day loop and print the per-community table
+// plus rollup.
+func runFleet(ctx context.Context, spec scenario.Spec, detector string, enforce bool, fleetWorkers int, reportPath, ckptDir string, ckptEvery int, resume bool) {
+	fcfg, err := spec.FleetConfig()
+	if err != nil {
+		fatal(err)
+	}
+	switch detector {
+	case "aware":
+		fcfg.Detector = fleet.DetectorAware
+	case "blind":
+		fcfg.Detector = fleet.DetectorBlind
+	default:
+		fatal(fmt.Errorf("unknown detector %q", detector))
+	}
+	fcfg.Enforce = enforce
+	fcfg.Workers = fleetWorkers
+	fcfg.CheckpointDir = ckptDir
+	fcfg.CheckpointEvery = ckptEvery
+	if resume && ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -fleet-checkpoint in fleet mode"))
+	}
+	if ckptDir != "" && !resume && checkpoint.Exists(fleet.ManifestPath(ckptDir)) {
+		fatal(fmt.Errorf("fleet checkpoint dir %s already holds a run; pass -resume to continue it or remove it", ckptDir))
+	}
+	fmt.Fprintf(os.Stderr, "nmdetect: building fleet of %d communities x %d meters = %d meters...\n",
+		fcfg.Communities, fcfg.Size, fcfg.Communities*fcfg.Size)
+	rep, err := fleet.Run(ctx, fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

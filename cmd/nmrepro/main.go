@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations] [-n 500]
+//	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations|fleet] [-n 500]
 //	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2] [-workers 0] [-jacobi 0]
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
+//	        [-communities 1] [-fleet-workers 0]
 //	        [-scenario file.json|preset] [-dump-scenario]
 //	        [-checkpoint run.ckpt] [-resume]
 //	        [-report out.md] [-json out.json]
@@ -13,6 +14,13 @@
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
 // forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
+//
+// The "fleet" experiment runs the scenario as a multi-community fleet
+// (-communities F >= 2 or a scenario fleet block): F independent
+// communities of -n meters monitored with the net-metering-aware detector
+// through the shared day loop, rendered as a per-community table plus
+// rollup; -json writes the fleet report. -fleet-workers bounds the fleet
+// fan-out and never affects results.
 //
 // With -scenario, the world is described by a scenario spec — a preset name
 // (fig3, fig4, fig5, fig6, table1) or a JSON file — and the per-knob flags
@@ -45,6 +53,7 @@ import (
 
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/experiments"
+	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/scenario"
 	"nmdetect/internal/timeseries"
@@ -64,7 +73,9 @@ type reproState struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|table1|all")
+		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|table1|ablations|fleet|all")
+		comms      = flag.Int("communities", 1, "fleet width for -experiment fleet (independent communities of -n meters each)")
+		fleetW     = flag.Int("fleet-workers", 0, "fleet-level worker budget (0 = all cores; execution-only, never affects results)")
 		n          = flag.Int("n", 500, "community size (customers)")
 		seed       = flag.Uint64("seed", 42, "experiment seed")
 		boot       = flag.Int("boot", 6, "bootstrap (training) days")
@@ -101,6 +112,9 @@ func main() {
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
 	spec.Detector.Solver = *solver
+	if *comms > 1 {
+		spec.Fleet = &scenario.Fleet{Communities: *comms}
+	}
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {
@@ -139,6 +153,14 @@ func main() {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *experiment == "fleet" {
+		if *ckpt != "" || *resume {
+			fatal(fmt.Errorf("-experiment fleet keeps no repro checkpoint; use nmdetect -fleet-checkpoint for resumable fleet runs"))
+		}
+		runFleetRepro(ctx, spec, cfg, *fleetW, *jsonPath)
+		return
 	}
 
 	state := reproState{ScenarioID: spec.ID()}
@@ -293,6 +315,31 @@ func main() {
 			{ID: "table1", Quantity: "PAR NM-aware detection", Paper: 1.4112, Measured: t1.Aware.PAR},
 			{ID: "table1", Quantity: "normalized labor (aware)", Paper: 1.0067, Measured: t1.Aware.LaborCost},
 		})
+	}
+}
+
+// runFleetRepro runs the multi-community fleet experiment: the scenario's
+// world replicated across the fleet width, monitored with the aware
+// detector, aggregated per community plus rollup.
+func runFleetRepro(ctx context.Context, spec scenario.Spec, cfg experiments.Config, fleetWorkers int, jsonPath string) {
+	communities := spec.FleetCommunities()
+	if communities < 2 {
+		fatal(fmt.Errorf("-experiment fleet needs a fleet: pass -communities >= 2 or a scenario fleet block"))
+	}
+	fmt.Printf("== Fleet: %d communities x %d meters, %d monitored days ==\n",
+		communities, cfg.N, cfg.MonitorDays)
+	rep, err := experiments.Fleet(ctx, cfg, communities, fleet.DetectorAware, fleetWorkers)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if jsonPath != "" {
+		if err := writeReport(jsonPath, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nJSON fleet report written to %s\n", jsonPath)
 	}
 }
 

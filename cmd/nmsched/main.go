@@ -9,6 +9,7 @@
 // Usage:
 //
 //	nmsched -spec household.json [-price price.csv] [-pv-scale 1.0] [-seed 1]
+//	        [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
+	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/solar"
 	"nmdetect/internal/tariff"
@@ -35,8 +37,24 @@ func main() {
 		pricePath = flag.String("price", "", "price CSV 'slot,price' (default: built-in TOU shape)")
 		pvScale   = flag.Float64("pv-scale", 1.0, "clear-sky PV scale for the day")
 		seed      = flag.Uint64("seed", 1, "controller seed")
+		events    = flag.String("events", "", "write a JSONL run-event stream to this file")
+		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := obs.Setup(obs.RunConfig{
+		Cmd: "nmsched", EventsPath: *events, PprofAddr: *pprofA,
+		CPUProfile: *cpuProf, MemProfile: *memProf, Seed: *seed, Workers: 1,
+	}); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmsched:", err)
+		}
+	}()
 
 	if *specPath == "" {
 		fatal(fmt.Errorf("-spec is required"))
@@ -148,6 +166,8 @@ func loadPrice(path string) (timeseries.Series, error) {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred calls; flush profiles and the event sink here.
+	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmsched:", err)
 	os.Exit(1)
 }

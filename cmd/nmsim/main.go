@@ -6,12 +6,23 @@
 //
 //	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
+//	      [-communities 1] [-fleet-workers 0]
 //	      [-scenario file.json|preset] [-dump-scenario]
 //	      [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
 //	      [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With an attack selected, every meter is compromised on the final day and
 // the realized (attacked) trace is printed for that day.
+//
+// With -communities F >= 2 (or a scenario fleet block), the simulation is a
+// fleet of F independent communities of -n meters each, seeded by label
+// derivation from the base seed and advanced through a shared day loop
+// (-fleet-workers bounds the fan-out; it never affects results). Traces are
+// written per community: to stdout as sections separated by "# community"
+// comment lines, or — with -o trace.csv — to one file per community
+// (trace.c000.csv, trace.c001.csv, ...). Fleet mode simulates clean
+// open-loop days only; -attack, -checkpoint and -history apply to the
+// single-community path.
 //
 // With -scenario, the world is described by a scenario spec — a preset name
 // or a JSON file — and the world-config flags (-n, -seed, -days, -sweeps,
@@ -32,11 +43,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 
 	"nmdetect/internal/attack"
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/community"
+	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/scenario"
@@ -66,6 +80,8 @@ func main() {
 		from     = flag.Int("from", 16, "attack window start slot")
 		to       = flag.Int("to", 17, "attack window end slot")
 		factor   = flag.Float64("factor", 0.5, "scale attack factor")
+		comms    = flag.Int("communities", 1, "fleet width: independent communities of -n meters each (>= 2 selects the fleet path)")
+		fleetW   = flag.Int("fleet-workers", 0, "fleet-level worker budget (0 = all cores; execution-only, never affects results)")
 		out      = flag.String("o", "", "write the trace to this file instead of stdout")
 		histFile = flag.String("history", "", "also write the forecaster-training history CSV here")
 		scenRef  = flag.String("scenario", "", "scenario preset name or JSON file (overrides the world-config flags)")
@@ -93,6 +109,9 @@ func main() {
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
 	spec.Attack = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
+	if *comms > 1 {
+		spec.Fleet = &scenario.Fleet{Communities: *comms}
+	}
 	campaignWanted := *atkStr != "none"
 	if *scenRef != "" {
 		var err error
@@ -124,6 +143,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nmsim:", err)
 		}
 	}()
+
+	netMeteringFleet := !*noNM
+	if spec.FleetCommunities() > 1 {
+		if campaignWanted || *ckpt != "" || *resume || *histFile != "" {
+			fatal(fmt.Errorf("fleet mode (-communities >= 2) simulates clean open-loop days; -attack, -checkpoint, -resume and -history need a single community"))
+		}
+		runFleetSim(ctx, spec, netMeteringFleet, *fleetW, *out)
+		return
+	}
 
 	engine, err := spec.NewEngine()
 	if err != nil {
@@ -225,6 +253,72 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runFleetSim drives a fleet of engines through the shared open-loop day
+// loop and writes one trace per community.
+func runFleetSim(ctx context.Context, spec scenario.Spec, netMetering bool, workers int, out string) {
+	f := spec.FleetCommunities()
+	engines := make([]*community.Engine, f)
+	for i := range engines {
+		eng, err := spec.CommunitySpec(i).NewEngine()
+		if err != nil {
+			fatal(fmt.Errorf("community %d: %w", i, err))
+		}
+		engines[i] = eng
+	}
+	rows := make([][]traceio.Row, f)
+	for d := 0; d < spec.Horizon.SimDays; d++ {
+		res, err := fleet.SimDay(ctx, workers, engines, netMetering)
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range res {
+			for h := 0; h < 24; h++ {
+				rows[i] = append(rows[i], traceio.Row{
+					Day:        d,
+					Slot:       h,
+					Price:      r.Env.Published[h],
+					Renewable:  r.Env.Renewable[h],
+					Load:       r.Trace.Load[h],
+					GridDemand: r.Trace.GridDemand[h],
+					Hacked:     r.Trace.TrueHacked[h],
+				})
+			}
+		}
+	}
+	if out == "" {
+		for i := range rows {
+			fmt.Printf("# community %03d seed=%d\n", i, fleet.CommunitySeed(spec.Seed, i))
+			if err := traceio.WriteTrace(os.Stdout, rows[i]); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	for i := range rows {
+		path := communityOut(out, i)
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := traceio.WriteTrace(fh, rows[i]); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nmsim: wrote %d community traces (%s .. %s)\n",
+		f, communityOut(out, 0), communityOut(out, f-1))
+}
+
+// communityOut inserts the community index before the extension:
+// trace.csv -> trace.c007.csv.
+func communityOut(out string, i int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.c%03d%s", strings.TrimSuffix(out, ext), i, ext)
 }
 
 func fatal(err error) {

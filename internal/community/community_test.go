@@ -3,6 +3,7 @@ package community
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"nmdetect/internal/attack"
@@ -552,5 +553,13 @@ func TestConfigValidateParallelKnobs(t *testing.T) {
 	bad.GameJacobiBlock = -1
 	if err := bad.Validate(); err == nil {
 		t.Error("negative Jacobi block accepted")
+	}
+	// The hierarchical solver partitions customers into shards; a 1-customer
+	// community has nothing to partition and used to panic in the shard
+	// planner. Validation must route the error instead.
+	bad = DefaultConfig(1, 1)
+	bad.Shards = 4
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "at least 2 customers") {
+		t.Errorf("1-customer hierarchical config: %v, want routed rejection", err)
 	}
 }

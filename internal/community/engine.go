@@ -156,6 +156,12 @@ func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("community: negative shard count %d", c.Shards)
 	}
+	if c.Shards > 1 && c.N < 2 {
+		// The sharded game solver partitions customers and assumes n > 1
+		// (game.ShardPlan); reject the 1-customer edge here with a routed
+		// error instead of relying on the solver's silent flat fallback.
+		return fmt.Errorf("community: hierarchical solve (%d shards) needs at least 2 customers, got %d", c.Shards, c.N)
+	}
 	if math.IsNaN(c.Tariff.W) || math.IsInf(c.Tariff.W, 0) || c.Tariff.W < 1 {
 		return fmt.Errorf("community: tariff sell-back divisor W=%v must be >= 1 and finite", c.Tariff.W)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"nmdetect/internal/attack"
 	"nmdetect/internal/checkpoint"
@@ -42,66 +41,14 @@ type MonitorState struct {
 // the recorded day instead of starting over. An empty path degrades to plain
 // MonitorDays. A resumed run returns the full result slice — recorded days
 // plus freshly monitored ones — identical to what an uninterrupted run would
-// have produced.
+// have produced. The restore guards and day loop live in Runner; this is a
+// thin wrapper kept for the established call sites.
 func (s *System) MonitorDaysCheckpointed(ctx context.Context, kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool, path string, every int) ([]*community.MonitorDayResult, error) {
-	if path == "" {
-		return s.MonitorDays(ctx, kit, camp, days, enforce)
+	r, err := s.NewRunner(kit, camp, enforce, path, every)
+	if err != nil {
+		return nil, err
 	}
-	if days < 1 {
-		return nil, fmt.Errorf("core: days %d must be positive", days)
-	}
-	if every < 1 {
-		every = 1
-	}
-	start := 0
-	var results []*community.MonitorDayResult
-	if checkpoint.Exists(path) {
-		var st MonitorState
-		if err := checkpoint.Load(path, MonitorKind, &st); err != nil {
-			return nil, err
-		}
-		if st.KitName != kit.Name {
-			return nil, fmt.Errorf("core: checkpoint was taken with kit %q, resuming with %q", st.KitName, kit.Name)
-		}
-		if st.Enforce != enforce {
-			return nil, fmt.Errorf("core: checkpoint was taken with enforce=%v, resuming with %v", st.Enforce, enforce)
-		}
-		if st.Completed > days {
-			return nil, fmt.Errorf("core: checkpoint already holds %d days, requested only %d", st.Completed, days)
-		}
-		if st.Completed != len(st.Results) {
-			return nil, fmt.Errorf("core: checkpoint inconsistent: %d days recorded, %d results", st.Completed, len(st.Results))
-		}
-		if err := s.Engine.RestoreState(st.Engine); err != nil {
-			return nil, fmt.Errorf("core: resume engine: %w", err)
-		}
-		if err := camp.Restore(st.Campaign); err != nil {
-			return nil, fmt.Errorf("core: resume campaign: %w", err)
-		}
-		if err := kit.RestoreState(st.Kit, s.opts.Community.N); err != nil {
-			return nil, fmt.Errorf("core: resume kit: %w", err)
-		}
-		start = st.Completed
-		results = st.Results
-	}
-	for d := start; d < days; d++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		res, err := s.Engine.MonitorDay(ctx, kit, camp, s.Buckets, enforce)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-		if (d+1)%every == 0 || d+1 == days {
-			if err := s.saveMonitor(path, kit, camp, enforce, results); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return results, nil
+	return r.Run(ctx, days)
 }
 
 func (s *System) saveMonitor(path string, kit *community.DetectorKit, camp *attack.Campaign, enforce bool, results []*community.MonitorDayResult) error {

@@ -266,24 +266,13 @@ func (s *System) NewCampaign() (*attack.Campaign, error) {
 // campaign; enforce controls whether inspect actions repair the fleet. The
 // context is checked before every day in addition to the per-solve
 // granularity inside; the days completed before cancellation are discarded.
+// A thin wrapper over a checkpoint-free Runner.
 func (s *System) MonitorDays(ctx context.Context, kit *community.DetectorKit, camp *attack.Campaign, days int, enforce bool) ([]*community.MonitorDayResult, error) {
-	if days < 1 {
-		return nil, fmt.Errorf("core: days %d must be positive", days)
+	r, err := s.NewRunner(kit, camp, enforce, "", 1)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]*community.MonitorDayResult, 0, days)
-	for d := 0; d < days; d++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		res, err := s.Engine.MonitorDay(ctx, kit, camp, s.Buckets, enforce)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	return r.Run(ctx, days)
 }
 
 // ObservationAccuracy is the Figure-6 metric: the fraction of monitored

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"nmdetect/internal/fleet"
+	"nmdetect/internal/obs"
+)
+
+// Fleet runs the harness configuration as a multi-community fleet:
+// `communities` independent communities of cfg.N meters each, seeded from
+// cfg.Seed by label derivation, monitored for cfg.MonitorDays with the
+// chosen detector (fleet.DetectorAware or fleet.DetectorBlind) and
+// enforcement on, and aggregated into a fleet report. fleetWorkers bounds
+// the fleet-level fan-out and — like every Workers knob — never affects
+// results.
+func Fleet(ctx context.Context, cfg Config, communities int, detector string, fleetWorkers int) (*fleet.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if communities < 1 {
+		return nil, fmt.Errorf("experiments: fleet of %d communities, need at least 1", communities)
+	}
+	sink := obs.From(ctx)
+	defer sink.Span("experiments.fleet")()
+	fc := fleet.Config{
+		Communities: communities,
+		Size:        cfg.N,
+		BaseSeed:    cfg.Seed,
+		Base:        cfg.options(),
+		Detector:    detector,
+		Days:        cfg.MonitorDays,
+		Enforce:     true,
+		Workers:     fleetWorkers,
+	}
+	return fleet.Run(ctx, fc)
+}

@@ -1,0 +1,302 @@
+// Package fleet orchestrates a fleet of independent communities — the
+// horizontal scale axis. Instead of growing one community game past the
+// sizes where its Nash fixed point stays well-conditioned, a fleet runs F
+// bounded communities side by side: every community owns its engine,
+// detector kits, campaign and checkpoint (a core.Runner), and a shared day
+// loop advances them in lockstep, fanned out over internal/parallel.
+//
+// Contract (DESIGN.md §12):
+//
+//   - Seeding: community i simulates under the seed derived from the fleet
+//     base seed with the label "fleet-community-i" (CommunitySeed).
+//     Derivation never advances the parent, so communities are mutually
+//     independent and individually reproducible — community i alone can be
+//     re-run from its derived seed.
+//   - Worker invariance: Config.Workers bounds the fan-out only. Every
+//     community's state advances exclusively under its own runner and every
+//     fan-out writes to its own slot, so fleet results are bitwise invariant
+//     to the worker count and the schedule — the same contract as the game
+//     and engine layers.
+//   - Hand-off: with a checkpoint directory, community i persists to
+//     community-NNN.ckpt in the core.MonitorState format — exactly the
+//     single-community format, so a community can be lifted out of a fleet
+//     and resumed (or inspected) by the direct path. A fleet manifest pins
+//     the fleet shape the directory belongs to.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nmdetect/internal/checkpoint"
+	"nmdetect/internal/core"
+	"nmdetect/internal/obs"
+	"nmdetect/internal/parallel"
+	"nmdetect/internal/rng"
+)
+
+// Detector kit selectors.
+const (
+	// DetectorAware monitors with the net-metering-aware kit (the paper's).
+	DetectorAware = "aware"
+	// DetectorBlind monitors with the NM-blind baseline kit.
+	DetectorBlind = "blind"
+)
+
+// ManifestKind is the checkpoint payload kind of the fleet manifest.
+const ManifestKind = "fleet-run"
+
+// Config describes a fleet run: Communities independent communities of Size
+// meters each, every community seeded from BaseSeed by label derivation and
+// driven through a shared day loop.
+type Config struct {
+	// Communities is the fleet width F (>= 1).
+	Communities int
+	// Size is every community's meter count. Sizes below 2 are rejected:
+	// the scheduling game is a game between customers (the sharded solver's
+	// partition assumes n > 1), and a 1-meter "community" has no community
+	// game to detect against.
+	Size int
+	// BaseSeed seeds the fleet; community i runs under
+	// CommunitySeed(BaseSeed, i).
+	BaseSeed uint64
+	// Base is the per-community option template. Community.N and
+	// Community.Seed are overwritten per community (CommunityOptions);
+	// everything else — tariff, noise, detector thresholds, campaign
+	// dynamics, solver budgets — applies to every community alike.
+	Base core.Options
+	// Detector picks the kit each community monitors with: DetectorAware
+	// or DetectorBlind.
+	Detector string
+	// Days is the shared monitoring horizon.
+	Days int
+	// Enforce controls whether inspect actions repair compromised meters.
+	Enforce bool
+	// Workers bounds the fleet-level fan-out (0 = all cores). Execution
+	// only: results are bitwise invariant to it.
+	Workers int
+	// CheckpointDir, when non-empty, holds one checkpoint file per
+	// community (community-NNN.ckpt, the core.MonitorState format) plus the
+	// fleet manifest; communities with an existing file resume from it.
+	CheckpointDir string
+	// CheckpointEvery is the per-community checkpoint cadence in days
+	// (minimum 1).
+	CheckpointEvery int
+}
+
+// Validate checks the fleet shape. The per-community option template is
+// validated by core.NewSystem during Build.
+func (c Config) Validate() error {
+	if c.Communities < 1 {
+		return fmt.Errorf("fleet: %d communities, need at least 1", c.Communities)
+	}
+	if c.Size < 2 {
+		return fmt.Errorf("fleet: community size %d too small: the scheduling game needs at least 2 customers", c.Size)
+	}
+	if c.Days < 1 {
+		return fmt.Errorf("fleet: days %d must be positive", c.Days)
+	}
+	switch c.Detector {
+	case DetectorAware, DetectorBlind:
+	default:
+		return fmt.Errorf("fleet: unknown detector %q (want %q or %q)", c.Detector, DetectorAware, DetectorBlind)
+	}
+	return nil
+}
+
+// CommunitySeed derives community i's seed from the fleet base seed. Label
+// derivation (rng.Source.Derive) never advances the parent, so the seeds
+// are a pure function of (base, i): well-separated streams per community,
+// no coupling to the fleet width or to anything the fleet executes.
+func CommunitySeed(base uint64, i int) uint64 {
+	return rng.New(base).Derive(fmt.Sprintf("fleet-community-%d", i)).State()
+}
+
+// CommunityOptions is the option set community i runs under: the Base
+// template with the community size and the derived seed installed.
+func (c Config) CommunityOptions(i int) core.Options {
+	opts := c.Base
+	opts.Community.N = c.Size
+	opts.Community.Seed = CommunitySeed(c.BaseSeed, i)
+	return opts
+}
+
+// CommunityCheckpoint is community i's checkpoint file under dir.
+func CommunityCheckpoint(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("community-%03d.ckpt", i))
+}
+
+// ManifestPath is the fleet manifest file under dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, "fleet.ckpt") }
+
+// Manifest pins the fleet shape a checkpoint directory belongs to. Resuming
+// under a different shape (width, size, seed, detector or enforce setting)
+// is refused instead of silently splicing two different fleets.
+type Manifest struct {
+	Communities int
+	Size        int
+	BaseSeed    uint64
+	Detector    string
+	Enforce     bool
+}
+
+func (c Config) manifest() Manifest {
+	return Manifest{
+		Communities: c.Communities,
+		Size:        c.Size,
+		BaseSeed:    c.BaseSeed,
+		Detector:    c.Detector,
+		Enforce:     c.Enforce,
+	}
+}
+
+// checkManifest writes the manifest on a fresh directory and verifies it on
+// an existing one.
+func (c Config) checkManifest() error {
+	path := ManifestPath(c.CheckpointDir)
+	if !checkpoint.Exists(path) {
+		m := c.manifest()
+		return checkpoint.Save(path, ManifestKind, &m)
+	}
+	var m Manifest
+	if err := checkpoint.Load(path, ManifestKind, &m); err != nil {
+		return err
+	}
+	if m != c.manifest() {
+		return fmt.Errorf("fleet: checkpoint dir %s was taken with fleet %+v, resuming with %+v", c.CheckpointDir, m, c.manifest())
+	}
+	return nil
+}
+
+// Build constructs (or restores) one runner per community, fanning the
+// offline phase (bootstrap, training, calibration, policy solve) out over
+// the shared pool. Runner i is built from CommunityOptions(i); with a
+// checkpoint directory, community i resumes from its own file when present
+// — the per-community hand-off format is exactly core.MonitorState.
+func Build(ctx context.Context, cfg Config) ([]*core.Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+		if err := cfg.checkManifest(); err != nil {
+			return nil, err
+		}
+	}
+	sink := obs.From(ctx)
+	end := sink.Span("fleet.build")
+	defer end()
+	runners := make([]*core.Runner, cfg.Communities)
+	err := parallel.ForEach(ctx, cfg.Workers, cfg.Communities, func(i int) error {
+		r, err := buildCommunity(ctx, cfg, i)
+		if err != nil {
+			return fmt.Errorf("fleet: community %d: %w", i, err)
+		}
+		runners[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runners, nil
+}
+
+func buildCommunity(ctx context.Context, cfg Config, i int) (*core.Runner, error) {
+	sys, err := core.NewSystem(ctx, cfg.CommunityOptions(i))
+	if err != nil {
+		return nil, err
+	}
+	camp, err := sys.NewCampaign()
+	if err != nil {
+		return nil, err
+	}
+	kit := sys.Aware
+	if cfg.Detector == DetectorBlind {
+		kit = sys.Blind
+	}
+	path := ""
+	if cfg.CheckpointDir != "" {
+		path = CommunityCheckpoint(cfg.CheckpointDir, i)
+	}
+	r, err := sys.NewRunner(kit, camp, cfg.Enforce, path, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, err
+	}
+	if r.Completed() > cfg.Days {
+		return nil, fmt.Errorf("checkpoint already holds %d days, requested only %d", r.Completed(), cfg.Days)
+	}
+	return r, nil
+}
+
+// Drive advances every runner to cfg.Days completed days through the shared
+// day loop: one fleet tick steps each community's next day, fanned out over
+// the pool. Workers is execution-only — every community's state advances
+// under its own runner and every fan-out writes only its own slot, so the
+// results are bitwise invariant to the worker count and the schedule.
+// Runners restored past the current tick (a ragged resume: some communities
+// checkpointed further than others before the kill) skip ticks until the
+// loop catches up with them; their checkpoint cadence resumes with their
+// first fresh day.
+func Drive(ctx context.Context, cfg Config, runners []*core.Runner) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(runners) != cfg.Communities {
+		return fmt.Errorf("fleet: %d runners for %d communities", len(runners), cfg.Communities)
+	}
+	sink := obs.From(ctx)
+	end := sink.Span("fleet.monitor")
+	defer end()
+	for d := 0; d < cfg.Days; d++ {
+		err := parallel.ForEach(ctx, cfg.Workers, cfg.Communities, func(i int) error {
+			r := runners[i]
+			if r.Completed() > d {
+				return nil // restored past this tick
+			}
+			if err := r.StepDay(ctx); err != nil {
+				return fmt.Errorf("fleet: community %d day %d: %w", i, d, err)
+			}
+			if r.CheckpointDue(d+1, cfg.Days) {
+				if err := r.Checkpoint(); err != nil {
+					return fmt.Errorf("fleet: community %d checkpoint: %w", i, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if sink != nil {
+		for i, r := range runners {
+			// Per-community counters; the fmt.Sprintf keys stay behind the
+			// nil check so the disabled path allocates nothing.
+			prefix := fmt.Sprintf("fleet.community.%03d.", i)
+			sink.Count(prefix+"days", int64(r.Completed()))
+			sink.Count(prefix+"inspections", int64(core.TotalInspections(r.Results())))
+			imputed := 0
+			for _, res := range r.Results() {
+				imputed += res.ImputedReadings
+			}
+			sink.Count(prefix+"imputed_readings", int64(imputed))
+		}
+	}
+	return nil
+}
+
+// Run builds the fleet, drives it through the shared day loop and
+// aggregates the per-community results into a fleet report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	runners, err := Build(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := Drive(ctx, cfg, runners); err != nil {
+		return nil, err
+	}
+	return NewReport(cfg, runners)
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"nmdetect/internal/core"
+	"nmdetect/internal/metrics"
+)
+
+// CommunityReport is one community's share of the fleet report: the Table-1
+// style metrics of its own monitoring window.
+type CommunityReport struct {
+	// Index is the community's fleet position; Seed its derived seed.
+	Index int    `json:"index"`
+	Seed  uint64 `json:"seed"`
+	Size  int    `json:"size"`
+	// Days is the number of monitored days behind the metrics.
+	Days int `json:"days"`
+	// Accuracy is the belief-vs-truth bucket accuracy (Figure 6);
+	// RawAccuracy the pre-belief observation accuracy.
+	Accuracy    float64 `json:"accuracy"`
+	RawAccuracy float64 `json:"raw_accuracy"`
+	// PAR is the realized peak-to-average ratio over the window.
+	PAR float64 `json:"par"`
+	// Inspections counts inspect actions; Episodes the intrusion episodes,
+	// of which AnsweredEpisodes were met by an inspection.
+	Inspections      int `json:"inspections"`
+	Episodes         int `json:"episodes"`
+	AnsweredEpisodes int `json:"answered_episodes"`
+	// MeanDelaySlots is the mean detection delay over answered episodes;
+	// -1 when no episode was answered (JSON cannot carry the NaN the
+	// metric helper reports for that case).
+	MeanDelaySlots float64 `json:"mean_delay_slots"`
+	// ImputedReadings and DegradedDays summarize fault-injection impact.
+	ImputedReadings int `json:"imputed_readings"`
+	DegradedDays    int `json:"degraded_days"`
+}
+
+// Rollup aggregates the fleet: accuracy/PAR spread across communities and
+// fleet-wide totals.
+type Rollup struct {
+	MeanAccuracy float64 `json:"mean_accuracy"`
+	MinAccuracy  float64 `json:"min_accuracy"`
+	MaxAccuracy  float64 `json:"max_accuracy"`
+	MeanPAR      float64 `json:"mean_par"`
+	MaxPAR       float64 `json:"max_par"`
+	Inspections  int     `json:"inspections"`
+	Episodes     int     `json:"episodes"`
+	// AnsweredEpisodes and MeanDelaySlots cover every answered episode
+	// fleet-wide; MeanDelaySlots is -1 when none was answered.
+	AnsweredEpisodes int     `json:"answered_episodes"`
+	MeanDelaySlots   float64 `json:"mean_delay_slots"`
+	ImputedReadings  int     `json:"imputed_readings"`
+	DegradedDays     int     `json:"degraded_days"`
+}
+
+// Report is the JSON-writable outcome of a fleet run.
+type Report struct {
+	Communities  int               `json:"communities"`
+	Size         int               `json:"size"`
+	TotalMeters  int               `json:"total_meters"`
+	Days         int               `json:"days"`
+	Detector     string            `json:"detector"`
+	BaseSeed     uint64            `json:"base_seed"`
+	PerCommunity []CommunityReport `json:"per_community"`
+	Rollup       Rollup            `json:"rollup"`
+}
+
+// NewReport aggregates the runners' accumulated results into a fleet
+// report. Non-finite PAR values are rejected (JSON cannot encode them); the
+// no-answered-episode NaN of the delay metric is mapped to -1.
+func NewReport(cfg Config, runners []*core.Runner) (*Report, error) {
+	if len(runners) != cfg.Communities {
+		return nil, fmt.Errorf("fleet: %d runners for %d communities", len(runners), cfg.Communities)
+	}
+	rep := &Report{
+		Communities: cfg.Communities,
+		Size:        cfg.Size,
+		TotalMeters: cfg.Communities * cfg.Size,
+		Days:        cfg.Days,
+		Detector:    cfg.Detector,
+		BaseSeed:    cfg.BaseSeed,
+	}
+	for i, r := range runners {
+		results := r.Results()
+		delays, meanDelay := core.DetectionDelays(results)
+		answered := 0
+		for _, d := range delays {
+			if d >= 0 {
+				answered++
+			}
+		}
+		if answered == 0 {
+			meanDelay = -1
+		}
+		par, err := metrics.Finite(fmt.Sprintf("fleet community %d PAR", i), core.RealizedPAR(results))
+		if err != nil {
+			return nil, err
+		}
+		imputed, degraded := 0, 0
+		for _, res := range results {
+			imputed += res.ImputedReadings
+			if res.Degraded {
+				degraded++
+			}
+		}
+		rep.PerCommunity = append(rep.PerCommunity, CommunityReport{
+			Index:            i,
+			Seed:             CommunitySeed(cfg.BaseSeed, i),
+			Size:             cfg.Size,
+			Days:             len(results),
+			Accuracy:         core.ObservationAccuracy(results),
+			RawAccuracy:      core.RawObservationAccuracy(results),
+			PAR:              par,
+			Inspections:      core.TotalInspections(results),
+			Episodes:         len(delays),
+			AnsweredEpisodes: answered,
+			MeanDelaySlots:   meanDelay,
+			ImputedReadings:  imputed,
+			DegradedDays:     degraded,
+		})
+	}
+	rep.Rollup = rollup(rep.PerCommunity)
+	return rep, nil
+}
+
+func rollup(per []CommunityReport) Rollup {
+	var r Rollup
+	if len(per) == 0 {
+		r.MeanDelaySlots = -1
+		return r
+	}
+	r.MinAccuracy, r.MaxAccuracy = per[0].Accuracy, per[0].Accuracy
+	delaySum := 0.0
+	for _, c := range per {
+		r.MeanAccuracy += c.Accuracy
+		r.MinAccuracy = min(r.MinAccuracy, c.Accuracy)
+		r.MaxAccuracy = max(r.MaxAccuracy, c.Accuracy)
+		r.MeanPAR += c.PAR
+		r.MaxPAR = max(r.MaxPAR, c.PAR)
+		r.Inspections += c.Inspections
+		r.Episodes += c.Episodes
+		r.AnsweredEpisodes += c.AnsweredEpisodes
+		if c.AnsweredEpisodes > 0 {
+			delaySum += c.MeanDelaySlots * float64(c.AnsweredEpisodes)
+		}
+		r.ImputedReadings += c.ImputedReadings
+		r.DegradedDays += c.DegradedDays
+	}
+	r.MeanAccuracy /= float64(len(per))
+	r.MeanPAR /= float64(len(per))
+	if r.AnsweredEpisodes > 0 {
+		r.MeanDelaySlots = delaySum / float64(r.AnsweredEpisodes)
+	} else {
+		r.MeanDelaySlots = -1
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("fleet: encode report: %w", err)
+	}
+	return nil
+}
+
+// Render prints the report as a fixed-width per-community table followed by
+// the rollup line.
+func (r *Report) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d communities x %d meters = %d meters, %d days, detector=%s, base seed %d\n",
+		r.Communities, r.Size, r.TotalMeters, r.Days, r.Detector, r.BaseSeed)
+	fmt.Fprintf(&b, "%9s  %20s  %8s  %8s  %7s  %8s  %10s  %7s\n",
+		"community", "seed", "accuracy", "par", "inspect", "episodes", "mean_delay", "imputed")
+	for _, c := range r.PerCommunity {
+		fmt.Fprintf(&b, "%9d  %20d  %8.4f  %8.4f  %7d  %5d/%-2d  %10.2f  %7d\n",
+			c.Index, c.Seed, c.Accuracy, c.PAR, c.Inspections, c.AnsweredEpisodes, c.Episodes, c.MeanDelaySlots, c.ImputedReadings)
+	}
+	ru := r.Rollup
+	fmt.Fprintf(&b, "rollup: accuracy mean=%.4f min=%.4f max=%.4f  par mean=%.4f max=%.4f  inspections=%d  episodes=%d/%d answered  mean_delay=%.2f\n",
+		ru.MeanAccuracy, ru.MinAccuracy, ru.MaxAccuracy, ru.MeanPAR, ru.MaxPAR, ru.Inspections, ru.AnsweredEpisodes, ru.Episodes, ru.MeanDelaySlots)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

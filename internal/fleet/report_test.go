@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRollup(t *testing.T) {
+	per := []CommunityReport{
+		{Accuracy: 0.90, PAR: 1.2, Inspections: 3, Episodes: 2, AnsweredEpisodes: 2, MeanDelaySlots: 4, ImputedReadings: 5, DegradedDays: 1},
+		{Accuracy: 0.80, PAR: 1.4, Inspections: 1, Episodes: 1, AnsweredEpisodes: 0, MeanDelaySlots: -1, ImputedReadings: 0, DegradedDays: 0},
+		{Accuracy: 0.70, PAR: 1.1, Inspections: 2, Episodes: 3, AnsweredEpisodes: 1, MeanDelaySlots: 10, ImputedReadings: 2, DegradedDays: 2},
+	}
+	r := rollup(per)
+	approx := func(got, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+	approx(r.MeanAccuracy, 0.8, "mean accuracy")
+	approx(r.MinAccuracy, 0.7, "min accuracy")
+	approx(r.MaxAccuracy, 0.9, "max accuracy")
+	approx(r.MeanPAR, (1.2+1.4+1.1)/3, "mean par")
+	approx(r.MaxPAR, 1.4, "max par")
+	if r.Inspections != 6 || r.Episodes != 6 || r.AnsweredEpisodes != 3 {
+		t.Fatalf("totals = %d/%d/%d, want 6/6/3", r.Inspections, r.Episodes, r.AnsweredEpisodes)
+	}
+	// Episode-weighted, skipping the unanswered community's -1 sentinel.
+	approx(r.MeanDelaySlots, (4*2+10*1)/3.0, "mean delay")
+	if r.ImputedReadings != 7 || r.DegradedDays != 3 {
+		t.Fatalf("fault totals = %d/%d, want 7/3", r.ImputedReadings, r.DegradedDays)
+	}
+}
+
+func TestRollupNoAnsweredEpisodes(t *testing.T) {
+	r := rollup([]CommunityReport{{Accuracy: 0.5, PAR: 1, MeanDelaySlots: -1}})
+	if r.MeanDelaySlots != -1 {
+		t.Fatalf("mean delay = %v, want -1 sentinel", r.MeanDelaySlots)
+	}
+	if empty := rollup(nil); empty.MeanDelaySlots != -1 {
+		t.Fatalf("empty rollup mean delay = %v, want -1", empty.MeanDelaySlots)
+	}
+}
+
+func TestNewReportRunnerCountMismatch(t *testing.T) {
+	cfg := smallConfig(2, 6, 1, 2)
+	if _, err := NewReport(cfg, nil); err == nil || !strings.Contains(err.Error(), "0 runners for 2 communities") {
+		t.Fatalf("NewReport: %v, want runner count mismatch", err)
+	}
+}
+
+func TestReportJSONRoundTripAndRender(t *testing.T) {
+	rep := &Report{
+		Communities: 2, Size: 6, TotalMeters: 12, Days: 3,
+		Detector: DetectorAware, BaseSeed: 42,
+		PerCommunity: []CommunityReport{
+			{Index: 0, Seed: CommunitySeed(42, 0), Size: 6, Days: 3, Accuracy: 0.9, RawAccuracy: 0.85, PAR: 1.2, Inspections: 2, Episodes: 1, AnsweredEpisodes: 1, MeanDelaySlots: 3},
+			{Index: 1, Seed: CommunitySeed(42, 1), Size: 6, Days: 3, Accuracy: 0.8, RawAccuracy: 0.75, PAR: 1.3, MeanDelaySlots: -1},
+		},
+	}
+	rep.Rollup = rollup(rep.PerCommunity)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalMeters != 12 || len(back.PerCommunity) != 2 || back.Rollup.MeanDelaySlots != 3 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+
+	var out strings.Builder
+	if err := rep.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"2 communities x 6 meters = 12 meters",
+		"detector=aware",
+		"rollup:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+	if lines := strings.Count(text, "\n"); lines != 5 { // banner + header + 2 rows + rollup
+		t.Fatalf("rendered report has %d lines, want 5:\n%s", lines, text)
+	}
+}
+
+// End-to-end over a real (tiny) fleet: the report fields agree with the
+// runner state they summarize.
+func TestNewReportFromRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long determinism test")
+	}
+	cfg := smallConfig(2, 6, 42, 3)
+	rep, err := Run(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMeters != 12 || len(rep.PerCommunity) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for i, c := range rep.PerCommunity {
+		if c.Index != i || c.Seed != CommunitySeed(42, i) || c.Days != 3 {
+			t.Fatalf("community %d report: %+v", i, c)
+		}
+		if math.IsNaN(c.MeanDelaySlots) || math.IsInf(c.MeanDelaySlots, 0) {
+			t.Fatalf("community %d mean delay %v not JSON-encodable", i, c.MeanDelaySlots)
+		}
+		if c.AnsweredEpisodes == 0 && c.MeanDelaySlots != -1 {
+			t.Fatalf("community %d: no answered episodes but delay %v", i, c.MeanDelaySlots)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

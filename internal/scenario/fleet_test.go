@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nmdetect/internal/fleet"
+)
+
+// nil fleet block, all-zero block and an explicit width-1 block all select
+// the direct single-community path, and the ID canonicalises all three to
+// the pre-fleet hash. A width >= 2 is content and moves the ID.
+func TestFleetIDCanonicalisation(t *testing.T) {
+	base := Default(500, 42)
+	zero := base
+	zero.Fleet = &Fleet{}
+	one := base
+	one.Fleet = &Fleet{Communities: 1}
+	if zero.ID() != base.ID() || one.ID() != base.ID() {
+		t.Fatalf("degenerate fleet blocks moved the ID: base %s zero %s one %s",
+			base.ID(), zero.ID(), one.ID())
+	}
+	wide := base
+	wide.Fleet = &Fleet{Communities: 2}
+	if wide.ID() == base.ID() {
+		t.Fatal("fleet width 2 is content but did not move the ID")
+	}
+	wider := base
+	wider.Fleet = &Fleet{Communities: 3}
+	if wider.ID() == wide.ID() {
+		t.Fatal("fleet widths 2 and 3 hash identically")
+	}
+}
+
+func TestFleetRoundTripAndOmission(t *testing.T) {
+	spec := Default(120, 7)
+	spec.Fleet = &Fleet{Communities: 4}
+	var buf bytes.Buffer
+	if err := spec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip changed the spec:\n orig %+v\n back %+v", spec, back)
+	}
+
+	// Without a fleet block the key stays out of the JSON entirely, so
+	// pre-fleet scenario files and freshly saved ones stay byte-compatible.
+	var plain bytes.Buffer
+	if err := Default(120, 7).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "fleet") {
+		t.Fatalf("fleet key emitted for a spec without a fleet block:\n%s", plain.String())
+	}
+}
+
+func TestFleetCommunities(t *testing.T) {
+	for _, tc := range []struct {
+		block *Fleet
+		want  int
+	}{
+		{nil, 1},
+		{&Fleet{}, 1},
+		{&Fleet{Communities: 1}, 1},
+		{&Fleet{Communities: 5}, 5},
+	} {
+		s := Default(100, 1)
+		s.Fleet = tc.block
+		if got := s.FleetCommunities(); got != tc.want {
+			t.Errorf("FleetCommunities() with block %+v = %d, want %d", tc.block, got, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeFleet(t *testing.T) {
+	s := Default(100, 1)
+	s.Fleet = &Fleet{Communities: -1}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "fleet") {
+		t.Fatalf("Validate() = %v, want fleet width rejection", err)
+	}
+}
+
+func TestCommunitySpec(t *testing.T) {
+	base := Default(100, 42)
+	base.Name = "paper"
+	base.Fleet = &Fleet{Communities: 3}
+	for i := 0; i < 3; i++ {
+		member := base.CommunitySpec(i)
+		if member.Seed != fleet.CommunitySeed(42, i) {
+			t.Fatalf("community %d seed %d, want derived %d", i, member.Seed, fleet.CommunitySeed(42, i))
+		}
+		if member.Fleet != nil {
+			t.Fatalf("community %d kept the fleet block", i)
+		}
+		if want := "paper/c00" + string(rune('0'+i)); member.Name != want {
+			t.Fatalf("community %d name %q, want %q", i, member.Name, want)
+		}
+		// Everything else is the shared world.
+		stripped := member
+		stripped.Seed, stripped.Name = base.Seed, base.Name
+		stripped.Fleet = base.Fleet
+		if !reflect.DeepEqual(stripped, base) {
+			t.Fatalf("community %d diverged beyond seed/name/fleet:\n%+v\n%+v", i, member, base)
+		}
+	}
+	anon := Default(100, 42)
+	if got := anon.CommunitySpec(1).Name; got != "" {
+		t.Fatalf("unnamed spec grew a community name %q", got)
+	}
+}
+
+func TestFleetConfigLowering(t *testing.T) {
+	spec := Default(80, 9)
+	spec.Fleet = &Fleet{Communities: 4}
+	spec.Horizon.MonitorDays = 17
+	cfg, err := spec.FleetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Communities != 4 || cfg.Size != 80 || cfg.BaseSeed != 9 || cfg.Days != 17 {
+		t.Fatalf("lowered shape: %+v", cfg)
+	}
+	if cfg.Detector != fleet.DetectorAware || !cfg.Enforce {
+		t.Fatalf("lowered defaults: detector %q enforce %v", cfg.Detector, cfg.Enforce)
+	}
+	opts, err := spec.CoreOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Base, opts) {
+		t.Fatalf("fleet base diverged from CoreOptions:\n%+v\n%+v", cfg.Base, opts)
+	}
+	// Runtime knobs stay with the caller.
+	if cfg.Workers != 0 || cfg.CheckpointDir != "" || cfg.CheckpointEvery != 0 {
+		t.Fatalf("runtime knobs leaked into the lowering: %+v", cfg)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"nmdetect/internal/core"
 	"nmdetect/internal/experiments"
 	"nmdetect/internal/faultinject"
+	"nmdetect/internal/fleet"
 	"nmdetect/internal/game"
 	"nmdetect/internal/tariff"
 )
@@ -174,6 +175,22 @@ func (f Faults) lower(seed uint64) faultinject.Config {
 	}
 }
 
+// Fleet describes the multi-community axis: the spec's world (size N, the
+// tariff, noise, campaign and detector blocks) becomes the template every
+// community runs under, and the block only adds the fleet width. Community
+// i simulates under the seed fleet.CommunitySeed(spec.Seed, i) — label
+// derivation, so communities are mutually independent and individually
+// reproducible.
+type Fleet struct {
+	// Communities is the fleet width F (>= 1).
+	Communities int `json:"communities"`
+}
+
+// IsZero reports whether the block selects no fleet at all.
+func (f Fleet) IsZero() bool {
+	return f == Fleet{}
+}
+
 // Spec is the complete declarative description of one experiment scenario.
 type Spec struct {
 	// Name labels the scenario (preset name or a user-chosen tag).
@@ -194,6 +211,13 @@ type Spec struct {
 	// fault-free run; ID() canonicalises the two to the same hash, so adding
 	// the feature changed no existing scenario ID.
 	Faults *Faults `json:"faults,omitempty"`
+	// Fleet optionally widens the run to a multi-community fleet. nil, an
+	// all-zero block and {communities: 1} all select the direct
+	// single-community path; ID() canonicalises all three to the same hash
+	// (pre-existing scenario IDs are unchanged), while a width >= 2 is
+	// content — a fleet of derived-seed communities is a different
+	// experiment — and moves the ID.
+	Fleet *Fleet `json:"fleet,omitempty"`
 }
 
 // Default returns the paper's scenario for a community of n meters: the
@@ -308,6 +332,12 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Fleet != nil && s.Fleet.Communities < 0 {
+		return fmt.Errorf("scenario: fleet communities %d must be non-negative", s.Fleet.Communities)
+	}
+	// The community game is a game between customers: a fleet of 1-meter
+	// "communities" is rejected upstream by the N >= 3 floor above, and the
+	// fleet layer re-checks Size >= 2 with its own routed error.
 	return nil
 }
 
@@ -323,6 +353,12 @@ func (s Spec) ID() string {
 		// An all-zero faults block injects nothing; canonicalise it away so
 		// it hashes identically to a spec without the block.
 		s.Faults = nil
+	}
+	if s.Fleet != nil && s.Fleet.Communities <= 1 {
+		// A fleet of width <= 1 runs the direct single-community path;
+		// canonicalise it away so it hashes identically to a spec without
+		// the block (pre-existing IDs stay stable).
+		s.Fleet = nil
 	}
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -410,6 +446,53 @@ func (s Spec) CoreOptions() (core.Options, error) {
 	opts.Attack = atk
 	opts.Solver = core.PolicySolver(s.Detector.Solver)
 	return opts, nil
+}
+
+// FleetCommunities is the effective fleet width: 1 without a fleet block
+// (or with a width <= 1 block — both run the direct single-community path),
+// the block's width otherwise.
+func (s Spec) FleetCommunities() int {
+	if s.Fleet == nil || s.Fleet.Communities <= 1 {
+		return 1
+	}
+	return s.Fleet.Communities
+}
+
+// CommunitySpec is the single-community spec fleet member i runs under: the
+// same world with the derived seed installed, the fleet block cleared and
+// the name suffixed with the fleet position. Lifting one community out of a
+// fleet this way and running it through the direct path reproduces its
+// fleet results bit for bit.
+func (s Spec) CommunitySpec(i int) Spec {
+	member := s
+	member.Seed = fleet.CommunitySeed(s.Seed, i)
+	member.Fleet = nil
+	if member.Name != "" {
+		member.Name = fmt.Sprintf("%s/c%03d", member.Name, i)
+	}
+	return member
+}
+
+// FleetConfig lowers the spec into the fleet orchestrator configuration:
+// the spec's world becomes the per-community template, N the community
+// size and the fleet block the width. Runtime knobs — detector choice,
+// enforcement, fleet workers, checkpoint directory and cadence — are not
+// scenario content and stay with the caller; the defaults select the
+// aware detector with enforcement on.
+func (s Spec) FleetConfig() (fleet.Config, error) {
+	opts, err := s.CoreOptions()
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	return fleet.Config{
+		Communities: s.FleetCommunities(),
+		Size:        s.N,
+		BaseSeed:    s.Seed,
+		Base:        opts,
+		Detector:    fleet.DetectorAware,
+		Days:        s.Horizon.MonitorDays,
+		Enforce:     true,
+	}, nil
 }
 
 // ExperimentsConfig lowers the spec into the figure-harness configuration.

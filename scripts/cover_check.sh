@@ -1,8 +1,9 @@
 #!/bin/sh
 # cover_check.sh — statement-coverage floor for the hot-path solver packages.
 # The workspace/active-set refactor (DESIGN.md §10) leans on its test layer —
-# the dpsched property suite, the game identity/invariance tests and the ceopt
-# workspace tests — so this gate fails the build if any of those packages
+# the dpsched property suite, the game identity/invariance tests, the ceopt
+# workspace tests and the fleet determinism suite (§12) — so this gate fails
+# the build if any of those packages
 # drops below the floor, before a coverage regression can silently erode the
 # bitwise-identity contract.
 #
@@ -10,7 +11,7 @@
 set -eu
 
 FLOOR=${COVER_FLOOR:-70}
-PKGS="internal/dpsched internal/game internal/ceopt internal/meterstate"
+PKGS="internal/dpsched internal/game internal/ceopt internal/meterstate internal/fleet"
 PROFILE=${COVER_PROFILE:-coverage.out}
 
 fail=0

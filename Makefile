@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke bench-fleet bench-fleet-smoke
+.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke bench-fleet bench-fleet-smoke bench-supervise bench-supervise-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs ./internal/fleet
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs ./internal/fleet ./internal/supervise
 
 panic-lint:
 	sh scripts/panic_lint.sh
@@ -70,3 +70,19 @@ bench-fleet-smoke:
 	$(GO) test -run 'TestWriteBenchFleet$$' . -args -bench-fleet-out bench_fleet_smoke.json -bench-fleet-shapes 2x8,4x8,8x8
 	test -s bench_fleet_smoke.json
 	rm -f bench_fleet_smoke.json
+
+# Regenerate BENCH_supervise.json: wall clock of full supervised fleet runs
+# (cmd/nmfleet spawning one nmdetect worker process per community) across
+# 1/2/4 concurrent worker processes. The paper shape is 20x500 = 10k meters;
+# on small hosts record a smaller shape — the output is self-describing
+# (shape, days, GOMAXPROCS, CPU count all land in the JSON).
+bench-supervise:
+	$(GO) test -run 'TestWriteBenchSupervise$$' -v -timeout 60m . -args -bench-supervise-out BENCH_supervise.json -bench-supervise-shape 20x500 -bench-supervise-procs 1,2,4
+
+# CI smoke for the supervision curve: a tiny fleet through the real
+# supervisor and worker binaries, same harness and assertions (file produced,
+# zero failed batches), seconds not minutes.
+bench-supervise-smoke:
+	$(GO) test -run 'TestWriteBenchSupervise$$' . -args -bench-supervise-out bench_supervise_smoke.json -bench-supervise-shape 3x8 -bench-supervise-procs 1,2
+	test -s bench_supervise_smoke.json
+	rm -f bench_supervise_smoke.json

@@ -20,10 +20,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"nmdetect/internal/appliance"
 	"nmdetect/internal/attack"
@@ -788,4 +791,156 @@ func BenchmarkCampaignStep(b *testing.B) {
 			camp.Repair()
 		}
 	}
+}
+
+// --- Supervision curve (BENCH_supervise.json) -----------------------------
+
+var (
+	benchSupOut = flag.String("bench-supervise-out", "",
+		"write the worker-processes-vs-wall-clock supervision curve to this JSON path (empty = skip TestWriteBenchSupervise)")
+	benchSupShape = flag.String("bench-supervise-shape", "20x500",
+		"FxN fleet shape (F communities of N meters) for the supervision curve")
+	benchSupProcs = flag.String("bench-supervise-procs", "1,2,4",
+		"comma-separated worker-process counts for the supervision curve")
+)
+
+// TestWriteBenchSupervise times full supervised fleet runs — cmd/nmfleet
+// spawning one nmdetect worker process per community batch — at the shape
+// given by -bench-supervise-shape across the -bench-supervise-procs process
+// fan-outs, and writes BENCH_supervise.json-shaped output labelled with the
+// execution environment (GOMAXPROCS, CPU count). Each point records wall
+// clock plus the retried/failed batch counts from the merged report; a run
+// with failed batches fails the harness, since the curve is only meaningful
+// for clean runs. `make bench-supervise` records the paper shape (20x500 =
+// 10k meters); `make bench-supervise-smoke` runs a tiny shape as a CI guard.
+// Skipped unless -bench-supervise-out is set.
+func TestWriteBenchSupervise(t *testing.T) {
+	if *benchSupOut == "" {
+		t.Skip("set -bench-supervise-out to record the supervision curve")
+	}
+	parts := strings.SplitN(strings.TrimSpace(*benchSupShape), "x", 2)
+	if len(parts) != 2 {
+		t.Fatalf("bad -bench-supervise-shape %q (want FxN)", *benchSupShape)
+	}
+	comms, err1 := strconv.Atoi(parts[0])
+	size, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || comms < 2 || size < 4 {
+		t.Fatalf("bad -bench-supervise-shape %q (want FxN, F >= 2)", *benchSupShape)
+	}
+	var procsList []int
+	for _, entry := range strings.Split(*benchSupProcs, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(entry))
+		if err != nil || p < 1 {
+			t.Fatalf("bad -bench-supervise-procs entry %q", entry)
+		}
+		procsList = append(procsList, p)
+	}
+
+	// The curve times the real binaries end to end: process spawn, worker
+	// bootstrap, checkpoint writes, report merge.
+	bin := t.TempDir()
+	for _, b := range []struct{ out, pkg string }{
+		{"nmfleet", "./cmd/nmfleet"},
+		{"nmdetect", "./cmd/nmdetect"},
+	} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, b.out), b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.out, err, out)
+		}
+	}
+
+	const days, boot, sweeps = 2, 4, 2
+	type point struct {
+		Procs      int     `json:"procs"`
+		WallMS     float64 `json:"wall_ms"`
+		MSPerMeter float64 `json:"ms_per_meter"`
+		Retried    int     `json:"retried"`
+		Failed     int     `json:"failed"`
+	}
+	var curve []point
+	for _, procs := range procsList {
+		workdir := filepath.Join(t.TempDir(), "work")
+		if err := os.Mkdir(workdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		reportPath := filepath.Join(filepath.Dir(workdir), "fleet.json")
+		cmd := exec.Command(filepath.Join(bin, "nmfleet"),
+			"-workdir", workdir,
+			"-report", reportPath,
+			"-worker-bin", filepath.Join(bin, "nmdetect"),
+			"-n", strconv.Itoa(size),
+			"-communities", strconv.Itoa(comms),
+			"-days", strconv.Itoa(days),
+			"-boot", strconv.Itoa(boot),
+			"-sweeps", strconv.Itoa(sweeps),
+			"-solver", "qmdp",
+			"-seed", "42",
+			"-batch-size", "1",
+			"-procs", strconv.Itoa(procs),
+			"-checkpoint-every", "1",
+		)
+		cmd.Stdout = io.Discard
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("procs=%d: nmfleet: %v", procs, err)
+		}
+		wall := time.Since(start)
+		raw, err := os.ReadFile(reportPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep fleet.Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("procs=%d: %d batches failed; the curve only covers clean runs", procs, rep.Failed)
+		}
+		retried := 0
+		for _, c := range rep.PerCommunity {
+			if c.Status == fleet.StatusRetried {
+				retried++
+			}
+		}
+		p := point{
+			Procs:      procs,
+			WallMS:     float64(wall.Milliseconds()),
+			MSPerMeter: float64(wall.Milliseconds()) / float64(comms*size),
+			Retried:    retried,
+			Failed:     rep.Failed,
+		}
+		curve = append(curve, p)
+		t.Logf("%dx%d procs=%d: %s wall, %d retried", comms, size, procs, wall.Round(time.Millisecond), retried)
+	}
+
+	out := map[string]any{
+		"description": "Worker-processes-vs-wall-clock curve for the supervised fleet: one full " +
+			"cmd/nmfleet run per point (F communities of N meters, batch size 1, one nmdetect " +
+			"worker process per batch, qmdp solver) at each -procs fan-out. Wall clock includes " +
+			"process spawn, bootstrap, per-day checkpoints and the report merge; speedup across " +
+			"procs tracks the host's free cores. Regenerate with `make bench-supervise`.",
+		"shape":          fmt.Sprintf("%dx%d", comms, size),
+		"total_meters":   comms * size,
+		"monitor_days":   days,
+		"bootstrap_days": boot,
+		"go":             runtime.Version(),
+		"goos":           runtime.GOOS,
+		"goarch":         runtime.GOARCH,
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"num_cpu":        runtime.NumCPU(),
+		"curve":          curve,
+	}
+	f, err := os.Create(*benchSupOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-supervise: wrote %d points to %s\n", len(curve), *benchSupOut)
 }

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nmdetect/internal/attack"
+	"nmdetect/internal/exitcode"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
 	"nmdetect/internal/tariff"
@@ -40,6 +44,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT and SIGTERM both stop the campaign loop at the next slot and
+	// flush the obs sinks through the deferred Shutdown — nmattack used to
+	// die mid-write on TERM, leaving truncated event streams behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if err := obs.Setup(obs.RunConfig{
 		Cmd: "nmattack", EventsPath: *events, PprofAddr: *pprofA,
 		CPUProfile: *cpuProf, MemProfile: *memProf, Seed: *seed,
@@ -61,7 +71,7 @@ func main() {
 	case "invert":
 		atk = attack.Invert{}
 	default:
-		fatal(fmt.Errorf("unknown attack %q", *atkStr))
+		fatal(exitcode.AsValidation(fmt.Errorf("unknown attack %q", *atkStr)))
 	}
 
 	// A representative diurnal price to manipulate.
@@ -88,13 +98,17 @@ func main() {
 
 	camp, err := attack.NewCampaign(*n, *prob, *batchLo, *batchHi, atk)
 	if err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 	src := rng.New(*seed)
 	endCampaign := obs.Default().Span("attack.campaign")
 	fmt.Println("\n# campaign trace")
 	fmt.Println("hour,newly_hacked,total_hacked")
 	for t := 0; t < *hours; t++ {
+		if ctx.Err() != nil {
+			endCampaign()
+			fatal(fmt.Errorf("interrupted after %d campaign slots", t))
+		}
 		newly := camp.Step(src)
 		fmt.Printf("%d,%d,%d\n", t, newly, camp.Count())
 	}
@@ -116,5 +130,5 @@ func fatal(err error) {
 	// os.Exit skips deferred calls; flush profiles and the event sink here.
 	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmattack:", err)
-	os.Exit(1)
+	os.Exit(exitcode.For(err))
 }

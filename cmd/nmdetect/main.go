@@ -32,6 +32,16 @@
 // affects results. -fleet-checkpoint names a directory holding one
 // checkpoint per community plus a fleet manifest; kill/-resume semantics
 // match the single-community path.
+//
+// With -fleet-worker (spawned by cmd/nmfleet, not meant for direct use),
+// the process drives one community batch of a supervised fleet: it computes
+// its range from (-batch, -batch-size) via the shared plan, resumes any
+// existing community checkpoints under -fleet-checkpoint, emits NMW1
+// protocol lines on stdout and writes its batch report to -batch-report.
+//
+// Exit codes: 0 success, 2 validation (bad flags/spec/world), 3 runtime
+// failure, 4 resume-incompatible (foreign or re-planned checkpoint state);
+// 1 is reserved for untyped legacy failures.
 package main
 
 import (
@@ -40,14 +50,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/core"
 	"nmdetect/internal/detect"
+	"nmdetect/internal/exitcode"
 	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/scenario"
+	"nmdetect/internal/supervise"
 )
 
 func main() {
@@ -73,6 +87,11 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file for the monitoring run (empty = no checkpointing)")
 		ckptK    = flag.Int("checkpoint-every", 10, "days between checkpoints")
 		resume   = flag.Bool("resume", false, "resume from an existing checkpoint instead of failing on one")
+		worker   = flag.Bool("fleet-worker", false, "run as a supervised fleet worker: drive one community batch, speak the NMW1 line protocol on stdout (used by cmd/nmfleet)")
+		batch    = flag.Int("batch", 0, "fleet-worker batch index")
+		batchSz  = flag.Int("batch-size", 0, "fleet-worker batch size (communities per worker)")
+		batchRep = flag.String("batch-report", "", "fleet-worker batch report JSON path")
+		heartBt  = flag.Duration("heartbeat", 5*time.Second, "fleet-worker heartbeat period")
 		events   = flag.String("events", "", "write a JSONL run-event stream to this file")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,11 +117,11 @@ func main() {
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {
-			fatal(err)
+			fatal(exitcode.AsValidation(err))
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 	if *dumpScen {
 		if err := spec.Save(os.Stdout); err != nil {
@@ -125,12 +144,16 @@ func main() {
 		}
 	}()
 
+	if *worker {
+		runFleetWorker(ctx, spec, *detector, !*noEnf, *fleetW, *fleetCk, *ckptK, *batch, *batchSz, *batchRep, *heartBt)
+		return
+	}
 	if spec.FleetCommunities() > 1 {
 		runFleet(ctx, spec, *detector, !*noEnf, *fleetW, *fleetRep, *fleetCk, *ckptK, *resume)
 		return
 	}
 	if *fleetRep != "" || *fleetCk != "" {
-		fatal(fmt.Errorf("-fleet-report/-fleet-checkpoint need a fleet (-communities >= 2 or a scenario fleet block)"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-fleet-report/-fleet-checkpoint need a fleet (-communities >= 2 or a scenario fleet block)")))
 	}
 
 	opts, err := spec.CoreOptions()
@@ -150,7 +173,7 @@ func main() {
 	if *detector == "blind" {
 		kit = sys.Blind
 	} else if *detector != "aware" {
-		fatal(fmt.Errorf("unknown detector %q", *detector))
+		fatal(exitcode.AsValidation(fmt.Errorf("unknown detector %q", *detector)))
 	}
 
 	camp, err := sys.NewCampaign()
@@ -158,10 +181,10 @@ func main() {
 		fatal(err)
 	}
 	if *ckpt != "" && !*resume && checkpoint.Exists(*ckpt) {
-		fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+		fatal(exitcode.AsValidation(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt)))
 	}
 	if *resume && *ckpt == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-resume requires -checkpoint")))
 	}
 	results, err := sys.MonitorDaysCheckpointed(ctx, kit, camp, spec.Horizon.MonitorDays, !*noEnf, *ckpt, *ckptK)
 	if err != nil {
@@ -202,7 +225,9 @@ func main() {
 // runFleet is the multi-community path: lower the spec into a fleet
 // configuration, run the shared day loop and print the per-community table
 // plus rollup.
-func runFleet(ctx context.Context, spec scenario.Spec, detector string, enforce bool, fleetWorkers int, reportPath, ckptDir string, ckptEvery int, resume bool) {
+// fleetConfig lowers the spec plus runtime knobs into a fleet configuration
+// (shared by the full-fleet and worker paths).
+func fleetConfig(spec scenario.Spec, detector string, enforce bool, fleetWorkers int, ckptDir string, ckptEvery int) fleet.Config {
 	fcfg, err := spec.FleetConfig()
 	if err != nil {
 		fatal(err)
@@ -213,17 +238,22 @@ func runFleet(ctx context.Context, spec scenario.Spec, detector string, enforce 
 	case "blind":
 		fcfg.Detector = fleet.DetectorBlind
 	default:
-		fatal(fmt.Errorf("unknown detector %q", detector))
+		fatal(exitcode.AsValidation(fmt.Errorf("unknown detector %q", detector)))
 	}
 	fcfg.Enforce = enforce
 	fcfg.Workers = fleetWorkers
 	fcfg.CheckpointDir = ckptDir
 	fcfg.CheckpointEvery = ckptEvery
+	return fcfg
+}
+
+func runFleet(ctx context.Context, spec scenario.Spec, detector string, enforce bool, fleetWorkers int, reportPath, ckptDir string, ckptEvery int, resume bool) {
+	fcfg := fleetConfig(spec, detector, enforce, fleetWorkers, ckptDir, ckptEvery)
 	if resume && ckptDir == "" {
-		fatal(fmt.Errorf("-resume requires -fleet-checkpoint in fleet mode"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-resume requires -fleet-checkpoint in fleet mode")))
 	}
 	if ckptDir != "" && !resume && checkpoint.Exists(fleet.ManifestPath(ckptDir)) {
-		fatal(fmt.Errorf("fleet checkpoint dir %s already holds a run; pass -resume to continue it or remove it", ckptDir))
+		fatal(exitcode.AsValidation(fmt.Errorf("fleet checkpoint dir %s already holds a run; pass -resume to continue it or remove it", ckptDir)))
 	}
 	fmt.Fprintf(os.Stderr, "nmdetect: building fleet of %d communities x %d meters = %d meters...\n",
 		fcfg.Communities, fcfg.Size, fcfg.Communities*fcfg.Size)
@@ -249,9 +279,74 @@ func runFleet(ctx context.Context, spec scenario.Spec, detector string, enforce 
 	}
 }
 
+// runFleetWorker is the hidden -fleet-worker mode cmd/nmfleet spawns: drive
+// the communities of one batch (computed from the shared plan, so worker and
+// supervisor always agree), speak the NMW1 line protocol on stdout, write
+// the batch report durably and exit with a classified code. The supervisor
+// owns the checkpoint directory: existing community checkpoints are resumed
+// without a -resume flag, and the fleet/batch manifests refuse a foreign or
+// re-planned directory with exit 4.
+func runFleetWorker(ctx context.Context, spec scenario.Spec, detector string, enforce bool, fleetWorkers int, ckptDir string, ckptEvery, batch, batchSize int, reportPath string, heartbeat time.Duration) {
+	if ckptDir == "" {
+		fatal(exitcode.AsValidation(fmt.Errorf("-fleet-worker requires -fleet-checkpoint")))
+	}
+	if reportPath == "" {
+		fatal(exitcode.AsValidation(fmt.Errorf("-fleet-worker requires -batch-report")))
+	}
+	fcfg := fleetConfig(spec, detector, enforce, fleetWorkers, ckptDir, ckptEvery)
+	plan, err := supervise.Plan(fcfg.Communities, batchSize)
+	if err != nil {
+		fatal(exitcode.AsValidation(err))
+	}
+	if batch < 0 || batch >= len(plan) {
+		fatal(exitcode.AsValidation(fmt.Errorf("batch %d outside plan of %d batches", batch, len(plan))))
+	}
+	b := plan[batch]
+
+	ew := supervise.NewEventWriter(os.Stdout, batch)
+	ew.Emit(supervise.WorkerEvent{Type: supervise.EventStart})
+	// The slowest community's completed-day count, for heartbeat context.
+	var lowDay atomic.Int64
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	if heartbeat > 0 {
+		go func() {
+			t := time.NewTicker(heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-t.C:
+					ew.Emit(supervise.WorkerEvent{Type: supervise.EventHeartbeat, Day: int(lowDay.Load())})
+				}
+			}
+		}()
+	}
+
+	rep, err := fleet.RunBatch(ctx, fcfg, batch, b.Start, b.Count, func(community, day int) {
+		lowDay.Store(int64(day)) // the fan-out barrier makes day monotone
+		ew.Emit(supervise.WorkerEvent{Type: supervise.EventDay, Community: community, Day: day})
+	})
+	if err != nil {
+		ew.Emit(supervise.WorkerEvent{Type: supervise.EventError, Msg: err.Error()})
+		fatal(err)
+	}
+	if err := rep.WriteFile(reportPath); err != nil {
+		ew.Emit(supervise.WorkerEvent{Type: supervise.EventError, Msg: err.Error()})
+		fatal(err)
+	}
+	// done is emitted only after the report is durable on disk: a supervisor
+	// that saw done can always read the report.
+	ew.Emit(supervise.WorkerEvent{Type: supervise.EventDone})
+	if err := ew.Err(); err != nil {
+		fatal(err)
+	}
+}
+
 func fatal(err error) {
 	// os.Exit skips deferred calls; flush profiles and the event sink here.
 	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmdetect:", err)
-	os.Exit(1)
+	os.Exit(exitcode.For(err))
 }

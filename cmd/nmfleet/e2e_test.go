@@ -1,0 +1,308 @@
+// End-to-end supervision tests: these build the real nmfleet and nmdetect
+// binaries and run supervised fleets against shell wrappers that crash or
+// fail workers on purpose. They pin the crash-equivalence contract: a run
+// whose worker was SIGKILLed mid-batch retries from checkpoint and merges to
+// a report byte-identical to an uninterrupted in-process fleet.Run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"nmdetect/internal/fleet"
+	"nmdetect/internal/scenario"
+)
+
+// binDir holds the freshly built nmfleet and nmdetect binaries for the
+// duration of the package's tests.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "nmfleet-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, b := range []struct{ out, pkg string }{
+		{"nmfleet", "."},
+		{"nmdetect", "../nmdetect"},
+	} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, b.out), b.pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n", b.out, err)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// e2eSpec is a deliberately tiny fleet that still exercises multi-day
+// checkpointing: 3 communities of 6 meters, 3 monitored days.
+func e2eSpec(t *testing.T) scenario.Spec {
+	t.Helper()
+	spec := scenario.Default(6, 12345)
+	spec.Horizon.BootstrapDays = 4
+	spec.Horizon.MonitorDays = 3
+	spec.Game.Sweeps = 2
+	spec.Detector.Solver = "qmdp"
+	spec.Fleet = &scenario.Fleet{Communities: 3}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func writeSpec(t *testing.T, dir string, spec scenario.Spec) string {
+	t.Helper()
+	path := filepath.Join(dir, "spec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeScript(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// inProcessReport computes the uninterrupted single-process reference report
+// for the spec, mirroring nmfleet's config plumbing (aware detector,
+// enforcement on) without any checkpointing.
+func inProcessReport(t *testing.T, spec scenario.Spec) *fleet.Report {
+	t.Helper()
+	fcfg, err := spec.FleetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg.Detector = fleet.DetectorAware
+	fcfg.Enforce = true
+	rep, err := fleet.Run(context.Background(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func gobBytes(t *testing.T, r *fleet.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func loadReport(t *testing.T, path string) *fleet.Report {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return &rep
+}
+
+// TestSupervisedRunSurvivesSIGKILLByteIdentical is the headline acceptance
+// test: the first worker process is SIGKILLed after its community's day-1
+// checkpoint lands, the supervisor retries the batch, the retry resumes from
+// checkpoint, and the merged report — status provenance aside — is
+// byte-identical to an uninterrupted in-process fleet run.
+func TestSupervisedRunSurvivesSIGKILLByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes real worker processes")
+	}
+	spec := e2eSpec(t)
+	want := inProcessReport(t, spec)
+
+	dir := t.TempDir()
+	workdir := filepath.Join(dir, "work")
+	if err := os.Mkdir(workdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	specPath := writeSpec(t, dir, spec)
+	reportPath := filepath.Join(dir, "fleet.json")
+	marker := filepath.Join(dir, "crashed-once")
+	ckpt := filepath.Join(workdir, "community-000.ckpt")
+
+	// The first worker spawned is killed -9 as soon as community 0's day-1
+	// checkpoint is durable; every later spawn execs the real worker.
+	crashOnce := writeScript(t, dir, "crash-once.sh", fmt.Sprintf(`#!/bin/sh
+if [ ! -e %q ]; then
+	: > %q
+	%q "$@" &
+	pid=$!
+	while [ ! -e %q ]; do sleep 0.02; done
+	kill -9 "$pid" 2>/dev/null
+	wait "$pid"
+	exit 137
+fi
+exec %q "$@"
+`, marker, marker, filepath.Join(binDir, "nmdetect"), ckpt, filepath.Join(binDir, "nmdetect")))
+
+	cmd := exec.Command(filepath.Join(binDir, "nmfleet"),
+		"-scenario", specPath,
+		"-workdir", workdir,
+		"-report", reportPath,
+		"-worker-bin", crashOnce,
+		"-procs", "1",
+		"-batch-size", "1",
+		"-retries", "2",
+		"-backoff", "1ms",
+		"-checkpoint-every", "1",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("nmfleet failed: %v", err)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("the crash wrapper never fired: %v", err)
+	}
+
+	got := loadReport(t, reportPath)
+	if got.Failed != 0 {
+		t.Fatalf("Failed = %d, want 0", got.Failed)
+	}
+	retried := 0
+	for i := range got.PerCommunity {
+		switch got.PerCommunity[i].Status {
+		case fleet.StatusRetried:
+			retried++
+			// Status is provenance, not data: normalize it away before the
+			// byte comparison.
+			got.PerCommunity[i].Status = fleet.StatusOK
+		case fleet.StatusOK:
+		default:
+			t.Fatalf("community %d has status %q", i, got.PerCommunity[i].Status)
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no community was retried; the kill did not exercise supervision")
+	}
+	if !bytes.Equal(gobBytes(t, got), gobBytes(t, want)) {
+		t.Fatal("supervised report differs bitwise from the in-process run")
+	}
+	var gotJSON, wantJSON bytes.Buffer
+	if err := got.WriteJSON(&gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON.Bytes()) {
+		t.Fatal("supervised report renders different JSON than the in-process run")
+	}
+}
+
+// TestSupervisedRunMarksExhaustedBatchFailed drives one batch into retry
+// exhaustion: with -max-failed 1 the run completes with a failed sentinel
+// entry, with the default budget of 0 the same failure makes nmfleet exit 3.
+func TestSupervisedRunMarksExhaustedBatchFailed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and fails real worker processes")
+	}
+	spec := e2eSpec(t)
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir, spec)
+
+	// Batch 1 always exits with the retryable runtime code; other batches
+	// run the real worker.
+	failBatch1 := writeScript(t, dir, "fail-batch-1.sh", fmt.Sprintf(`#!/bin/sh
+prev=
+for a in "$@"; do
+	if [ "$prev" = "-batch" ] && [ "$a" = "1" ]; then exit 3; fi
+	prev="$a"
+done
+exec %q "$@"
+`, filepath.Join(binDir, "nmdetect")))
+
+	run := func(workdir, reportPath string, extra ...string) error {
+		args := append([]string{
+			"-scenario", specPath,
+			"-workdir", workdir,
+			"-worker-bin", failBatch1,
+			"-procs", "2",
+			"-batch-size", "1",
+			"-retries", "1",
+			"-backoff", "1ms",
+			"-checkpoint-every", "1",
+		}, extra...)
+		if reportPath != "" {
+			args = append(args, "-report", reportPath)
+		}
+		cmd := exec.Command(filepath.Join(binDir, "nmfleet"), args...)
+		cmd.Stderr = os.Stderr
+		return cmd.Run()
+	}
+
+	tolerant := filepath.Join(dir, "work-tolerant")
+	if err := os.Mkdir(tolerant, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "fleet.json")
+	if err := run(tolerant, reportPath, "-max-failed", "1"); err != nil {
+		t.Fatalf("run with -max-failed 1 must succeed: %v", err)
+	}
+	rep := loadReport(t, reportPath)
+	if rep.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", rep.Failed)
+	}
+	for i, c := range rep.PerCommunity {
+		if i == 1 {
+			if c.Status != fleet.StatusFailed || c.Days != 0 || c.MeanDelaySlots != -1 {
+				t.Fatalf("community 1 must carry the failed sentinel: %+v", c)
+			}
+			continue
+		}
+		if c.Status != fleet.StatusOK {
+			t.Fatalf("community %d: status %q, want ok", i, c.Status)
+		}
+	}
+
+	strict := filepath.Join(dir, "work-strict")
+	if err := os.Mkdir(strict, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := run(strict, "")
+	var exitErr *exec.ExitError
+	if err == nil {
+		t.Fatal("run with the default -max-failed 0 must fail")
+	}
+	if !asExitError(err, &exitErr) || exitErr.ExitCode() != 3 {
+		t.Fatalf("err = %v, want exit code 3", err)
+	}
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}

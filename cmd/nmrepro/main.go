@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"nmdetect/internal/checkpoint"
+	"nmdetect/internal/exitcode"
 	"nmdetect/internal/experiments"
 	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
@@ -118,11 +119,11 @@ func main() {
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {
-			fatal(err)
+			fatal(exitcode.AsValidation(err))
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 	if *dumpScen {
 		if err := spec.Save(os.Stdout); err != nil {
@@ -147,7 +148,7 @@ func main() {
 
 	cfg := spec.ExperimentsConfig()
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -157,7 +158,7 @@ func main() {
 
 	if *experiment == "fleet" {
 		if *ckpt != "" || *resume {
-			fatal(fmt.Errorf("-experiment fleet keeps no repro checkpoint; use nmdetect -fleet-checkpoint for resumable fleet runs"))
+			fatal(exitcode.AsValidation(fmt.Errorf("-experiment fleet keeps no repro checkpoint; use nmdetect -fleet-checkpoint for resumable fleet runs")))
 		}
 		runFleetRepro(ctx, spec, cfg, *fleetW, *jsonPath)
 		return
@@ -165,17 +166,17 @@ func main() {
 
 	state := reproState{ScenarioID: spec.ID()}
 	if *resume && *ckpt == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-resume requires -checkpoint")))
 	}
 	if *ckpt != "" && checkpoint.Exists(*ckpt) {
 		if !*resume {
-			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+			fatal(exitcode.AsValidation(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt)))
 		}
 		if err := checkpoint.Load(*ckpt, "repro-run", &state); err != nil {
 			fatal(err)
 		}
 		if state.ScenarioID != spec.ID() {
-			fatal(fmt.Errorf("checkpoint was taken for scenario %s, current spec is %s", state.ScenarioID, spec.ID()))
+			fatal(fmt.Errorf("checkpoint was taken for scenario %s, current spec is %s: %w", state.ScenarioID, spec.ID(), checkpoint.ErrIncompatible))
 		}
 	}
 	save := func() {
@@ -454,5 +455,5 @@ func fatal(err error) {
 	// os.Exit skips deferred calls; flush profiles and the event sink here.
 	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmrepro:", err)
-	os.Exit(1)
+	os.Exit(exitcode.For(err))
 }

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"syscall"
 
+	"nmdetect/internal/exitcode"
 	"nmdetect/internal/game"
 	"nmdetect/internal/household"
 	"nmdetect/internal/obs"
@@ -57,7 +58,7 @@ func main() {
 	}()
 
 	if *specPath == "" {
-		fatal(fmt.Errorf("-spec is required"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-spec is required")))
 	}
 	f, err := os.Open(*specPath)
 	if err != nil {
@@ -66,12 +67,12 @@ func main() {
 	customer, err := household.ParseSpec(f, 0)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 
 	price, err := loadPrice(*pricePath)
 	if err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 
 	// Realize the household's PV for a clear day at the requested scale.
@@ -169,5 +170,5 @@ func fatal(err error) {
 	// os.Exit skips deferred calls; flush profiles and the event sink here.
 	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmsched:", err)
-	os.Exit(1)
+	os.Exit(exitcode.For(err))
 }

@@ -50,6 +50,7 @@ import (
 	"nmdetect/internal/attack"
 	"nmdetect/internal/checkpoint"
 	"nmdetect/internal/community"
+	"nmdetect/internal/exitcode"
 	"nmdetect/internal/fleet"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
@@ -116,12 +117,12 @@ func main() {
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {
-			fatal(err)
+			fatal(exitcode.AsValidation(err))
 		}
 		campaignWanted = spec.Attack.Kind != "none"
 	}
 	if err := spec.Validate(); err != nil {
-		fatal(err)
+		fatal(exitcode.AsValidation(err))
 	}
 	if *dumpScen {
 		if err := spec.Save(os.Stdout); err != nil {
@@ -147,7 +148,7 @@ func main() {
 	netMeteringFleet := !*noNM
 	if spec.FleetCommunities() > 1 {
 		if campaignWanted || *ckpt != "" || *resume || *histFile != "" {
-			fatal(fmt.Errorf("fleet mode (-communities >= 2) simulates clean open-loop days; -attack, -checkpoint, -resume and -history need a single community"))
+			fatal(exitcode.AsValidation(fmt.Errorf("fleet mode (-communities >= 2) simulates clean open-loop days; -attack, -checkpoint, -resume and -history need a single community")))
 		}
 		runFleetSim(ctx, spec, netMeteringFleet, *fleetW, *out)
 		return
@@ -164,20 +165,20 @@ func main() {
 		*ckptK = 1
 	}
 	if *resume && *ckpt == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
+		fatal(exitcode.AsValidation(fmt.Errorf("-resume requires -checkpoint")))
 	}
 	startDay := 0
 	var rows []traceio.Row
 	if *ckpt != "" && checkpoint.Exists(*ckpt) {
 		if !*resume {
-			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt))
+			fatal(exitcode.AsValidation(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it", *ckpt)))
 		}
 		var st simState
 		if err := checkpoint.Load(*ckpt, "sim-run", &st); err != nil {
 			fatal(err)
 		}
 		if st.NetMetering != netMetering {
-			fatal(fmt.Errorf("checkpoint was taken with net metering %v, resuming with %v", st.NetMetering, netMetering))
+			fatal(fmt.Errorf("checkpoint was taken with net metering %v, resuming with %v: %w", st.NetMetering, netMetering, checkpoint.ErrIncompatible))
 		}
 		if st.Completed > simDays {
 			fatal(fmt.Errorf("checkpoint already holds %d days, requested only %d", st.Completed, simDays))
@@ -325,5 +326,5 @@ func fatal(err error) {
 	// os.Exit skips deferred calls; flush profiles and the event sink here.
 	obs.Shutdown() //nolint:errcheck // already exiting on err
 	fmt.Fprintln(os.Stderr, "nmsim:", err)
-	os.Exit(1)
+	os.Exit(exitcode.For(err))
 }

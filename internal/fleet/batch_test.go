@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nmdetect/internal/checkpoint"
+)
+
+// encodeReport canonicalises a report for bitwise comparison (gob preserves
+// exact float bit patterns).
+func encodeReport(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Merging per-batch reports must reproduce the in-process fleet report
+// byte-for-byte: same entries, same rollup, same JSON.
+func TestMergeMatchesInProcessRun(t *testing.T) {
+	cfg := smallConfig(3, 6, 11, 2)
+	want, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches of 2: [0,2) and [2,3).
+	var outcomes []BatchOutcome
+	var days []int
+	var mu sync.Mutex
+	for b, start := 0, 0; start < cfg.Communities; b, start = b+1, start+2 {
+		count := min(2, cfg.Communities-start)
+		rep, err := RunBatch(context.Background(), cfg, b, start, count, func(community, day int) {
+			mu.Lock()
+			days = append(days, community*100+day)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes = append(outcomes, BatchOutcome{Start: start, Count: count, Status: StatusOK, Report: rep})
+	}
+	got, err := MergeReports(cfg, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeReport(t, got), encodeReport(t, want)) {
+		t.Fatal("merged batch reports differ from the in-process fleet report")
+	}
+	var gotJSON, wantJSON bytes.Buffer
+	if err := got.WriteJSON(&gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON.Bytes()) {
+		t.Fatal("merged and in-process reports render different JSON")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(days) != cfg.Communities*cfg.Days {
+		t.Fatalf("onDay fired %d times, want %d", len(days), cfg.Communities*cfg.Days)
+	}
+}
+
+func TestMergeWithFailedBatch(t *testing.T) {
+	cfg := smallConfig(3, 6, 13, 2)
+	rep, err := RunBatch(context.Background(), cfg, 0, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeReports(cfg, []BatchOutcome{
+		{Start: 0, Count: 2, Status: StatusRetried, Report: rep},
+		{Start: 2, Count: 1, Status: StatusFailed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", merged.Failed)
+	}
+	if len(merged.PerCommunity) != 3 {
+		t.Fatalf("%d entries, want 3", len(merged.PerCommunity))
+	}
+	for i, c := range merged.PerCommunity {
+		if c.Index != i || c.Seed != CommunitySeed(cfg.BaseSeed, i) {
+			t.Fatalf("entry %d: %+v", i, c)
+		}
+	}
+	if merged.PerCommunity[0].Status != StatusRetried || merged.PerCommunity[1].Status != StatusRetried {
+		t.Fatal("surviving entries must carry the batch status")
+	}
+	failed := merged.PerCommunity[2]
+	if failed.Status != StatusFailed || failed.Days != 0 || failed.MeanDelaySlots != -1 {
+		t.Fatalf("failed sentinel entry: %+v", failed)
+	}
+	// The rollup covers survivors only: identical to rolling up the batch.
+	if merged.Rollup != rollup(merged.PerCommunity[:2]) {
+		t.Fatal("rollup must skip the failed community")
+	}
+	// The failed sentinel must survive a JSON round trip (-1, not NaN).
+	var buf bytes.Buffer
+	if err := merged.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PerCommunity[2] != failed {
+		t.Fatal("failed entry changed across the JSON round trip")
+	}
+}
+
+func TestMergeRejectsBadTilings(t *testing.T) {
+	cfg := smallConfig(4, 6, 17, 1)
+	rep := func(start, count int) *BatchReport {
+		r := &BatchReport{Start: start, Count: count}
+		for j := 0; j < count; j++ {
+			r.PerCommunity = append(r.PerCommunity, CommunityReport{
+				Index: start + j, Seed: CommunitySeed(cfg.BaseSeed, start+j), Size: cfg.Size, Status: StatusOK,
+			})
+		}
+		return r
+	}
+	cases := []struct {
+		name     string
+		outcomes []BatchOutcome
+		want     string
+	}{
+		{"gap", []BatchOutcome{
+			{Start: 0, Count: 2, Status: StatusOK, Report: rep(0, 2)},
+			{Start: 3, Count: 1, Status: StatusOK, Report: rep(3, 1)},
+		}, "do not tile"},
+		{"overlap", []BatchOutcome{
+			{Start: 0, Count: 3, Status: StatusOK, Report: rep(0, 3)},
+			{Start: 2, Count: 2, Status: StatusOK, Report: rep(2, 2)},
+		}, "do not tile"},
+		{"short coverage", []BatchOutcome{
+			{Start: 0, Count: 2, Status: StatusOK, Report: rep(0, 2)},
+		}, "cover 2 of 4"},
+		{"missing report", []BatchOutcome{
+			{Start: 0, Count: 4, Status: StatusOK},
+		}, "no report"},
+		{"range mismatch", []BatchOutcome{
+			{Start: 0, Count: 4, Status: StatusOK, Report: rep(0, 2)},
+		}, "carries a report for range"},
+		{"wrong seed", []BatchOutcome{
+			{Start: 0, Count: 4, Status: StatusOK, Report: func() *BatchReport {
+				r := rep(0, 4)
+				r.PerCommunity[1].Seed++
+				return r
+			}()},
+		}, "different fleet"},
+		{"unknown status", []BatchOutcome{
+			{Start: 0, Count: 4, Status: "maybe", Report: rep(0, 4)},
+		}, "unknown status"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MergeReports(cfg, tc.outcomes)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBatchReportFileRoundTrip(t *testing.T) {
+	cfg := smallConfig(2, 6, 19, 1)
+	rep, err := RunBatch(context.Background(), cfg, 1, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch-001.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBatchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Batch != 1 || back.Start != 1 || back.Count != 1 || len(back.PerCommunity) != 1 {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	if back.PerCommunity[0] != rep.PerCommunity[0] {
+		t.Fatalf("round trip changed the entry: %+v != %+v", back.PerCommunity[0], rep.PerCommunity[0])
+	}
+}
+
+// The batch manifest refusal table: wrong kinds surface ErrIncompatible,
+// changed plans or fleet shapes are refused with a mismatch error.
+func TestBatchManifestRefusals(t *testing.T) {
+	base := func(dir string) Config {
+		c := smallConfig(4, 6, 23, 1)
+		c.CheckpointDir = dir
+		return c
+	}
+	cases := []struct {
+		name         string
+		prepare      func(t *testing.T, cfg Config)
+		attempt      func(cfg Config) error
+		want         string
+		incompatible bool
+	}{
+		{
+			"fresh then identical retry",
+			func(t *testing.T, cfg Config) {
+				if err := EnsureBatchManifest(cfg, 1, 2, 2); err != nil {
+					t.Fatal(err)
+				}
+			},
+			func(cfg Config) error { return EnsureBatchManifest(cfg, 1, 2, 2) },
+			"", false,
+		},
+		{
+			"batch size changed between attempts",
+			func(t *testing.T, cfg Config) {
+				if err := EnsureBatchManifest(cfg, 1, 2, 2); err != nil {
+					t.Fatal(err)
+				}
+			},
+			func(cfg Config) error { return EnsureBatchManifest(cfg, 1, 2, 1) },
+			"was taken with", true,
+		},
+		{
+			"fleet shape changed",
+			func(t *testing.T, cfg Config) {
+				if err := EnsureBatchManifest(cfg, 0, 0, 2); err != nil {
+					t.Fatal(err)
+				}
+			},
+			func(cfg Config) error {
+				cfg.BaseSeed++
+				return EnsureBatchManifest(cfg, 0, 0, 2)
+			},
+			"was taken with", true,
+		},
+		{
+			"fleet manifest where the batch manifest should be",
+			func(t *testing.T, cfg Config) {
+				m := cfg.manifest()
+				if err := checkpoint.Save(BatchManifestPath(cfg.CheckpointDir, 0), ManifestKind, &m); err != nil {
+					t.Fatal(err)
+				}
+			},
+			func(cfg Config) error { return EnsureBatchManifest(cfg, 0, 0, 2) },
+			"", true,
+		},
+		{
+			"batch manifest where the fleet manifest should be",
+			func(t *testing.T, cfg Config) {
+				m := BatchManifest{Fleet: cfg.manifest(), Start: 0, Count: 2}
+				if err := checkpoint.Save(ManifestPath(cfg.CheckpointDir), BatchManifestKind, &m); err != nil {
+					t.Fatal(err)
+				}
+			},
+			func(cfg Config) error { return EnsureManifest(cfg) },
+			"", true,
+		},
+		{
+			"range outside the fleet",
+			func(t *testing.T, cfg Config) {},
+			func(cfg Config) error { return EnsureBatchManifest(cfg, 2, 3, 2) },
+			"outside fleet", false,
+		},
+		{
+			"no checkpoint dir",
+			func(t *testing.T, cfg Config) {},
+			func(cfg Config) error {
+				cfg.CheckpointDir = ""
+				return EnsureBatchManifest(cfg, 0, 0, 2)
+			},
+			"needs a checkpoint dir", false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base(t.TempDir())
+			tc.prepare(t, cfg)
+			err := tc.attempt(cfg)
+			if tc.want == "" && !tc.incompatible {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if tc.incompatible && !errors.Is(err, checkpoint.ErrIncompatible) {
+				t.Fatalf("err = %v, want ErrIncompatible", err)
+			}
+			if tc.want != "" && (err == nil || !strings.Contains(err.Error(), tc.want)) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunBatchRefusesForeignWorkdir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig(2, 6, 29, 1)
+	cfg.CheckpointDir = dir
+	if err := EnsureManifest(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A worker handed the same workdir under a different fleet shape must
+	// refuse before building anything.
+	other := cfg
+	other.BaseSeed++
+	if _, err := RunBatch(context.Background(), other, 0, 0, 1, nil); err == nil ||
+		!strings.Contains(err.Error(), "was taken with fleet") {
+		t.Fatalf("err = %v, want fleet manifest refusal", err)
+	}
+}

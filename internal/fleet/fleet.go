@@ -45,8 +45,12 @@ const (
 	DetectorBlind = "blind"
 )
 
-// ManifestKind is the checkpoint payload kind of the fleet manifest.
-const ManifestKind = "fleet-run"
+// ManifestKind is the checkpoint payload kind of the fleet manifest;
+// BatchManifestKind the kind of a worker batch's manifest (§13).
+const (
+	ManifestKind      = "fleet-run"
+	BatchManifestKind = "fleet-batch"
+)
 
 // Config describes a fleet run: Communities independent communities of Size
 // meters each, every community seeded from BaseSeed by label derivation and
@@ -165,7 +169,67 @@ func (c Config) checkManifest() error {
 		return err
 	}
 	if m != c.manifest() {
-		return fmt.Errorf("fleet: checkpoint dir %s was taken with fleet %+v, resuming with %+v", c.CheckpointDir, m, c.manifest())
+		// The mismatch is a resume-compatibility failure, not a transient
+		// fault: wrap ErrIncompatible so retry loops give up immediately.
+		return fmt.Errorf("fleet: checkpoint dir %s was taken with fleet %+v, resuming with %+v: %w",
+			c.CheckpointDir, m, c.manifest(), checkpoint.ErrIncompatible)
+	}
+	return nil
+}
+
+// EnsureManifest creates the checkpoint directory if needed and pins (or
+// verifies) the fleet manifest — the same save-if-fresh/verify-else contract
+// Build applies, exposed for supervisors that prepare the directory before
+// any worker touches it.
+func EnsureManifest(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.CheckpointDir == "" {
+		return fmt.Errorf("fleet: EnsureManifest needs a checkpoint dir")
+	}
+	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: checkpoint dir: %w", err)
+	}
+	return cfg.checkManifest()
+}
+
+// BatchManifest pins one worker batch's slice of the fleet: the fleet shape
+// plus the contiguous community range [Start, Start+Count). A worker resumed
+// under a different plan (batch size changed between attempts, say) is
+// refused instead of silently writing checkpoints for the wrong communities.
+type BatchManifest struct {
+	Fleet Manifest
+	Start int
+	Count int
+}
+
+// BatchManifestPath is batch b's manifest file under dir.
+func BatchManifestPath(dir string, b int) string {
+	return filepath.Join(dir, fmt.Sprintf("batch-%03d.ckpt", b))
+}
+
+// EnsureBatchManifest writes batch b's manifest on its first attempt and
+// verifies it on retries, refusing a range or fleet-shape mismatch.
+func EnsureBatchManifest(cfg Config, b, start, count int) error {
+	if cfg.CheckpointDir == "" {
+		return fmt.Errorf("fleet: EnsureBatchManifest needs a checkpoint dir")
+	}
+	if b < 0 || start < 0 || count < 1 || start+count > cfg.Communities {
+		return fmt.Errorf("fleet: batch %d range [%d,%d) outside fleet of %d", b, start, start+count, cfg.Communities)
+	}
+	path := BatchManifestPath(cfg.CheckpointDir, b)
+	want := BatchManifest{Fleet: cfg.manifest(), Start: start, Count: count}
+	if !checkpoint.Exists(path) {
+		return checkpoint.Save(path, BatchManifestKind, &want)
+	}
+	var m BatchManifest
+	if err := checkpoint.Load(path, BatchManifestKind, &m); err != nil {
+		return err
+	}
+	if m != want {
+		return fmt.Errorf("fleet: batch manifest %s was taken with %+v, resuming with %+v: %w",
+			path, m, want, checkpoint.ErrIncompatible)
 	}
 	return nil
 }
@@ -179,6 +243,21 @@ func Build(ctx context.Context, cfg Config) ([]*core.Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return BuildRange(ctx, cfg, 0, cfg.Communities)
+}
+
+// BuildRange builds (or restores) the runners for the contiguous community
+// range [start, start+count) — a worker batch's slice of the fleet. Runner
+// j covers global community start+j: seeds, checkpoint files and report
+// entries all use the global index, so a range build is indistinguishable
+// from the same communities built full-width.
+func BuildRange(ctx context.Context, cfg Config, start, count int) ([]*core.Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || count < 1 || start+count > cfg.Communities {
+		return nil, fmt.Errorf("fleet: build range [%d,%d) outside fleet of %d", start, start+count, cfg.Communities)
+	}
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
@@ -190,13 +269,13 @@ func Build(ctx context.Context, cfg Config) ([]*core.Runner, error) {
 	sink := obs.From(ctx)
 	end := sink.Span("fleet.build")
 	defer end()
-	runners := make([]*core.Runner, cfg.Communities)
-	err := parallel.ForEach(ctx, cfg.Workers, cfg.Communities, func(i int) error {
-		r, err := buildCommunity(ctx, cfg, i)
+	runners := make([]*core.Runner, count)
+	err := parallel.ForEach(ctx, cfg.Workers, count, func(j int) error {
+		r, err := buildCommunity(ctx, cfg, start+j)
 		if err != nil {
-			return fmt.Errorf("fleet: community %d: %w", i, err)
+			return fmt.Errorf("fleet: community %d: %w", start+j, err)
 		}
-		runners[i] = r
+		runners[j] = r
 		return nil
 	})
 	if err != nil {
@@ -248,12 +327,29 @@ func Drive(ctx context.Context, cfg Config, runners []*core.Runner) error {
 	if len(runners) != cfg.Communities {
 		return fmt.Errorf("fleet: %d runners for %d communities", len(runners), cfg.Communities)
 	}
+	return DriveRange(ctx, cfg, 0, runners, nil)
+}
+
+// DriveRange advances the runners of the community range starting at start
+// through the shared day loop; runner j is global community start+j. onDay,
+// when non-nil, observes every freshly completed community-day as
+// (globalIndex, completedDays) — the worker protocol's day events hang off
+// it. The hook is called from the fan-out and must be concurrency-safe;
+// like the obs counters, it observes execution and never influences results.
+func DriveRange(ctx context.Context, cfg Config, start int, runners []*core.Runner, onDay func(community, day int)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if start < 0 || len(runners) == 0 || start+len(runners) > cfg.Communities {
+		return fmt.Errorf("fleet: drive range [%d,%d) outside fleet of %d", start, start+len(runners), cfg.Communities)
+	}
 	sink := obs.From(ctx)
 	end := sink.Span("fleet.monitor")
 	defer end()
 	for d := 0; d < cfg.Days; d++ {
-		err := parallel.ForEach(ctx, cfg.Workers, cfg.Communities, func(i int) error {
-			r := runners[i]
+		err := parallel.ForEach(ctx, cfg.Workers, len(runners), func(j int) error {
+			r := runners[j]
+			i := start + j
 			if r.Completed() > d {
 				return nil // restored past this tick
 			}
@@ -265,6 +361,9 @@ func Drive(ctx context.Context, cfg Config, runners []*core.Runner) error {
 					return fmt.Errorf("fleet: community %d checkpoint: %w", i, err)
 				}
 			}
+			if onDay != nil {
+				onDay(i, d+1)
+			}
 			return nil
 		})
 		if err != nil {
@@ -272,10 +371,10 @@ func Drive(ctx context.Context, cfg Config, runners []*core.Runner) error {
 		}
 	}
 	if sink != nil {
-		for i, r := range runners {
+		for j, r := range runners {
 			// Per-community counters; the fmt.Sprintf keys stay behind the
 			// nil check so the disabled path allocates nothing.
-			prefix := fmt.Sprintf("fleet.community.%03d.", i)
+			prefix := fmt.Sprintf("fleet.community.%03d.", start+j)
 			sink.Count(prefix+"days", int64(r.Completed()))
 			sink.Count(prefix+"inspections", int64(core.TotalInspections(r.Results())))
 			imputed := 0

@@ -12,11 +12,24 @@ import (
 
 // CommunityReport is one community's share of the fleet report: the Table-1
 // style metrics of its own monitoring window.
+// Community statuses in a fleet report. Status is provenance, not data: a
+// retried community's metrics are byte-identical to a first-attempt run
+// (workers resume from checkpoint), the status only records that its worker
+// needed supervision. A failed community carries sentinel metrics.
+const (
+	StatusOK      = "ok"
+	StatusRetried = "retried"
+	StatusFailed  = "failed"
+)
+
 type CommunityReport struct {
 	// Index is the community's fleet position; Seed its derived seed.
 	Index int    `json:"index"`
 	Seed  uint64 `json:"seed"`
 	Size  int    `json:"size"`
+	// Status is StatusOK, StatusRetried or StatusFailed. In-process runs are
+	// always StatusOK; the supervisor stamps retried/failed after merging.
+	Status string `json:"status"`
 	// Days is the number of monitored days behind the metrics.
 	Days int `json:"days"`
 	// Accuracy is the belief-vs-truth bucket accuracy (Figure 6);
@@ -59,12 +72,16 @@ type Rollup struct {
 
 // Report is the JSON-writable outcome of a fleet run.
 type Report struct {
-	Communities  int               `json:"communities"`
-	Size         int               `json:"size"`
-	TotalMeters  int               `json:"total_meters"`
-	Days         int               `json:"days"`
-	Detector     string            `json:"detector"`
-	BaseSeed     uint64            `json:"base_seed"`
+	Communities int    `json:"communities"`
+	Size        int    `json:"size"`
+	TotalMeters int    `json:"total_meters"`
+	Days        int    `json:"days"`
+	Detector    string `json:"detector"`
+	BaseSeed    uint64 `json:"base_seed"`
+	// Failed counts communities whose worker exhausted its retry budget;
+	// their entries carry StatusFailed and sentinel metrics, and the rollup
+	// covers only the surviving communities.
+	Failed       int               `json:"failed"`
 	PerCommunity []CommunityReport `json:"per_community"`
 	Rollup       Rollup            `json:"rollup"`
 }
@@ -85,49 +102,71 @@ func NewReport(cfg Config, runners []*core.Runner) (*Report, error) {
 		BaseSeed:    cfg.BaseSeed,
 	}
 	for i, r := range runners {
-		results := r.Results()
-		delays, meanDelay := core.DetectionDelays(results)
-		answered := 0
-		for _, d := range delays {
-			if d >= 0 {
-				answered++
-			}
-		}
-		if answered == 0 {
-			meanDelay = -1
-		}
-		par, err := metrics.Finite(fmt.Sprintf("fleet community %d PAR", i), core.RealizedPAR(results))
+		cr, err := communityReport(cfg, i, r)
 		if err != nil {
 			return nil, err
 		}
-		imputed, degraded := 0, 0
-		for _, res := range results {
-			imputed += res.ImputedReadings
-			if res.Degraded {
-				degraded++
-			}
-		}
-		rep.PerCommunity = append(rep.PerCommunity, CommunityReport{
-			Index:            i,
-			Seed:             CommunitySeed(cfg.BaseSeed, i),
-			Size:             cfg.Size,
-			Days:             len(results),
-			Accuracy:         core.ObservationAccuracy(results),
-			RawAccuracy:      core.RawObservationAccuracy(results),
-			PAR:              par,
-			Inspections:      core.TotalInspections(results),
-			Episodes:         len(delays),
-			AnsweredEpisodes: answered,
-			MeanDelaySlots:   meanDelay,
-			ImputedReadings:  imputed,
-			DegradedDays:     degraded,
-		})
+		rep.PerCommunity = append(rep.PerCommunity, cr)
 	}
 	rep.Rollup = rollup(rep.PerCommunity)
 	return rep, nil
 }
 
+// communityReport computes global community i's report entry from its
+// runner. The entry is a pure function of (cfg, i, accumulated results) —
+// the same whether the runner ran full-width, in a worker batch, or across
+// a checkpointed retry.
+func communityReport(cfg Config, i int, r *core.Runner) (CommunityReport, error) {
+	results := r.Results()
+	delays, meanDelay := core.DetectionDelays(results)
+	answered := 0
+	for _, d := range delays {
+		if d >= 0 {
+			answered++
+		}
+	}
+	if answered == 0 {
+		meanDelay = -1
+	}
+	par, err := metrics.Finite(fmt.Sprintf("fleet community %d PAR", i), core.RealizedPAR(results))
+	if err != nil {
+		return CommunityReport{}, err
+	}
+	imputed, degraded := 0, 0
+	for _, res := range results {
+		imputed += res.ImputedReadings
+		if res.Degraded {
+			degraded++
+		}
+	}
+	return CommunityReport{
+		Index:            i,
+		Seed:             CommunitySeed(cfg.BaseSeed, i),
+		Size:             cfg.Size,
+		Status:           StatusOK,
+		Days:             len(results),
+		Accuracy:         core.ObservationAccuracy(results),
+		RawAccuracy:      core.RawObservationAccuracy(results),
+		PAR:              par,
+		Inspections:      core.TotalInspections(results),
+		Episodes:         len(delays),
+		AnsweredEpisodes: answered,
+		MeanDelaySlots:   meanDelay,
+		ImputedReadings:  imputed,
+		DegradedDays:     degraded,
+	}, nil
+}
+
 func rollup(per []CommunityReport) Rollup {
+	// Failed communities carry sentinel metrics, not data; the rollup
+	// covers only the survivors.
+	live := per[:0:0]
+	for _, c := range per {
+		if c.Status != StatusFailed {
+			live = append(live, c)
+		}
+	}
+	per = live
 	var r Rollup
 	if len(per) == 0 {
 		r.MeanDelaySlots = -1
@@ -174,13 +213,13 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // the rollup line.
 func (r *Report) Render(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: %d communities x %d meters = %d meters, %d days, detector=%s, base seed %d\n",
-		r.Communities, r.Size, r.TotalMeters, r.Days, r.Detector, r.BaseSeed)
-	fmt.Fprintf(&b, "%9s  %20s  %8s  %8s  %7s  %8s  %10s  %7s\n",
-		"community", "seed", "accuracy", "par", "inspect", "episodes", "mean_delay", "imputed")
+	fmt.Fprintf(&b, "fleet: %d communities x %d meters = %d meters, %d days, detector=%s, base seed %d, failed=%d\n",
+		r.Communities, r.Size, r.TotalMeters, r.Days, r.Detector, r.BaseSeed, r.Failed)
+	fmt.Fprintf(&b, "%9s  %20s  %7s  %8s  %8s  %7s  %8s  %10s  %7s\n",
+		"community", "seed", "status", "accuracy", "par", "inspect", "episodes", "mean_delay", "imputed")
 	for _, c := range r.PerCommunity {
-		fmt.Fprintf(&b, "%9d  %20d  %8.4f  %8.4f  %7d  %5d/%-2d  %10.2f  %7d\n",
-			c.Index, c.Seed, c.Accuracy, c.PAR, c.Inspections, c.AnsweredEpisodes, c.Episodes, c.MeanDelaySlots, c.ImputedReadings)
+		fmt.Fprintf(&b, "%9d  %20d  %7s  %8.4f  %8.4f  %7d  %5d/%-2d  %10.2f  %7d\n",
+			c.Index, c.Seed, c.Status, c.Accuracy, c.PAR, c.Inspections, c.AnsweredEpisodes, c.Episodes, c.MeanDelaySlots, c.ImputedReadings)
 	}
 	ru := r.Rollup
 	fmt.Fprintf(&b, "rollup: accuracy mean=%.4f min=%.4f max=%.4f  par mean=%.4f max=%.4f  inspections=%d  episodes=%d/%d answered  mean_delay=%.2f\n",

@@ -191,6 +191,27 @@ func (f Fleet) IsZero() bool {
 	return f == Fleet{}
 }
 
+// Supervise carries cross-process supervision defaults for cmd/nmfleet:
+// batch size, retry budget, backoff base and worker heartbeat period.
+// Purely an execution block — supervision partitions and retries work but
+// never changes a result bit (workers resume from checkpoint), so like
+// Game.Workers the whole block is excluded from ID(); flags override it.
+type Supervise struct {
+	// BatchSize is the number of communities per worker process.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Retries is the per-batch retry budget after the first attempt.
+	Retries int `json:"retries,omitempty"`
+	// BackoffMS is the base retry backoff in milliseconds.
+	BackoffMS int `json:"backoff_ms,omitempty"`
+	// HeartbeatMS is the worker heartbeat period in milliseconds.
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+}
+
+// IsZero reports whether the block carries no supervision defaults.
+func (s Supervise) IsZero() bool {
+	return s == Supervise{}
+}
+
 // Spec is the complete declarative description of one experiment scenario.
 type Spec struct {
 	// Name labels the scenario (preset name or a user-chosen tag).
@@ -218,6 +239,11 @@ type Spec struct {
 	// content — a fleet of derived-seed communities is a different
 	// experiment — and moves the ID.
 	Fleet *Fleet `json:"fleet,omitempty"`
+	// Supervise optionally carries cross-process supervision defaults for
+	// cmd/nmfleet. Execution-only: the block never affects results, so ID()
+	// drops it entirely (every pre-existing scenario ID is unchanged) and
+	// command-line flags override it.
+	Supervise *Supervise `json:"supervise,omitempty"`
 }
 
 // Default returns the paper's scenario for a community of n meters: the
@@ -335,6 +361,12 @@ func (s Spec) Validate() error {
 	if s.Fleet != nil && s.Fleet.Communities < 0 {
 		return fmt.Errorf("scenario: fleet communities %d must be non-negative", s.Fleet.Communities)
 	}
+	if s.Supervise != nil {
+		if s.Supervise.BatchSize < 0 || s.Supervise.Retries < 0 ||
+			s.Supervise.BackoffMS < 0 || s.Supervise.HeartbeatMS < 0 {
+			return fmt.Errorf("scenario: negative supervise knob %+v", *s.Supervise)
+		}
+	}
 	// The community game is a game between customers: a fleet of 1-meter
 	// "communities" is rejected upstream by the N >= 3 floor above, and the
 	// fleet layer re-checks Size >= 2 with its own routed error.
@@ -360,6 +392,10 @@ func (s Spec) ID() string {
 		// the block (pre-existing IDs stay stable).
 		s.Fleet = nil
 	}
+	// Supervision is execution-only in its entirety — how a fleet is
+	// partitioned across processes and retried never changes a result bit —
+	// so the whole block is dropped from the hash, like Game.Workers.
+	s.Supervise = nil
 	data, err := json.Marshal(s)
 	if err != nil {
 		// A Spec contains only plain data fields; Marshal cannot fail.
@@ -467,6 +503,7 @@ func (s Spec) CommunitySpec(i int) Spec {
 	member := s
 	member.Seed = fleet.CommunitySeed(s.Seed, i)
 	member.Fleet = nil
+	member.Supervise = nil
 	if member.Name != "" {
 		member.Name = fmt.Sprintf("%s/c%03d", member.Name, i)
 	}

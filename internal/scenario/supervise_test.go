@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The supervise block is execution-only in its entirety: any contents hash
+// identically to a spec without the block, so pre-existing scenario IDs are
+// untouched and re-partitioning a fleet across processes never renames it.
+func TestSuperviseBlockIsExecutionOnly(t *testing.T) {
+	base := Default(500, 42)
+	base.Fleet = &Fleet{Communities: 4}
+	for _, block := range []*Supervise{
+		{},
+		{BatchSize: 2},
+		{BatchSize: 1, Retries: 5, BackoffMS: 250, HeartbeatMS: 1000},
+	} {
+		s := base
+		s.Supervise = block
+		if err := s.Validate(); err != nil {
+			t.Fatalf("block %+v: %v", *block, err)
+		}
+		if s.ID() != base.ID() {
+			t.Fatalf("supervise block %+v moved the ID: %s != %s", *block, s.ID(), base.ID())
+		}
+	}
+}
+
+func TestSuperviseRoundTripAndOmission(t *testing.T) {
+	spec := Default(120, 7)
+	spec.Fleet = &Fleet{Communities: 4}
+	spec.Supervise = &Supervise{BatchSize: 2, Retries: 3, BackoffMS: 500, HeartbeatMS: 2000}
+	var buf bytes.Buffer
+	if err := spec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip changed the spec:\n orig %+v\n back %+v", spec, back)
+	}
+
+	// Without the block the key stays out of the JSON, so pre-supervise
+	// scenario files and freshly saved ones stay byte-compatible.
+	var plain bytes.Buffer
+	if err := Default(120, 7).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "supervise") {
+		t.Fatalf("supervise key emitted for a spec without the block:\n%s", plain.String())
+	}
+}
+
+func TestValidateRejectsNegativeSupervise(t *testing.T) {
+	for _, block := range []*Supervise{
+		{BatchSize: -1},
+		{Retries: -2},
+		{BackoffMS: -1},
+		{HeartbeatMS: -5},
+	} {
+		s := Default(100, 1)
+		s.Supervise = block
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "supervise") {
+			t.Fatalf("Validate() with %+v = %v, want supervise rejection", *block, err)
+		}
+	}
+}
+
+func TestCommunitySpecDropsSupervise(t *testing.T) {
+	base := Default(100, 42)
+	base.Fleet = &Fleet{Communities: 3}
+	base.Supervise = &Supervise{BatchSize: 2}
+	if member := base.CommunitySpec(1); member.Supervise != nil {
+		t.Fatal("lifted community kept the supervise block")
+	}
+}

@@ -1,0 +1,61 @@
+package supervise
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseWorkerEvent fuzzes the heartbeat/report line parser: it must
+// never panic, must never accept a line without the protocol prefix, and
+// every accepted event must survive an Encode/Parse round trip unchanged —
+// the property the supervisor's event handling leans on.
+func FuzzParseWorkerEvent(f *testing.F) {
+	seeds := []string{
+		EventPrefix + `{"type":"start","batch":0}`,
+		EventPrefix + `{"type":"heartbeat","batch":3,"day":7}`,
+		EventPrefix + `{"type":"day","batch":1,"community":12,"day":4}`,
+		EventPrefix + `{"type":"error","batch":2,"msg":"solver diverged"}`,
+		EventPrefix + `{"type":"done","batch":9}`,
+		EventPrefix + `{"type":"done","batch":-9}`,
+		EventPrefix + "{",
+		EventPrefix,
+		"plain worker chatter",
+		"NMW2 {\"type\":\"done\",\"batch\":0}",
+		EventPrefix + `{"type":"done","batch":0} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, ok, err := ParseWorkerEvent(line)
+		if !strings.HasPrefix(line, EventPrefix) {
+			if ok || err != nil {
+				t.Fatalf("non-protocol line %q: ok=%v err=%v", line, ok, err)
+			}
+			return
+		}
+		if !ok {
+			if err == nil {
+				t.Fatalf("protocol line %q rejected without an error", line)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("accepted event with error: %v", err)
+		}
+		if !utf8.ValidString(ev.Type) || !utf8.ValidString(ev.Msg) {
+			// encoding/json replaces invalid UTF-8; an accepted event is
+			// always re-encodable.
+			t.Fatalf("accepted event carries invalid UTF-8: %+v", ev)
+		}
+		line2, err := ev.Encode()
+		if err != nil {
+			t.Fatalf("accepted event %+v does not re-encode: %v", ev, err)
+		}
+		ev2, ok2, err2 := ParseWorkerEvent(line2)
+		if err2 != nil || !ok2 || ev2 != ev {
+			t.Fatalf("round trip: %+v -> %q -> %+v (ok=%v err=%v)", ev, line2, ev2, ok2, err2)
+		}
+	})
+}

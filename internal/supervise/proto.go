@@ -1,0 +1,152 @@
+// Package supervise is the cross-process fleet supervisor: it partitions a
+// fleet of communities into batches, spawns one worker subprocess per batch
+// and supervises them with deadlines, heartbeat-gap detection and bounded,
+// deterministically jittered retries. Workers hand their state off through
+// the per-community checkpoint files (community-NNN.ckpt) the fleet layer
+// already writes, so a retried worker resumes instead of recomputing —
+// crash equivalence at the process level, on top of the §8/§12 guarantees.
+//
+// This file is the worker line protocol. A worker talks to its supervisor
+// over stdout: one event per line, a fixed prefix followed by a JSON body.
+// Anything without the prefix is passed over (workers may print ordinary
+// diagnostics); any line at all counts as liveness. The prefix carries the
+// protocol version, so an incompatible future worker fails parsing loudly
+// instead of being half-understood.
+package supervise
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// EventPrefix marks a protocol line. The trailing digit is the protocol
+// version; bump it when WorkerEvent changes incompatibly.
+const EventPrefix = "NMW1 "
+
+// Worker event types. A worker emits start once, day after every completed
+// community-day, heartbeat on a timer while long stages (the offline build)
+// produce no day events, error before a classified failure exit, and done
+// after its batch report is durably written.
+const (
+	EventStart     = "start"
+	EventHeartbeat = "heartbeat"
+	EventDay       = "day"
+	EventError     = "error"
+	EventDone      = "done"
+)
+
+// WorkerEvent is one protocol line's body.
+type WorkerEvent struct {
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Batch is the worker's batch index (>= 0).
+	Batch int `json:"batch"`
+	// Community is the global community index a day event refers to.
+	Community int `json:"community,omitempty"`
+	// Day is the 1-based completed-day count of that community (day
+	// events) or of the slowest community (heartbeats).
+	Day int `json:"day,omitempty"`
+	// Msg carries the error text of an error event.
+	Msg string `json:"msg,omitempty"`
+}
+
+// validate rejects events that are syntactically JSON but semantically
+// impossible, so a corrupted line never reaches supervisor logic.
+func (e WorkerEvent) validate() error {
+	switch e.Type {
+	case EventStart, EventHeartbeat, EventDay, EventError, EventDone:
+	default:
+		return fmt.Errorf("supervise: unknown event type %q", e.Type)
+	}
+	if e.Batch < 0 {
+		return fmt.Errorf("supervise: negative batch %d", e.Batch)
+	}
+	if e.Community < 0 || e.Day < 0 {
+		return fmt.Errorf("supervise: negative progress field (community %d, day %d)", e.Community, e.Day)
+	}
+	return nil
+}
+
+// Encode renders the event as one protocol line (without the newline).
+func (e WorkerEvent) Encode() (string, error) {
+	if err := e.validate(); err != nil {
+		return "", err
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return "", fmt.Errorf("supervise: encode event: %w", err)
+	}
+	return EventPrefix + string(body), nil
+}
+
+// ParseWorkerEvent decodes one worker stdout line. ok is false with a nil
+// error for ordinary (non-protocol) output; a line that carries the prefix
+// but not a valid event returns an error — the supervisor counts those but
+// never acts on them.
+func ParseWorkerEvent(line string) (ev WorkerEvent, ok bool, err error) {
+	body, found := strings.CutPrefix(line, EventPrefix)
+	if !found {
+		return WorkerEvent{}, false, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ev); err != nil {
+		return WorkerEvent{}, false, fmt.Errorf("supervise: bad event line: %w", err)
+	}
+	// Trailing garbage after the JSON body is as suspect as bad JSON.
+	if dec.More() {
+		return WorkerEvent{}, false, fmt.Errorf("supervise: trailing data after event body")
+	}
+	if err := ev.validate(); err != nil {
+		return WorkerEvent{}, false, err
+	}
+	return ev, true, nil
+}
+
+// EventWriter serializes protocol lines onto a worker's stdout. The day
+// loop and the heartbeat ticker write concurrently, so every write goes
+// through one mutex and one Fprintln — a line is never interleaved.
+type EventWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	batch int
+	err   error
+}
+
+// NewEventWriter returns a writer emitting events for the given batch.
+func NewEventWriter(w io.Writer, batch int) *EventWriter {
+	return &EventWriter{w: w, batch: batch}
+}
+
+// Emit writes one event line, installing the writer's batch index. Write
+// errors are remembered (first wins) and reported by Err — a worker whose
+// supervisor has gone away should finish its batch, not crash mid-day.
+func (ew *EventWriter) Emit(e WorkerEvent) {
+	e.Batch = ew.batch
+	line, err := e.Encode()
+	if err != nil {
+		// An invalid event is a programming error in the worker; surface it
+		// through Err rather than silently dropping liveness signals.
+		ew.mu.Lock()
+		if ew.err == nil {
+			ew.err = err
+		}
+		ew.mu.Unlock()
+		return
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if _, err := fmt.Fprintln(ew.w, line); err != nil && ew.err == nil {
+		ew.err = err
+	}
+}
+
+// Err reports the first write or encode error the writer has seen.
+func (ew *EventWriter) Err() error {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.err
+}

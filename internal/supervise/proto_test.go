@@ -1,0 +1,123 @@
+package supervise
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseWorkerEventRoundTrip(t *testing.T) {
+	events := []WorkerEvent{
+		{Type: EventStart, Batch: 0},
+		{Type: EventHeartbeat, Batch: 3, Day: 7},
+		{Type: EventDay, Batch: 1, Community: 12, Day: 4},
+		{Type: EventError, Batch: 2, Msg: "solver diverged"},
+		{Type: EventDone, Batch: 9},
+	}
+	for _, want := range events {
+		line, err := want.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		if !strings.HasPrefix(line, EventPrefix) {
+			t.Fatalf("encoded line %q lacks the protocol prefix", line)
+		}
+		got, ok, err := ParseWorkerEvent(line)
+		if err != nil || !ok {
+			t.Fatalf("ParseWorkerEvent(%q) = ok=%v err=%v", line, ok, err)
+		}
+		if got != want {
+			t.Fatalf("round trip changed the event: %+v != %+v", got, want)
+		}
+	}
+}
+
+func TestParseWorkerEventRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"bad json", EventPrefix + "{"},
+		{"unknown type", EventPrefix + `{"type":"reboot","batch":0}`},
+		{"unknown field", EventPrefix + `{"type":"done","batch":0,"extra":1}`},
+		{"negative batch", EventPrefix + `{"type":"done","batch":-1}`},
+		{"negative day", EventPrefix + `{"type":"day","batch":0,"day":-2}`},
+		{"trailing data", EventPrefix + `{"type":"done","batch":0} trailing`},
+		{"empty body", EventPrefix},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok, err := ParseWorkerEvent(tc.line); ok || err == nil {
+				t.Fatalf("ParseWorkerEvent(%q) = ok=%v err=%v, want rejection", tc.line, ok, err)
+			}
+		})
+	}
+}
+
+func TestParseWorkerEventPassesOverPlainOutput(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"nmdetect: building fleet of 4 communities...",
+		"NMW2 {\"type\":\"done\",\"batch\":0}",          // future protocol version: not ours
+		" " + EventPrefix + `{"type":"done","batch":0}`, // prefix must anchor the line
+	} {
+		if _, ok, err := ParseWorkerEvent(line); ok || err != nil {
+			t.Fatalf("ParseWorkerEvent(%q) = ok=%v err=%v, want silent pass-over", line, ok, err)
+		}
+	}
+}
+
+// collectWriter is a concurrency-safe line sink for EventWriter tests.
+type collectWriter struct {
+	mu    sync.Mutex
+	lines []byte
+}
+
+func (c *collectWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lines = append(c.lines, p...)
+	return len(p), nil
+}
+
+// The event writer must keep concurrent emitters (day loop + heartbeat
+// ticker) from interleaving: every line in the output must parse.
+func TestEventWriterConcurrentLinesStayWhole(t *testing.T) {
+	var out collectWriter
+	ew := NewEventWriter(&out, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ew.Emit(WorkerEvent{Type: EventHeartbeat, Day: i, Community: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(out.lines), "\n"), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("%d lines, want 200", len(lines))
+	}
+	for _, line := range lines {
+		ev, ok, err := ParseWorkerEvent(line)
+		if err != nil || !ok {
+			t.Fatalf("interleaved line %q: ok=%v err=%v", line, ok, err)
+		}
+		if ev.Batch != 5 {
+			t.Fatalf("writer did not install its batch index: %+v", ev)
+		}
+	}
+}
+
+func TestEventWriterRejectsInvalidEvent(t *testing.T) {
+	ew := NewEventWriter(&strings.Builder{}, 0)
+	ew.Emit(WorkerEvent{Type: "bogus"})
+	if ew.Err() == nil {
+		t.Fatal("invalid event type must surface through Err")
+	}
+}

@@ -1,0 +1,438 @@
+package supervise
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nmdetect/internal/exitcode"
+	"nmdetect/internal/obs"
+	"nmdetect/internal/parallel"
+	"nmdetect/internal/rng"
+)
+
+// Batch is one contiguous slice of a fleet: communities [Start, Start+Count)
+// run in one worker process.
+type Batch struct {
+	Index int
+	Start int
+	Count int
+}
+
+// Plan partitions communities into contiguous batches of batchSize (the
+// last batch takes the remainder). The partition is a pure function of its
+// arguments: every supervisor run — and every worker told only its batch
+// index and size — computes the identical plan.
+func Plan(communities, batchSize int) ([]Batch, error) {
+	if communities < 1 {
+		return nil, fmt.Errorf("supervise: %d communities, need at least 1", communities)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("supervise: batch size %d, need at least 1", batchSize)
+	}
+	var batches []Batch
+	for start := 0; start < communities; start += batchSize {
+		count := min(batchSize, communities-start)
+		batches = append(batches, Batch{Index: len(batches), Start: start, Count: count})
+	}
+	return batches, nil
+}
+
+// Batch statuses in a supervision result. StatusRetried means the batch
+// eventually succeeded but needed more than one attempt — its data is
+// byte-identical to a first-attempt success (workers resume from
+// checkpoint), the status records provenance.
+const (
+	StatusOK      = "ok"
+	StatusRetried = "retried"
+	StatusFailed  = "failed"
+)
+
+// SpawnFunc builds the worker command for one attempt of one batch. The
+// supervisor owns the returned command's stdout (the event protocol);
+// Spawn must leave cmd.Stdout nil. Stderr may be wired anywhere (typically
+// the supervisor's own stderr). The command must not have been started.
+type SpawnFunc func(b Batch, attempt int) (*exec.Cmd, error)
+
+// Config describes one supervised fleet run.
+type Config struct {
+	// Batches is the work plan, normally Plan(communities, batchSize).
+	Batches []Batch
+	// Procs bounds how many worker processes run concurrently (0 = the
+	// parallel package's default, one per core).
+	Procs int
+	// Retries is the per-batch retry budget after the first attempt; a
+	// batch fails permanently after 1+Retries attempts (or immediately on
+	// a permanent exit code — see exitcode.Retryable).
+	Retries int
+	// Backoff is the base delay before the first retry; attempt k waits
+	// Backoff·2^(k-1), capped at MaxBackoff, then jittered to [0.5, 1.5)×
+	// by a stream derived from Seed — deterministic per (Seed, batch,
+	// attempt), so a rerun of the same supervision schedules identically.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// HeartbeatGap kills an attempt whose worker has written nothing (no
+	// line of any kind) for this long. 0 disables gap detection.
+	HeartbeatGap time.Duration
+	// Deadline bounds one attempt's wall clock. 0 disables.
+	Deadline time.Duration
+	// KillGrace is how long a worker gets between SIGTERM (flush sinks and
+	// let the current checkpoint cadence stand) and SIGKILL.
+	KillGrace time.Duration
+	// Seed drives the retry jitter via label derivation.
+	Seed uint64
+	// Spawn builds each attempt's worker command.
+	Spawn SpawnFunc
+	// OnEvent, when non-nil, observes every parsed protocol event (called
+	// from the per-worker reader goroutine).
+	OnEvent func(b Batch, e WorkerEvent)
+	// Log, when non-nil, receives one line per supervision transition
+	// (spawn, kill, retry, failure) for operator visibility.
+	Log func(format string, args ...any)
+
+	// sleep is the retry delay; tests inject a fake to keep backoff
+	// schedules observable without real waiting. nil = context-aware sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// BatchResult is one batch's supervision outcome.
+type BatchResult struct {
+	Batch    Batch
+	Status   string // StatusOK, StatusRetried or StatusFailed
+	Attempts int
+	// ExitCode is the last attempt's exit code (-1 for signal death).
+	ExitCode int
+	// Err is the last attempt's failure (nil for StatusOK/StatusRetried).
+	Err error
+}
+
+// Failed counts the failed batches in a result set.
+func Failed(results []BatchResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Status == StatusFailed {
+			n++
+		}
+	}
+	return n
+}
+
+func (c Config) validate() error {
+	if len(c.Batches) == 0 {
+		return fmt.Errorf("supervise: no batches")
+	}
+	if c.Spawn == nil {
+		return fmt.Errorf("supervise: no Spawn function")
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("supervise: negative retry budget %d", c.Retries)
+	}
+	if c.Backoff < 0 || c.MaxBackoff < 0 || c.HeartbeatGap < 0 || c.Deadline < 0 || c.KillGrace < 0 {
+		return fmt.Errorf("supervise: negative duration knob")
+	}
+	return nil
+}
+
+// backoffFor is the deterministic retry delay before attempt+1: the
+// exponential base delay for the attempt-th retry, jittered to [0.5, 1.5)×
+// by the stream Derive'd from (seed, batch, attempt). Label derivation
+// never advances a parent stream, so the schedule is a pure function of
+// its arguments — two supervisors with the same seed retry in lockstep,
+// and no draw here perturbs any simulation stream.
+func backoffFor(seed uint64, batch, attempt int, base, maxDelay time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if maxDelay <= 0 {
+		maxDelay = time.Minute
+	}
+	d := base
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	d = min(d, maxDelay)
+	j := rng.New(seed).Derive(fmt.Sprintf("supervise-batch-%d-attempt-%d", batch, attempt)).Float64()
+	return time.Duration((0.5 + j) * float64(d))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Run supervises every batch to completion or retry exhaustion, at most
+// Procs workers at a time. A failed batch is not an error: it lands in its
+// BatchResult as StatusFailed and the run completes — callers decide how
+// many failures their budget tolerates. Run itself errors only on an
+// invalid config or a cancelled context.
+func Run(ctx context.Context, cfg Config) ([]BatchResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = sleepCtx
+	}
+	if cfg.KillGrace <= 0 {
+		cfg.KillGrace = 2 * time.Second
+	}
+	sink := obs.From(ctx)
+	if sink == nil {
+		sink = obs.Default()
+	}
+	end := sink.Span("supervise.run")
+	defer end()
+	results := make([]BatchResult, len(cfg.Batches))
+	err := parallel.ForEach(ctx, cfg.Procs, len(cfg.Batches), func(i int) error {
+		results[i] = cfg.runBatch(ctx, sink, cfg.Batches[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		for _, r := range results {
+			if r.Status == StatusFailed {
+				sink.Count("supervise.failed_batches", 1)
+			}
+		}
+	}
+	return results, nil
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// runBatch drives one batch through its attempt loop.
+func (c Config) runBatch(ctx context.Context, sink *obs.Sink, b Batch) BatchResult {
+	res := BatchResult{Batch: b, Status: StatusOK}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		code, err := c.runAttempt(ctx, sink, b, attempt)
+		res.ExitCode = code
+		if err == nil {
+			res.Err = nil // earlier attempts' failures are history, not outcome
+			if attempt > 1 {
+				res.Status = StatusRetried
+			}
+			return res
+		}
+		res.Err = err
+		if ctx.Err() != nil {
+			// The supervisor itself is shutting down; report the batch as
+			// failed-by-cancellation without burning the retry budget.
+			res.Status = StatusFailed
+			return res
+		}
+		if !exitcode.Retryable(code) {
+			c.logf("supervise: batch %d attempt %d failed permanently (exit %d): %v", b.Index, attempt, code, err)
+			res.Status = StatusFailed
+			return res
+		}
+		if attempt > c.Retries {
+			c.logf("supervise: batch %d failed after %d attempts: %v", b.Index, attempt, err)
+			res.Status = StatusFailed
+			return res
+		}
+		delay := backoffFor(c.Seed, b.Index, attempt, c.Backoff, c.MaxBackoff)
+		c.logf("supervise: batch %d attempt %d failed (exit %d): %v; retrying in %s", b.Index, attempt, code, err, delay)
+		sink.Count("supervise.retries", 1)
+		if err := c.sleep(ctx, delay); err != nil {
+			res.Status = StatusFailed
+			return res
+		}
+	}
+}
+
+// errWorker wraps an attempt failure with the watchdog's verdict (if any),
+// so "killed after heartbeat gap" and "exceeded deadline" read differently
+// from a worker crash.
+type errWorker struct {
+	reason string // non-empty when the supervisor killed the worker
+	err    error
+}
+
+func (e errWorker) Error() string {
+	if e.reason != "" {
+		return fmt.Sprintf("%s (%v)", e.reason, e.err)
+	}
+	return e.err.Error()
+}
+
+func (e errWorker) Unwrap() error { return e.err }
+
+// runAttempt spawns, watches and reaps one worker process. It returns the
+// exit code (-1 for signal death or pre-exec failure) and a nil error only
+// for a clean exit 0.
+func (c Config) runAttempt(ctx context.Context, sink *obs.Sink, b Batch, attempt int) (int, error) {
+	cmd, err := c.Spawn(b, attempt)
+	if err != nil {
+		// A Spawn that cannot even build the command will not do better
+		// next time; classify as permanent via the Validation code.
+		return exitcode.Validation, fmt.Errorf("supervise: spawn batch %d: %w", b.Index, err)
+	}
+	if cmd.Stdout != nil {
+		return exitcode.Validation, fmt.Errorf("supervise: batch %d: Spawn must leave Stdout to the supervisor", b.Index)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return exitcode.Validation, fmt.Errorf("supervise: batch %d stdout: %w", b.Index, err)
+	}
+	// Each worker leads its own process group so termination reaches its
+	// children too — otherwise a grandchild inheriting the stdout pipe keeps
+	// it open after the worker dies and the reader never sees EOF.
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Setpgid = true
+	if err := cmd.Start(); err != nil {
+		return -1, fmt.Errorf("supervise: start batch %d: %w", b.Index, err)
+	}
+	sink.Count("supervise.spawns", 1)
+	c.logf("supervise: batch %d attempt %d: spawned pid %d (communities %d..%d)",
+		b.Index, attempt, cmd.Process.Pid, b.Start, b.Start+b.Count-1)
+	endSpan := sink.Span("supervise.attempt")
+	defer endSpan()
+
+	// lastLine is the liveness clock: any stdout line resets it. Stored as
+	// UnixNano so the watchdog reads it without a lock.
+	var lastLine atomic.Int64
+	lastLine.Store(time.Now().UnixNano())
+
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			lastLine.Store(time.Now().UnixNano())
+			ev, ok, perr := ParseWorkerEvent(sc.Text())
+			if perr != nil {
+				sink.Count("supervise.malformed_events", 1)
+				continue
+			}
+			if !ok {
+				continue // ordinary worker output
+			}
+			sink.Count("supervise.heartbeats", 1)
+			if c.OnEvent != nil {
+				c.OnEvent(b, ev)
+			}
+		}
+	}()
+
+	// The watchdog: kills the worker on a heartbeat gap, the per-attempt
+	// deadline, or supervisor cancellation. It owns the "why" string.
+	watchDone := make(chan struct{})
+	var killReason atomic.Pointer[string]
+	kill := func(reason string) {
+		killReason.CompareAndSwap(nil, &reason)
+		sink.Count("supervise.kills", 1)
+		c.logf("supervise: batch %d attempt %d: %s; terminating pid %d", b.Index, attempt, reason, cmd.Process.Pid)
+		c.terminate(cmd, readDone)
+	}
+	go func() {
+		defer close(watchDone)
+		var deadline <-chan time.Time
+		if c.Deadline > 0 {
+			t := time.NewTimer(c.Deadline)
+			defer t.Stop()
+			deadline = t.C
+		}
+		// Poll the liveness clock at a quarter of the gap so a stall is
+		// caught within ~1.25 gaps in the worst case.
+		pollEvery := time.Hour
+		if c.HeartbeatGap > 0 {
+			pollEvery = max(c.HeartbeatGap/4, time.Millisecond)
+		}
+		ticker := time.NewTicker(pollEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-readDone:
+				return // worker exited (or closed stdout); nothing to watch
+			case <-ctx.Done():
+				kill("supervisor cancelled")
+				return
+			case <-deadline:
+				kill(fmt.Sprintf("deadline %s exceeded", c.Deadline))
+				return
+			case <-ticker.C:
+				if c.HeartbeatGap <= 0 {
+					continue
+				}
+				gap := time.Since(time.Unix(0, lastLine.Load()))
+				if gap > c.HeartbeatGap {
+					kill(fmt.Sprintf("no output for %s (heartbeat gap %s)", gap.Round(time.Millisecond), c.HeartbeatGap))
+					return
+				}
+			}
+		}
+	}()
+
+	<-readDone // Wait must not race the stdout pipe
+	waitErr := cmd.Wait()
+	<-watchDone
+
+	code := 0
+	if waitErr != nil {
+		code = -1
+		var ee *exec.ExitError
+		if errors.As(waitErr, &ee) {
+			code = ee.ExitCode()
+		}
+	}
+	if reason := killReason.Load(); reason != nil {
+		// A supervisor kill is never a clean exit, even when the worker
+		// caught SIGTERM and exited 0: report it as signal death so the
+		// retry loop treats it as transient.
+		if code == 0 {
+			code = -1
+		}
+		if waitErr == nil {
+			waitErr = errors.New("worker exited cleanly after signal")
+		}
+		return code, errWorker{reason: *reason, err: fmt.Errorf("worker exit: %w", waitErr)}
+	}
+	if waitErr != nil {
+		return code, fmt.Errorf("supervise: batch %d worker: %w", b.Index, waitErr)
+	}
+	return 0, nil
+}
+
+// terminate asks the worker to shut down cleanly (SIGTERM — the worker's
+// NotifyContext cancels at the next day boundary and flushes its sinks;
+// checkpoints already on disk stand) and escalates to SIGKILL after
+// KillGrace. readDone doubles as the exit signal: the pipe closes when the
+// process is gone.
+func (c Config) terminate(cmd *exec.Cmd, exited <-chan struct{}) {
+	if cmd.Process == nil {
+		return
+	}
+	// Signal the whole process group (the worker is its own group leader):
+	// children inherit the stdout pipe, and a surviving child would keep it
+	// open past the worker's death. Kill can only fail because the group is
+	// already gone.
+	_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGTERM)
+	select {
+	case <-exited:
+	case <-time.After(c.KillGrace):
+		_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+}

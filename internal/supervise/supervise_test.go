@@ -1,0 +1,422 @@
+package supervise
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPlan(t *testing.T) {
+	cases := []struct {
+		communities, batchSize int
+		want                   []Batch
+	}{
+		{1, 1, []Batch{{0, 0, 1}}},
+		{4, 2, []Batch{{0, 0, 2}, {1, 2, 2}}},
+		{5, 2, []Batch{{0, 0, 2}, {1, 2, 2}, {2, 4, 1}}},
+		{3, 10, []Batch{{0, 0, 3}}},
+	}
+	for _, tc := range cases {
+		got, err := Plan(tc.communities, tc.batchSize)
+		if err != nil {
+			t.Fatalf("Plan(%d, %d): %v", tc.communities, tc.batchSize, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Plan(%d, %d) = %v, want %v", tc.communities, tc.batchSize, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Plan(%d, %d)[%d] = %v, want %v", tc.communities, tc.batchSize, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {-3, 2}} {
+		if _, err := Plan(bad[0], bad[1]); err == nil {
+			t.Fatalf("Plan(%d, %d) must reject", bad[0], bad[1])
+		}
+	}
+}
+
+func TestBackoffDeterministicBoundedAndCapped(t *testing.T) {
+	base, cap := 100*time.Millisecond, 400*time.Millisecond
+	prevMid := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := backoffFor(42, 3, attempt, base, cap)
+		d2 := backoffFor(42, 3, attempt, base, cap)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic (%s vs %s)", attempt, d1, d2)
+		}
+		// Jitter spans [0.5, 1.5)× a base delay that is itself capped.
+		if d1 < 0 || d1 >= time.Duration(1.5*float64(cap)) {
+			t.Fatalf("attempt %d: backoff %s outside jittered cap", attempt, d1)
+		}
+		// The underlying exponential midpoint must be monotone up to the cap.
+		mid := min(base<<uint(attempt-1), cap)
+		if mid < prevMid {
+			t.Fatalf("exponential base regressed at attempt %d", attempt)
+		}
+		prevMid = mid
+	}
+	if backoffFor(42, 3, 2, base, cap) == backoffFor(42, 4, 2, base, cap) {
+		t.Fatal("different batches must draw different jitter")
+	}
+	if backoffFor(42, 3, 2, base, cap) == backoffFor(43, 3, 2, base, cap) {
+		t.Fatal("different seeds must draw different jitter")
+	}
+	if backoffFor(42, 0, 1, 0, cap) != 0 {
+		t.Fatal("zero base backoff must mean no delay")
+	}
+}
+
+// shellSpawn builds a SpawnFunc running the given script under sh, with the
+// attempt number in $1 so scripts can behave differently across retries.
+func shellSpawn(t *testing.T, script string) SpawnFunc {
+	t.Helper()
+	return func(b Batch, attempt int) (*exec.Cmd, error) {
+		cmd := exec.Command("sh", "-c", script, "worker", fmt.Sprint(attempt), fmt.Sprint(b.Index))
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+func mustPlan(t *testing.T, communities, batchSize int) []Batch {
+	t.Helper()
+	b, err := Plan(communities, batchSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestRunCleanSuccess(t *testing.T) {
+	var mu sync.Mutex
+	var seen []WorkerEvent
+	cfg := Config{
+		Batches: mustPlan(t, 3, 1),
+		Procs:   3,
+		Spawn: shellSpawn(t, `
+			printf 'NMW1 {"type":"start","batch":%d}\n' "$2"
+			echo "ordinary diagnostic chatter"
+			printf 'NMW1 {"type":"done","batch":%d}\n' "$2"
+		`),
+		OnEvent: func(b Batch, e WorkerEvent) {
+			mu.Lock()
+			seen = append(seen, e)
+			mu.Unlock()
+		},
+		sleep: noSleep,
+	}
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Status != StatusOK || r.Attempts != 1 || r.Err != nil {
+			t.Fatalf("batch %d: %+v, want clean first-attempt success", r.Batch.Index, r)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 6 { // start + done per batch; chatter is not an event
+		t.Fatalf("saw %d events, want 6: %+v", len(seen), seen)
+	}
+	for _, e := range seen {
+		if e.Type != EventStart && e.Type != EventDone {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+}
+
+func TestRunRetriesFlakyWorker(t *testing.T) {
+	cfg := Config{
+		Batches: mustPlan(t, 1, 1),
+		Retries: 2,
+		Backoff: time.Nanosecond,
+		// Fail with a retryable runtime code on attempt 1, succeed after.
+		Spawn: shellSpawn(t, `
+			if [ "$1" -lt 2 ]; then exit 3; fi
+			printf 'NMW1 {"type":"done","batch":0}\n'
+		`),
+		sleep: noSleep,
+	}
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusRetried || r.Attempts != 2 || r.Err != nil || r.ExitCode != 0 {
+		t.Fatalf("flaky batch: %+v, want retried success on attempt 2", r)
+	}
+}
+
+func TestRunPermanentFailureSkipsRetries(t *testing.T) {
+	spawned := 0
+	var mu sync.Mutex
+	base := shellSpawn(t, `exit 2`) // validation: permanent
+	cfg := Config{
+		Batches: mustPlan(t, 1, 1),
+		Retries: 5,
+		Backoff: time.Nanosecond,
+		Spawn: func(b Batch, attempt int) (*exec.Cmd, error) {
+			mu.Lock()
+			spawned++
+			mu.Unlock()
+			return base(b, attempt)
+		},
+		sleep: noSleep,
+	}
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusFailed || r.Attempts != 1 || r.ExitCode != 2 || r.Err == nil {
+		t.Fatalf("permanent failure: %+v, want failed on first attempt with exit 2", r)
+	}
+	if spawned != 1 {
+		t.Fatalf("spawned %d times, want 1: exit 2 must not be retried", spawned)
+	}
+}
+
+func TestRunExhaustsRetryBudget(t *testing.T) {
+	var mu sync.Mutex
+	var delays []time.Duration
+	cfg := Config{
+		Batches: mustPlan(t, 1, 1),
+		Retries: 2,
+		Backoff: 10 * time.Millisecond,
+		Seed:    7,
+		Spawn:   shellSpawn(t, `exit 3`),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+			return nil
+		},
+	}
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusFailed || r.Attempts != 3 || r.ExitCode != 3 || r.Err == nil {
+		t.Fatalf("exhausted batch: %+v, want failed after 3 attempts", r)
+	}
+	want := []time.Duration{
+		backoffFor(7, 0, 1, cfg.Backoff, cfg.MaxBackoff),
+		backoffFor(7, 0, 2, cfg.Backoff, cfg.MaxBackoff),
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("retry delays %v, want the deterministic schedule %v", delays, want)
+	}
+}
+
+func TestRunKillsSilentWorkerOnHeartbeatGap(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "attempt2")
+	// Attempt 1 prints one line then hangs silently; attempt 2 succeeds.
+	cfg := Config{
+		Batches:      mustPlan(t, 1, 1),
+		Retries:      1,
+		Backoff:      time.Nanosecond,
+		HeartbeatGap: 150 * time.Millisecond,
+		KillGrace:    50 * time.Millisecond,
+		Spawn: shellSpawn(t, `
+			if [ "$1" -ge 2 ]; then
+				touch `+marker+`
+				printf 'NMW1 {"type":"done","batch":0}\n'
+				exit 0
+			fi
+			printf 'NMW1 {"type":"start","batch":0}\n'
+			sleep 30
+		`),
+		sleep: noSleep,
+	}
+	start := time.Now()
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusRetried || r.Attempts != 2 {
+		t.Fatalf("gap-killed batch: %+v, want retried success", r)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("second attempt never ran: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("gap detection took %s; the 30s sleep leaked into the test", elapsed)
+	}
+}
+
+func TestRunDeadlineKillsWorker(t *testing.T) {
+	// The worker heartbeats forever, so only the deadline can stop it.
+	cfg := Config{
+		Batches:   mustPlan(t, 1, 1),
+		Retries:   0,
+		Deadline:  200 * time.Millisecond,
+		KillGrace: 50 * time.Millisecond,
+		Spawn: shellSpawn(t, `
+			while true; do printf 'NMW1 {"type":"heartbeat","batch":0}\n'; sleep 0.05; done
+		`),
+		sleep: noSleep,
+	}
+	start := time.Now()
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusFailed || r.Err == nil {
+		t.Fatalf("deadline batch: %+v, want failed", r)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline enforcement took %s", elapsed)
+	}
+}
+
+// TestRunSurvivesKilledWorkerMidFleet is the race-list scenario: several
+// concurrent workers, one SIGKILLed from outside mid-run, supervisor retries
+// it while the others finish — exercising the reader/watchdog/Wait
+// goroutines under contention.
+func TestRunSurvivesKilledWorkerMidFleet(t *testing.T) {
+	dir := t.TempDir()
+	ready := filepath.Join(dir, "victim.pid")
+	// Batch 1 attempt 1 writes its pid then idles (with heartbeats) waiting
+	// to be killed; every other run finishes quickly.
+	script := `
+		if [ "$2" = "1" ] && [ "$1" = "1" ]; then
+			echo $$ > ` + ready + `
+			i=0
+			while [ $i -lt 200 ]; do
+				printf 'NMW1 {"type":"heartbeat","batch":1}\n'
+				sleep 0.05
+				i=$((i+1))
+			done
+			exit 3
+		fi
+		printf 'NMW1 {"type":"done","batch":%d}\n' "$2"
+	`
+	cfg := Config{
+		Batches:   mustPlan(t, 4, 1),
+		Procs:     4,
+		Retries:   2,
+		Backoff:   time.Nanosecond,
+		KillGrace: 50 * time.Millisecond,
+		Spawn:     shellSpawn(t, script),
+		sleep:     noSleep,
+	}
+	killed := make(chan error, 1)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			b, err := os.ReadFile(ready)
+			if err == nil && len(b) > 0 {
+				var pid int
+				if _, err := fmt.Sscan(string(b), &pid); err != nil {
+					killed <- err
+					return
+				}
+				killed <- syscall.Kill(pid, syscall.SIGKILL)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		killed <- fmt.Errorf("victim worker never reported its pid")
+	}()
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-killed; err != nil {
+		t.Fatalf("killing the victim: %v", err)
+	}
+	for _, r := range results {
+		switch r.Batch.Index {
+		case 1:
+			if r.Status != StatusRetried || r.Attempts < 2 {
+				t.Fatalf("killed batch: %+v, want retried success", r)
+			}
+		default:
+			if r.Status != StatusOK || r.Attempts != 1 {
+				t.Fatalf("batch %d: %+v, want untouched success", r.Batch.Index, r)
+			}
+		}
+	}
+}
+
+func TestRunCancelledContextFailsWithoutBurningBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	cfg := Config{
+		Batches:      mustPlan(t, 1, 1),
+		Retries:      100,
+		KillGrace:    50 * time.Millisecond,
+		HeartbeatGap: time.Hour,
+		Spawn: shellSpawn(t, `
+			printf 'NMW1 {"type":"start","batch":0}\n'
+			sleep 30
+		`),
+		OnEvent: func(b Batch, e WorkerEvent) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		},
+		sleep: sleepCtx,
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Status != StatusFailed || r.Attempts != 1 {
+		t.Fatalf("cancelled batch: %+v, want single failed attempt", r)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	spawn := shellSpawn(t, `true`)
+	bad := []Config{
+		{Spawn: spawn},               // no batches
+		{Batches: mustPlan(t, 1, 1)}, // no spawn
+		{Batches: mustPlan(t, 1, 1), Spawn: spawn, Retries: -1},
+		{Batches: mustPlan(t, 1, 1), Spawn: spawn, Backoff: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %d must be rejected", i)
+		}
+	}
+	// A Spawn that pre-wires Stdout steals the protocol channel.
+	cfg := Config{
+		Batches: mustPlan(t, 1, 1),
+		Spawn: func(b Batch, attempt int) (*exec.Cmd, error) {
+			cmd := exec.Command("true")
+			cmd.Stdout = os.Stderr
+			return cmd, nil
+		},
+		sleep: noSleep,
+	}
+	results, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusFailed || results[0].ExitCode != 2 {
+		t.Fatalf("stolen stdout: %+v, want permanent validation failure", results[0])
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke bench-fleet bench-fleet-smoke bench-supervise bench-supervise-smoke
+.PHONY: build test vet race check panic-lint cover bench-parallel bench-hotpath bench-obs-overhead bench-scale bench-scale-smoke bench-fleet bench-fleet-smoke bench-supervise bench-supervise-smoke bench-serve bench-serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs ./internal/fleet ./internal/supervise
+	$(GO) test -race -short ./internal/parallel ./internal/game ./internal/community ./internal/ceopt ./internal/core ./internal/obs ./internal/fleet ./internal/supervise ./internal/serve
 
 panic-lint:
 	sh scripts/panic_lint.sh
@@ -86,3 +86,17 @@ bench-supervise-smoke:
 	$(GO) test -run 'TestWriteBenchSupervise$$' . -args -bench-supervise-out bench_supervise_smoke.json -bench-supervise-shape 3x8 -bench-supervise-procs 1,2
 	test -s bench_supervise_smoke.json
 	rm -f bench_supervise_smoke.json
+
+# Regenerate BENCH_serve.json: sustained readings/sec ingested by the real
+# nmserve daemon over loopback HTTP across 1/4/16 concurrent sessions, with
+# per-day checkpoint durability inside the timer. The harness asserts the
+# rate does not collapse as sessions grow.
+bench-serve:
+	$(GO) test -run 'TestWriteBenchServe$$' -v -timeout 30m . -args -bench-serve-out BENCH_serve.json -bench-serve-sessions 1,4,16
+
+# CI smoke for the serving curve: fewer, smaller sessions through the real
+# daemon, same harness and assertions (file produced, throughput sane).
+bench-serve-smoke:
+	$(GO) test -run 'TestWriteBenchServe$$' . -args -bench-serve-out bench_serve_smoke.json -bench-serve-sessions 1,2 -bench-serve-days 2
+	test -s bench_serve_smoke.json
+	rm -f bench_serve_smoke.json

@@ -13,18 +13,21 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -43,6 +46,7 @@ import (
 	"nmdetect/internal/obs"
 	"nmdetect/internal/pomdp"
 	"nmdetect/internal/rng"
+	"nmdetect/internal/scenario"
 	"nmdetect/internal/solar"
 	"nmdetect/internal/svr"
 	"nmdetect/internal/tariff"
@@ -943,4 +947,194 @@ func TestWriteBenchSupervise(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Printf("bench-supervise: wrote %d points to %s\n", len(curve), *benchSupOut)
+}
+
+// --- Serving curve (BENCH_serve.json) -------------------------------------
+
+var (
+	benchServeOut = flag.String("bench-serve-out", "",
+		"write the concurrent-sessions-vs-readings/sec serving curve to this JSON path (empty = skip TestWriteBenchServe)")
+	benchServeSessions = flag.String("bench-serve-sessions", "1,4,16",
+		"comma-separated concurrent session counts for the serving curve")
+	benchServeN = flag.Int("bench-serve-n", 8,
+		"community size per session for the serving curve")
+	benchServeDays = flag.Int("bench-serve-days", 3,
+		"monitored days ingested per session for the serving curve")
+)
+
+// TestWriteBenchServe measures the nmserve daemon's sustained ingest rate:
+// it starts the real binary over loopback HTTP, creates S concurrent
+// sessions (bootstrap outside the timer — session creation is the offline
+// phase), then times S client goroutines each streaming its session's full
+// day horizon, and reports meter readings per second (S x N meters x 24
+// slots x D days over wall clock). One daemon per point, default
+// -checkpoint-every 1, so every acknowledged day pays its durability cost
+// inside the timer — the number is the end-to-end serving rate, not an
+// in-memory one. The curve asserts throughput does not collapse as sessions
+// grow (>= 50% of the single-session rate; on a single-core runner extra
+// sessions buy concurrency, not parallelism). `make bench-serve` records
+// 1/4/16 sessions; `make bench-serve-smoke` is the CI guard. Skipped unless
+// -bench-serve-out is set.
+func TestWriteBenchServe(t *testing.T) {
+	if *benchServeOut == "" {
+		t.Skip("set -bench-serve-out to record the serving curve")
+	}
+	var sessList []int
+	for _, entry := range strings.Split(*benchServeSessions, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(entry))
+		if err != nil || s < 1 {
+			t.Fatalf("bad -bench-serve-sessions entry %q", entry)
+		}
+		sessList = append(sessList, s)
+	}
+	if *benchServeN < 3 || *benchServeDays < 1 {
+		t.Fatalf("bad serve bench shape: n=%d days=%d", *benchServeN, *benchServeDays)
+	}
+
+	bin := filepath.Join(t.TempDir(), "nmserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/nmserve").CombinedOutput(); err != nil {
+		t.Fatalf("building nmserve: %v\n%s", err, out)
+	}
+
+	post := func(url string, body []byte) (*http.Response, error) {
+		return http.Post(url, "application/json", bytes.NewReader(body))
+	}
+
+	type point struct {
+		Sessions       int     `json:"sessions"`
+		WallMS         float64 `json:"wall_ms"`
+		ReadingsPerSec float64 `json:"readings_per_sec"`
+	}
+	var curve []point
+	for _, sessions := range sessList {
+		state := t.TempDir()
+		addrFile := filepath.Join(state, "bound.addr")
+		cmd := exec.Command(bin, "-state", state, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-checkpoint-every", "1")
+		var errb bytes.Buffer
+		cmd.Stderr = &errb
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}()
+		var base string
+		for deadline := time.Now().Add(30 * time.Second); ; {
+			if raw, err := os.ReadFile(addrFile); err == nil {
+				base = "http://" + strings.TrimSpace(string(raw))
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("nmserve did not come up; stderr:\n%s", errb.String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// Untimed: create the sessions (each runs its offline bootstrap).
+		ids := make([]string, sessions)
+		for i := range ids {
+			spec := scenario.Default(*benchServeN, uint64(1000+i))
+			spec.Horizon.BootstrapDays = 4
+			spec.Horizon.MonitorDays = *benchServeDays
+			spec.Game.Sweeps = 2
+			spec.Detector.Solver = "qmdp"
+			ids[i] = fmt.Sprintf("bench-%d", i)
+			body, err := json.Marshal(map[string]any{"id": ids[i], "scenario": spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := post(base+"/v1/sessions", body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("create session %d: %d", i, resp.StatusCode)
+			}
+		}
+
+		// Timed: every session streams its full horizon concurrently.
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		start := time.Now()
+		for i := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for d := 0; d < *benchServeDays; d++ {
+					resp, err := post(base+"/v1/sessions/"+id+"/days", []byte(fmt.Sprintf(`{"day":%d}`, d)))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("session %s day %d: status %d", id, d, resp.StatusCode)
+						return
+					}
+				}
+			}(ids[i])
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+
+		readings := float64(sessions**benchServeN*24**benchServeDays)
+		p := point{
+			Sessions:       sessions,
+			WallMS:         float64(wall.Microseconds()) / 1e3,
+			ReadingsPerSec: readings / wall.Seconds(),
+		}
+		curve = append(curve, p)
+		t.Logf("sessions=%d: %s wall, %.0f readings/sec", sessions, wall.Round(time.Millisecond), p.ReadingsPerSec)
+	}
+
+	// Sanity asserts: more concurrent sessions must not collapse throughput.
+	for i, p := range curve {
+		if p.ReadingsPerSec <= 0 {
+			t.Fatalf("sessions=%d: non-positive throughput", p.Sessions)
+		}
+		if i > 0 && p.ReadingsPerSec < 0.5*curve[0].ReadingsPerSec {
+			t.Errorf("sessions=%d: throughput %.0f readings/sec fell below half the single-session rate %.0f",
+				p.Sessions, p.ReadingsPerSec, curve[0].ReadingsPerSec)
+		}
+	}
+
+	out := map[string]any{
+		"description": "Concurrent-sessions-vs-ingest-rate curve for the nmserve daemon: one real " +
+			"nmserve process per point over loopback HTTP, S sessions of N meters created untimed " +
+			"(offline bootstrap), then S client goroutines each streaming D monitored days; " +
+			"readings/sec = S x N x 24 x D over wall clock, with -checkpoint-every 1 so every " +
+			"acknowledged day is durable inside the timer. Regenerate with `make bench-serve`.",
+		"community_n":    *benchServeN,
+		"monitor_days":   *benchServeDays,
+		"bootstrap_days": 4,
+		"go":             runtime.Version(),
+		"goos":           runtime.GOOS,
+		"goarch":         runtime.GOARCH,
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"num_cpu":        runtime.NumCPU(),
+		"curve":          curve,
+	}
+	f, err := os.Create(*benchServeOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-serve: wrote %d points to %s\n", len(curve), *benchServeOut)
 }

@@ -78,6 +78,12 @@ func (r *Runner) Results() []*community.MonitorDayResult { return r.results }
 // System returns the underlying system, e.g. for the metric helpers.
 func (r *Runner) System() *System { return r.sys }
 
+// KitName reports the detector kit the runner was wired with.
+func (r *Runner) KitName() string { return r.kit.Name }
+
+// Enforce reports whether inspect actions repair the fleet.
+func (r *Runner) Enforce() bool { return r.enforce }
+
 // StepDay monitors exactly one day and appends its result. It never writes
 // the checkpoint — callers (Run, the fleet day loop) own the cadence.
 func (r *Runner) StepDay(ctx context.Context) error {

@@ -1,15 +1,39 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"time"
 )
+
+// pprofShutdownTimeout bounds the graceful drain of the pprof server on
+// stop: in-flight profile scrapes (a 30s CPU profile, say) get this long to
+// finish before the listener is torn down hard. Package variable so tests
+// can shrink it.
+var pprofShutdownTimeout = 5 * time.Second
+
+// pprofMux builds a dedicated mux serving only the net/http/pprof handlers.
+// Serving http.DefaultServeMux here would leak every route any package in
+// the process registers on the default mux onto the profiling port (and, for
+// a daemon careless enough to use the default mux for its API, expose pprof
+// on the API port). The profiling listener serves profiling routes, full
+// stop.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
 
 // StartProfiling wires up the three profiling hooks the cmds expose:
 //
@@ -22,6 +46,13 @@ import (
 // is idempotent and must be called before the process exits so the profiles
 // are complete; it is safe to call even when every hook is disabled.
 func StartProfiling(pprofAddr, cpuProfile, memProfile string) (stop func(), err error) {
+	s, _, err := startProfiling(pprofAddr, cpuProfile, memProfile)
+	return s, err
+}
+
+// startProfiling is StartProfiling plus the bound pprof address (host:port
+// after the listener resolved ":0"), for tests.
+func startProfiling(pprofAddr, cpuProfile, memProfile string) (stop func(), boundAddr string, err error) {
 	var stops []func()
 	stopAll := func() {
 		for i := len(stops) - 1; i >= 0; i-- {
@@ -32,23 +63,30 @@ func StartProfiling(pprofAddr, cpuProfile, memProfile string) (stop func(), err 
 	if pprofAddr != "" {
 		ln, err := net.Listen("tcp", pprofAddr)
 		if err != nil {
-			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+			return nil, "", fmt.Errorf("obs: pprof listener: %w", err)
 		}
-		srv := &http.Server{Handler: http.DefaultServeMux}
-		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
-		stops = append(stops, func() { srv.Close() })
+		boundAddr = ln.Addr().String()
+		srv := &http.Server{Handler: pprofMux()}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown/Close
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), pprofShutdownTimeout)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close() // drain budget exhausted: cut remaining scrapes
+			}
+		})
 	}
 
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
 			stopAll()
-			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+			return nil, "", fmt.Errorf("obs: cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
 			stopAll()
-			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+			return nil, "", fmt.Errorf("obs: cpu profile: %w", err)
 		}
 		stops = append(stops, func() {
 			pprof.StopCPUProfile()
@@ -72,5 +110,5 @@ func StartProfiling(pprofAddr, cpuProfile, memProfile string) (stop func(), err 
 	}
 
 	var once sync.Once
-	return func() { once.Do(stopAll) }, nil
+	return func() { once.Do(stopAll) }, boundAddr, nil
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPprofServerServesOnlyProfilingRoutes is the regression test for the
+// default-mux bug: the profiling listener used to serve
+// http.DefaultServeMux, so any route a daemon registered on the default mux
+// leaked onto the pprof port. The pprof server must serve /debug/pprof/ and
+// nothing else.
+func TestPprofServerServesOnlyProfilingRoutes(t *testing.T) {
+	// An "API route" on the default mux, as a careless daemon would
+	// register it. Path is unique to avoid cross-test collisions in the
+	// process-global default mux.
+	http.HandleFunc("/api/obs-profiling-test", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "leaked")
+	})
+
+	stop, addr, err := startProfiling("127.0.0.1:0", "", "")
+	if err != nil {
+		t.Fatalf("startProfiling: %v", err)
+	}
+	defer stop()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return resp.StatusCode
+	}
+
+	if code := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ = %d, want 200", code)
+	}
+	if code := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline = %d, want 200", code)
+	}
+	if code := get("/api/obs-profiling-test"); code != http.StatusNotFound {
+		t.Errorf("GET /api/obs-profiling-test = %d, want 404: default-mux route leaked onto the pprof port", code)
+	}
+}
+
+// TestPprofServerIndexBody sanity-checks that the index handler really is
+// net/http/pprof's (profile listing), not a bare 200.
+func TestPprofServerIndexBody(t *testing.T) {
+	stop, addr, err := startProfiling("127.0.0.1:0", "", "")
+	if err != nil {
+		t.Fatalf("startProfiling: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list the goroutine profile:\n%s", body)
+	}
+}
+
+// TestPprofStopShutsDownGracefully verifies stop drains rather than
+// truncating: a request issued just before stop still completes, and the
+// listener is closed afterwards.
+func TestPprofStopShutsDownGracefully(t *testing.T) {
+	old := pprofShutdownTimeout
+	pprofShutdownTimeout = 2 * time.Second
+	defer func() { pprofShutdownTimeout = old }()
+
+	stop, addr, err := startProfiling("127.0.0.1:0", "", "")
+	if err != nil {
+		t.Fatalf("startProfiling: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET before stop: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	stop()
+	stop() // idempotent
+
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Error("pprof server still serving after stop")
+	}
+}

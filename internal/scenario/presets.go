@@ -18,7 +18,12 @@ import (
 // recorded against. Sharding selects a deterministically different
 // equilibrium path, so scale500 has its own content ID, pinned by the golden
 // scenario tests alongside the flat presets.
-var presetNames = []string{"fig3", "fig4", "fig5", "fig6", "scale500", "table1"}
+//
+// "serve-smoke" is the tiny world the nmserve smoke paths run: an
+// 8-customer community with a short bootstrap, the fast QMDP solver and a
+// 3-day monitoring horizon, cheap enough for CI to drive a daemon
+// end-to-end (and the default session shape of `make bench-serve-smoke`).
+var presetNames = []string{"fig3", "fig4", "fig5", "fig6", "scale500", "serve-smoke", "table1"}
 
 // scale500Shards is the shard count of the scale500 preset.
 const scale500Shards = 8
@@ -30,8 +35,16 @@ func Preset(name string) (Spec, error) {
 		if p == name {
 			s := Default(500, 42)
 			s.Name = name
-			if name == "scale500" {
+			switch name {
+			case "scale500":
 				s.Game.Shards = scale500Shards
+			case "serve-smoke":
+				s = Default(8, 42)
+				s.Name = name
+				s.Horizon.BootstrapDays = 4
+				s.Horizon.MonitorDays = 3
+				s.Game.Sweeps = 2
+				s.Detector.Solver = "qmdp"
 			}
 			return s, nil
 		}

@@ -88,8 +88,10 @@ func TestPresetsReproduceRecordedHarnessConfig(t *testing.T) {
 	// The recorded seed-42 figures were produced with
 	// experiments.DefaultConfig(); every flat preset must lower to exactly
 	// that so `nmrepro -scenario fig6` stays byte-identical to the archive.
-	// scale500 is the one deliberate exception: it is the same world with the
-	// hierarchical solver's shard count set, and differs in nothing else.
+	// Two deliberate exceptions: scale500 is the same world with the
+	// hierarchical solver's shard count set, differing in nothing else, and
+	// serve-smoke is the tiny CI daemon world (8 customers, short bootstrap,
+	// QMDP), pinned field-by-field here so it cannot drift silently.
 	for _, name := range PresetNames() {
 		spec, err := Preset(name)
 		if err != nil {
@@ -102,8 +104,15 @@ func TestPresetsReproduceRecordedHarnessConfig(t *testing.T) {
 			t.Errorf("Preset(%q) invalid: %v", name, err)
 		}
 		want := experiments.DefaultConfig()
-		if name == "scale500" {
+		switch name {
+		case "scale500":
 			want.Shards = 8
+		case "serve-smoke":
+			want.N = 8
+			want.BootstrapDays = 4
+			want.MonitorDays = 3
+			want.GameSweeps = 2
+			want.Solver = core.SolverQMDP
 		}
 		if got := spec.ExperimentsConfig(); !reflect.DeepEqual(got, want) {
 			t.Errorf("Preset(%q).ExperimentsConfig diverges:\n got %+v\nwant %+v", name, got, want)

@@ -90,6 +90,10 @@ type Server struct {
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// creating reserves session IDs mid-create: the ID is claimed under mu
+	// before any disk I/O, so two concurrent creates for the same ID cannot
+	// interleave their load/mkdir/persist/insert sequences.
+	creating map[string]struct{}
 }
 
 // New builds a Server and eagerly restores every session found under the
@@ -109,7 +113,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: state dir: %w", err)
 	}
-	s := &Server{cfg: cfg, sessions: make(map[string]*Session)}
+	s := &Server{cfg: cfg, sessions: make(map[string]*Session), creating: make(map[string]struct{})}
 
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -279,22 +283,45 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	id := req.ID
 	if id == "" {
 		id = deriveID(scenID, detector, enforce)
-	} else if !idPattern.MatchString(id) {
-		writeError(w, http.StatusBadRequest, "session id %q must match %s", id, idPattern)
+	} else if !validSessionID(id) {
+		writeError(w, http.StatusBadRequest, "session id %q must match %s and not be a path element", id, idPattern)
+		return
+	}
+	root := filepath.Join(s.cfg.StateDir, sessionsDirName)
+	dir := filepath.Join(root, id)
+	// Belt and braces over validSessionID: every session path must sit
+	// directly under the sessions root, or a crafted ID could point the
+	// state files (and a purge's RemoveAll) somewhere else entirely.
+	if filepath.Dir(dir) != root {
+		writeError(w, http.StatusBadRequest, "session id %q escapes the sessions root", id)
 		return
 	}
 
-	s.mu.RLock()
-	_, live := s.sessions[id]
-	s.mu.RUnlock()
-	if live {
+	// Reserve the ID before any disk I/O so concurrent creates for the same
+	// ID cannot interleave: the loser fails here instead of overwriting the
+	// winner's session.json or deleting its live directory below.
+	s.mu.Lock()
+	if _, live := s.sessions[id]; live {
+		s.mu.Unlock()
 		writeError(w, http.StatusConflict, "session %s already exists", id)
 		return
 	}
+	if _, busy := s.creating[id]; busy {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "session %s is being created", id)
+		return
+	}
+	s.creating[id] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, id)
+		s.mu.Unlock()
+	}()
 
-	dir := filepath.Join(s.cfg.StateDir, sessionsDirName, id)
 	sf := sessionFile{ID: id, ScenarioID: scenID, Scenario: spec, Detector: detector, Enforce: enforce}
 	resumed := false
+	created := false
 	if existing, err := loadSessionFile(dir); err == nil {
 		// A dormant state directory (daemon restarted without it? no — that
 		// restores eagerly; this is recreate-after-eviction): resume it if
@@ -314,7 +341,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "create session dir: %v", err)
 			return
 		}
+		created = true
 		if err := saveSessionFile(dir, sf); err != nil {
+			os.RemoveAll(dir)
 			writeError(w, http.StatusInternalServerError, "persist session: %v", err)
 			return
 		}
@@ -322,19 +351,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	sess, err := buildSession(r.Context(), sf, dir, s.cfg.CheckpointEvery)
 	if err != nil {
-		if !resumed {
+		// Only remove a directory this request actually made; a resumed
+		// directory keeps its checkpoint for the next attempt.
+		if created {
 			os.RemoveAll(dir)
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 
+	// The reservation makes this insert race-free: no other create can have
+	// claimed the ID while we held it.
 	s.mu.Lock()
-	if _, raced := s.sessions[id]; raced {
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict, "session %s already exists", id)
-		return
-	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 
@@ -371,6 +399,18 @@ func (s *Server) lookup(id string) *Session {
 	return s.sessions[id]
 }
 
+// evict unloads id from the live map and counts the eviction. Callers hold
+// the session's own lock (the established order is sess.mu before s.mu);
+// the on-disk checkpoint — the last good state — is left for a recreate.
+func (s *Server) evict(id string) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sink := obs.Default(); sink != nil {
+		sink.Count("serve.sessions_evicted", 1)
+	}
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
@@ -382,23 +422,36 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
+	sess := s.lookup(id)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "no session %s", id)
 		return
 	}
+	// Checkpoint before unloading: if the final checkpoint fails the client
+	// must be able to see the loss (500 + broken + the evicted counter)
+	// rather than finding the session silently gone with its last
+	// -checkpoint-every days dropped.
 	sess.mu.Lock()
 	if !sess.broken {
 		if err := sess.runner.Checkpoint(); err != nil {
+			sess.broken = true
+			s.evict(id)
 			sess.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, "final checkpoint: %v", err)
+			writeError(w, http.StatusInternalServerError,
+				"final checkpoint failed, session evicted (recreate resumes the last good checkpoint): %v", err)
 			return
 		}
 	}
 	sess.mu.Unlock()
+	s.mu.Lock()
+	_, present := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !present {
+		// A concurrent delete or eviction got there first.
+		writeError(w, http.StatusNotFound, "no session %s", id)
+		return
+	}
 	if purge, _ := strconv.ParseBool(r.URL.Query().Get("purge")); purge {
 		if err := os.RemoveAll(sess.dir); err != nil {
 			writeError(w, http.StatusInternalServerError, "purge session state: %v", err)
@@ -435,23 +488,34 @@ func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 	}
 	day := *req.Day
 
+	// The session lock is released before the response is written: a slow
+	// client draining its day reply must not block status, listing, delete
+	// or shutdown checkpointing on this session.
+	reply, code, msg := s.stepSessionDay(sess, id, day)
+	if code != http.StatusOK {
+		writeError(w, code, "%s", msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// stepSessionDay advances sess by one monitored day under its lock and
+// assembles the verdict, returning an HTTP status and error message instead
+// of writing them, so the caller serializes to the client lock-free.
+func (s *Server) stepSessionDay(sess *Session, id string, day int) (DayReply, int, string) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.broken {
-		writeError(w, http.StatusConflict, "session %s is broken and pending eviction", id)
-		return
+		return DayReply{}, http.StatusConflict, fmt.Sprintf("session %s is broken and pending eviction", id)
 	}
 	completed := sess.runner.Completed()
 	switch {
 	case day < completed:
-		writeError(w, http.StatusConflict, "day %d already ingested (%d days completed)", day, completed)
-		return
+		return DayReply{}, http.StatusConflict, fmt.Sprintf("day %d already ingested (%d days completed)", day, completed)
 	case day > completed:
-		writeError(w, http.StatusConflict, "day %d out of order: next day is %d", day, completed)
-		return
+		return DayReply{}, http.StatusConflict, fmt.Sprintf("day %d out of order: next day is %d", day, completed)
 	case completed >= sess.days:
-		writeError(w, http.StatusConflict, "horizon exhausted: %d of %d days ingested", completed, sess.days)
-		return
+		return DayReply{}, http.StatusConflict, fmt.Sprintf("horizon exhausted: %d of %d days ingested", completed, sess.days)
 	}
 
 	// The step runs under the daemon's own context, not the request's: a
@@ -467,14 +531,9 @@ func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 		// The session may have advanced partway through the day: evict it,
 		// leaving the on-disk checkpoint (last good state) for a recreate.
 		sess.broken = true
-		s.mu.Lock()
-		delete(s.sessions, id)
-		s.mu.Unlock()
-		if sink := obs.Default(); sink != nil {
-			sink.Count("serve.sessions_evicted", 1)
-		}
-		writeError(w, http.StatusInternalServerError, "day %d failed, session evicted (recreate to resume from checkpoint): %v", day, err)
-		return
+		s.evict(id)
+		return DayReply{}, http.StatusInternalServerError,
+			fmt.Sprintf("day %d failed, session evicted (recreate to resume from checkpoint): %v", day, err)
 	}
 	done := sess.runner.Completed()
 	if sess.runner.CheckpointDue(done, sess.days) {
@@ -482,20 +541,15 @@ func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 			// The day is computed but not durable; fail-stop the session so
 			// the client's view never runs ahead of what a restart restores.
 			sess.broken = true
-			s.mu.Lock()
-			delete(s.sessions, id)
-			s.mu.Unlock()
-			if sink := obs.Default(); sink != nil {
-				sink.Count("serve.sessions_evicted", 1)
-			}
-			writeError(w, http.StatusInternalServerError, "checkpoint after day %d failed, session evicted: %v", day, err)
-			return
+			s.evict(id)
+			return DayReply{}, http.StatusInternalServerError,
+				fmt.Sprintf("checkpoint after day %d failed, session evicted: %v", day, err)
 		}
 	}
 	if sink := obs.Default(); sink != nil {
 		sink.Count("serve.days_ingested", 1)
 	}
-	writeJSON(w, http.StatusOK, dayReply(id, day, done, sess.days, sess.runner.Results()))
+	return dayReply(id, day, done, sess.days, sess.runner.Results()), http.StatusOK, ""
 }
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {

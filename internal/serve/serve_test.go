@@ -285,6 +285,8 @@ func TestHandlerErrors(t *testing.T) {
 		{"create pinned to wrong scenario id", "POST", "/v1/sessions", createRequest{Scenario: &spec, ScenarioID: "sc-feedfeedfeedfeed"}, http.StatusBadRequest},
 		{"create with unknown detector", "POST", "/v1/sessions", createRequest{Scenario: &spec, Detector: "psychic"}, http.StatusBadRequest},
 		{"create with bad id", "POST", "/v1/sessions", createRequest{ID: "no/slashes", Scenario: &spec}, http.StatusBadRequest},
+		{"create with dot id", "POST", "/v1/sessions", createRequest{ID: ".", Scenario: &spec}, http.StatusBadRequest},
+		{"create with dotdot id", "POST", "/v1/sessions", createRequest{ID: "..", Scenario: &spec}, http.StatusBadRequest},
 		{"duplicate create", "POST", "/v1/sessions", createRequest{ID: "tbl", Scenario: &spec}, http.StatusConflict},
 		{"unknown session status", "GET", "/v1/sessions/ghost", nil, http.StatusNotFound},
 		{"unknown session delete", "DELETE", "/v1/sessions/ghost", nil, http.StatusNotFound},
@@ -376,6 +378,57 @@ func TestConcurrentSessions(t *testing.T) {
 		if got, want := fetchGob(t, ts.URL, ids[i]), batchGob(t, specs[i], DetectorAware, true); !bytes.Equal(got, want) {
 			t.Errorf("session %d records differ from its batch run", i)
 		}
+	}
+}
+
+// TestConcurrentCreateSameID races creates for one ID with distinct
+// scenarios (run under -race via make race): exactly one must win with 201,
+// the rest 409, and the winner's live session must agree with the
+// session.json on disk — no cross-request splice of spec and state.
+func TestConcurrentCreateSameID(t *testing.T) {
+	state := t.TempDir()
+	srv, ts := newTestServer(t, Config{StateDir: state})
+	const racers = 4
+	specs := make([]scenario.Spec, racers)
+	codes := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := range specs {
+		specs[i] = tinySpec(t)
+		specs[i].Seed = uint64(2000 + i) // distinct worlds
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+				createRequest{ID: "raced", Scenario: &specs[i]})
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	winner := -1
+	for i, c := range codes {
+		switch c {
+		case http.StatusCreated:
+			if winner >= 0 {
+				t.Fatalf("two creates won (codes %v)", codes)
+			}
+			winner = i
+		case http.StatusConflict:
+		default:
+			t.Fatalf("racer %d: status %d (codes %v)", i, c, codes)
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("no create won (codes %v)", codes)
+	}
+	sf, err := loadSessionFile(stateSessionDir(state, "raced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.ScenarioID != specs[winner].ID() {
+		t.Fatalf("disk scenario %s is not the winner's %s", sf.ScenarioID, specs[winner].ID())
+	}
+	if st := srv.lookup("raced").status(); st.ScenarioID != sf.ScenarioID {
+		t.Fatalf("live session scenario %s disagrees with disk %s", st.ScenarioID, sf.ScenarioID)
 	}
 }
 

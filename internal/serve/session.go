@@ -58,8 +58,17 @@ type Session struct {
 	broken bool
 }
 
-// idPattern bounds client-chosen session IDs: they become directory names.
+// idPattern bounds the characters of client-chosen session IDs: they become
+// directory names.
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// validSessionID reports whether id is safe to use as a session directory
+// name. "." and ".." match idPattern but are path navigation, not names: a
+// session called ".." would place its state files (and aim a purge's
+// RemoveAll) at the state root instead of under <StateDir>/sessions.
+func validSessionID(id string) bool {
+	return idPattern.MatchString(id) && id != "." && id != ".."
+}
 
 // deriveID is the default session ID: a stable digest of what the session
 // computes (scenario content, detector choice, enforcement), so recreating

@@ -7,6 +7,11 @@
 //	nmattack [-attack zero|scale|invert] [-from 16] [-to 17] [-factor 0.5]
 //	         [-n 500] [-prob 0.25] [-batchlo 5] [-batchhi 20] [-hours 48] [-seed 1]
 //	         [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The -attack flag also accepts the compact scenario form
+// kind[:from-to[:value]] covering every archetype (ramp:12-20:0.3, delay:3,
+// load-shift:10-14:0.4, false-reading:10-15:0.8, adaptive, ...); the bare
+// legacy kinds keep reading -from/-to/-factor.
 package main
 
 import (
@@ -15,19 +20,21 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"nmdetect/internal/attack"
 	"nmdetect/internal/exitcode"
 	"nmdetect/internal/obs"
 	"nmdetect/internal/rng"
+	"nmdetect/internal/scenario"
 	"nmdetect/internal/tariff"
 	"nmdetect/internal/timeseries"
 )
 
 func main() {
 	var (
-		atkStr  = flag.String("attack", "zero", "manipulation: zero|scale|invert")
+		atkStr  = flag.String("attack", "zero", "manipulation: bare zero|scale|invert (window flags) or compact kind[:from-to[:value]], e.g. ramp:12-20:0.3, delay:3, false-reading:10-15:0.8")
 		from    = flag.Int("from", 16, "window start slot")
 		to      = flag.Int("to", 17, "window end slot")
 		factor  = flag.Float64("factor", 0.5, "scale factor")
@@ -62,16 +69,26 @@ func main() {
 		}
 	}()
 
-	var atk attack.Attack
-	switch *atkStr {
-	case "zero":
-		atk = attack.ZeroWindow{From: *from, To: *to}
-	case "scale":
-		atk = attack.ScaleWindow{From: *from, To: *to, Factor: *factor}
-	case "invert":
-		atk = attack.Invert{}
-	default:
-		fatal(exitcode.AsValidation(fmt.Errorf("unknown attack %q", *atkStr)))
+	var blk scenario.Attack
+	if strings.ContainsRune(*atkStr, ':') || *atkStr == "none" {
+		parsed, err := scenario.ParseAttack(*atkStr)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		blk = parsed
+	} else {
+		// Legacy bare kinds keep honouring the window/factor flags.
+		blk = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
+		if *atkStr == "invert" {
+			blk = scenario.Attack{Kind: "invert"}
+		}
+	}
+	// An adaptive payload is untuned here (there is no detector in the
+	// loop), so it applies its family at full strength; 0.5 is the default
+	// flagger threshold it would otherwise target.
+	atk, err := blk.Build(0.5)
+	if err != nil {
+		fatal(exitcode.AsValidation(err))
 	}
 
 	// A representative diurnal price to manipulate.

@@ -6,6 +6,7 @@
 //
 //	nmdetect [-n 500] [-seed 42] [-days 2] [-sweeps 3] [-workers 0] [-jacobi 0]
 //	         [-boot 6] [-detector aware|blind] [-solver pbvi|qmdp|threshold] [-noenforce]
+//	         [-attack kind[:from-to[:value]]] [-strike-slots 2,8,14,20]
 //	         [-communities 1] [-fleet-workers 0] [-fleet-report fleet.json] [-fleet-checkpoint dir]
 //	         [-scenario file.json|preset] [-dump-scenario]
 //	         [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
@@ -76,6 +77,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "hierarchical-solve shard count (<= 1 = flat solver, the reference semantics)")
 		boot     = flag.Int("boot", 6, "bootstrap days")
 		detector = flag.String("detector", "aware", "aware|blind")
+		atkFlag  = flag.String("attack", "", "attack payload override: kind[:from-to[:value]], e.g. zero:16-17, scale:16-19:0.5, delay:3, false-reading:10-15:0.8, adaptive, invert (ignored with -scenario)")
+		strikes  = flag.String("strike-slots", "", "coordinated strike slots, comma-separated day hours e.g. 2,8,14,20 (ignored with -scenario)")
 		solver   = flag.String("solver", "pbvi", "pbvi|qmdp|threshold")
 		noEnf    = flag.Bool("noenforce", false, "observe only, never repair")
 		comms    = flag.Int("communities", 1, "fleet width: independent communities of -n meters each (>= 2 selects the fleet path)")
@@ -111,6 +114,20 @@ func main() {
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
 	spec.Detector.Solver = *solver
+	if *atkFlag != "" {
+		ab, err := scenario.ParseAttack(*atkFlag)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		spec.Attack = ab
+	}
+	if *strikes != "" {
+		ss, err := scenario.ParseStrikeSlots(*strikes)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		spec.Campaign.StrikeSlots = ss
+	}
 	if *comms > 1 {
 		spec.Fleet = &scenario.Fleet{Communities: *comms}
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations|fleet] [-n 500]
+//	nmrepro [-experiment all|fig3|fig4|fig5|fig6|table1|ablations|attacks|fleet] [-n 500]
 //	        [-seed 42] [-boot 6] [-sweeps 3] [-days 2] [-workers 0] [-jacobi 0]
 //	        [-solver pbvi|qmdp|threshold] [-csv DIR]
 //	        [-communities 1] [-fleet-workers 0]
@@ -14,6 +14,14 @@
 //
 // The "ablations" experiment runs the DESIGN.md §5 studies (policy solver,
 // forecast kernel, PV-forecast noise, flag threshold, sell-back divisor).
+//
+// The "attacks" experiment runs the detection-accuracy-vs-archetype sweep
+// (DESIGN.md §16): the monitored window is repeated under every attack
+// archetype — the paper's pricing attacks plus false readings, fabricated
+// DSM shifts, ramp/delay variants, coordinated strike timing and the
+// adaptive attacker tuned against the flagger threshold — and the per-
+// archetype accuracy, PAR, inspections and detection delay are tabulated;
+// -json writes the sweep as JSON.
 //
 // The "fleet" experiment runs the scenario as a multi-community fleet
 // (-communities F >= 2 or a scenario fleet block): F independent
@@ -74,7 +82,7 @@ type reproState struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|table1|ablations|fleet|all")
+		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|table1|ablations|attacks|fleet|all")
 		comms      = flag.Int("communities", 1, "fleet width for -experiment fleet (independent communities of -n meters each)")
 		fleetW     = flag.Int("fleet-workers", 0, "fleet-level worker budget (0 = all cores; execution-only, never affects results)")
 		n          = flag.Int("n", 500, "community size (customers)")
@@ -83,6 +91,8 @@ func main() {
 		sweeps     = flag.Int("sweeps", 3, "game best-response sweeps")
 		days       = flag.Int("days", 2, "monitoring days (fig6/table1)")
 		solver     = flag.String("solver", "pbvi", "POMDP solver: pbvi|qmdp|threshold")
+		atkFlag    = flag.String("attack", "", "attack payload override: kind[:from-to[:value]], e.g. scale:16-19:0.5, delay:3, false-reading:10-15:0.8, adaptive (ignored with -scenario)")
+		strikes    = flag.String("strike-slots", "", "coordinated strike slots, comma-separated day hours e.g. 2,8,14,20 (ignored with -scenario)")
 		workers    = flag.Int("workers", 0, "worker budget (0 = all cores, 1 = sequential)")
 		jacobi     = flag.Int("jacobi", 0, "game block-Jacobi size (0 = sequential Gauss-Seidel)")
 		activeT    = flag.Float64("active-tol", 0, "game active-set tolerance in kW (0 = re-solve every customer every sweep)")
@@ -113,6 +123,20 @@ func main() {
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
 	spec.Detector.Solver = *solver
+	if *atkFlag != "" {
+		ab, err := scenario.ParseAttack(*atkFlag)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		spec.Attack = ab
+	}
+	if *strikes != "" {
+		ss, err := scenario.ParseStrikeSlots(*strikes)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		spec.Campaign.StrikeSlots = ss
+	}
 	if *comms > 1 {
 		spec.Fleet = &scenario.Fleet{Communities: *comms}
 	}
@@ -154,6 +178,14 @@ func main() {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *experiment == "attacks" {
+		if *ckpt != "" || *resume {
+			fatal(exitcode.AsValidation(fmt.Errorf("-experiment attacks keeps no repro checkpoint")))
+		}
+		runAttackSweep(ctx, cfg, *jsonPath)
+		return
 	}
 
 	if *experiment == "fleet" {
@@ -341,6 +373,26 @@ func runFleetRepro(ctx context.Context, spec scenario.Spec, cfg experiments.Conf
 			fatal(err)
 		}
 		fmt.Printf("\nJSON fleet report written to %s\n", jsonPath)
+	}
+}
+
+// runAttackSweep runs the detection-accuracy-vs-archetype sweep with the
+// NM-aware detector enforcing.
+func runAttackSweep(ctx context.Context, cfg experiments.Config, jsonPath string) {
+	fmt.Printf("== Attack archetypes: N=%d, %d monitored days, NM-aware detector ==\n",
+		cfg.N, cfg.MonitorDays)
+	sweep, err := experiments.AttackSweep(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sweep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if jsonPath != "" {
+		if err := writeReport(jsonPath, sweep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nJSON attack-sweep report written to %s\n", jsonPath)
 	}
 }
 

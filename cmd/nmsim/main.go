@@ -5,14 +5,18 @@
 // Usage:
 //
 //	nmsim [-n 500] [-seed 42] [-days 7] [-sweeps 3] [-workers 0] [-jacobi 0]
-//	      [-nonm] [-attack zero|scale|invert|none] [-from 16] [-to 17] [-factor 0.5]
+//	      [-nonm] [-attack kind] [-from 16] [-to 17] [-factor 0.5]
 //	      [-communities 1] [-fleet-workers 0]
 //	      [-scenario file.json|preset] [-dump-scenario]
 //	      [-checkpoint run.ckpt] [-checkpoint-every 10] [-resume]
 //	      [-events run.jsonl] [-pprof localhost:6060] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With an attack selected, every meter is compromised on the final day and
-// the realized (attacked) trace is printed for that day.
+// the realized (attacked) trace is printed for that day. -attack accepts a
+// bare kind (zero|scale|ramp|load-shift|invert|none, windowed by
+// -from/-to/-factor) or the compact scenario form kind[:from-to[:value]]
+// (e.g. delay:3, false-reading:10-15:0.8, adaptive:16-19:0.9), which
+// overrides the window flags.
 //
 // With -communities F >= 2 (or a scenario fleet block), the simulation is a
 // fleet of F independent communities of -n meters each, seeded by label
@@ -77,7 +81,7 @@ func main() {
 		activeT  = flag.Float64("active-tol", 0, "game active-set tolerance in kW (0 = re-solve every customer every sweep)")
 		shards   = flag.Int("shards", 0, "hierarchical-solve shard count (<= 1 = flat solver, the reference semantics)")
 		noNM     = flag.Bool("nonm", false, "disable net metering in the world model")
-		atkStr   = flag.String("attack", "none", "attack on the final day: zero|scale|invert|none")
+		atkStr   = flag.String("attack", "none", "attack on the final day: a kind (zero|scale|ramp|load-shift|invert|none) windowed by -from/-to/-factor, or the compact form kind[:from-to[:value]] (delay:3, false-reading:10-15:0.8, adaptive:16-19:0.9)")
 		from     = flag.Int("from", 16, "attack window start slot")
 		to       = flag.Int("to", 17, "attack window end slot")
 		factor   = flag.Float64("factor", 0.5, "scale attack factor")
@@ -109,11 +113,19 @@ func main() {
 	spec.Game.JacobiBlock = *jacobi
 	spec.Game.ActiveTol = *activeT
 	spec.Game.Shards = *shards
-	spec.Attack = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
+	if strings.ContainsRune(*atkStr, ':') {
+		ab, err := scenario.ParseAttack(*atkStr)
+		if err != nil {
+			fatal(exitcode.AsValidation(err))
+		}
+		spec.Attack = ab
+	} else {
+		spec.Attack = scenario.Attack{Kind: *atkStr, From: *from, To: *to, Factor: *factor}
+	}
 	if *comms > 1 {
 		spec.Fleet = &scenario.Fleet{Communities: *comms}
 	}
-	campaignWanted := *atkStr != "none"
+	campaignWanted := spec.Attack.Kind != "none"
 	if *scenRef != "" {
 		var err error
 		if spec, err = scenario.Resolve(*scenRef); err != nil {

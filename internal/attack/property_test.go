@@ -1,0 +1,549 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"nmdetect/internal/rng"
+	"nmdetect/internal/timeseries"
+)
+
+// dyadicPrice builds a price whose values are exactly representable dyadic
+// rationals, so max+min−p (and its inverse) are exact float operations and
+// the Invert involution holds bit-for-bit.
+func dyadicPrice(n int) timeseries.Series {
+	p := make(timeseries.Series, n)
+	for i := range p {
+		p[i] = 0.25 + 0.125*float64(i%8)
+	}
+	return p
+}
+
+// tunedAdaptive returns an Adaptive attacker that has been through Tune, so
+// the property suite exercises the committed-payload path too.
+func tunedAdaptive(t *testing.T) *Adaptive {
+	t.Helper()
+	a := &Adaptive{Family: ScaleFamily{From: 16, To: 19}, Tau: 1, Margin: 0.5, Steps: 4}
+	probe := func(cand Attack) (float64, error) {
+		sw := cand.(ScaleWindow)
+		return 2 * (1 - sw.Factor), nil // deviation grows linearly with intensity
+	}
+	if _, err := a.Tune(probe); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func archetypes(t *testing.T) map[string]Attack {
+	t.Helper()
+	return map[string]Attack{
+		"none":               None{},
+		"zero":               ZeroWindow{From: 16, To: 17},
+		"zero-wrap":          ZeroWindow{From: 22, To: 2},
+		"scale":              ScaleWindow{From: 16, To: 19, Factor: 0.5},
+		"scale-wrap":         ScaleWindow{From: 20, To: 3, Factor: 1.5},
+		"ramp":               Ramp{From: 12, To: 20, Factor: 0.3},
+		"ramp-wrap":          Ramp{From: 22, To: 4, Factor: 2},
+		"delay":              Delay{Slots: 3},
+		"delay-negative":     Delay{Slots: -7},
+		"load-shift":         LoadShift{From: 10, To: 14, Factor: 0.4},
+		"load-shift-wrap":    LoadShift{From: 21, To: 1, Factor: 0.2},
+		"invert":             Invert{},
+		"false-reading":      FalseReading{From: 10, To: 15, MagnitudeKW: 0.8},
+		"adaptive-untuned":   &Adaptive{Family: ScaleFamily{From: 16, To: 19}, Tau: 1},
+		"adaptive-tuned":     tunedAdaptive(t),
+		"adaptive-no-family": &Adaptive{},
+	}
+}
+
+// TestApplyProperties checks the contract every Attack implementation owes:
+// the input is never mutated, the output has the input's length, every output
+// value is finite when every input value is, and Name is non-empty — across
+// day lengths including empty, single-slot, odd, canonical and double days.
+func TestApplyProperties(t *testing.T) {
+	for name, atk := range archetypes(t) {
+		if atk.Name() == "" {
+			t.Errorf("%s: empty Name", name)
+		}
+		for _, n := range []int{0, 1, 5, 24, 48} {
+			p := dyadicPrice(n)
+			orig := p.Clone()
+			out := atk.Apply(p)
+			for h := range p {
+				if p[h] != orig[h] {
+					t.Fatalf("%s: Apply mutated input slot %d at n=%d", name, h, n)
+				}
+			}
+			if len(out) != n {
+				t.Fatalf("%s: Apply changed length %d -> %d", name, n, len(out))
+			}
+			for h, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: non-finite output %v at slot %d, n=%d", name, v, h, n)
+				}
+			}
+		}
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 24, 48} {
+		p := dyadicPrice(n)
+		out := None{}.Apply(p)
+		for h := range p {
+			if out[h] != p[h] {
+				t.Fatalf("None changed slot %d at n=%d", h, n)
+			}
+		}
+	}
+}
+
+func TestInvertIsInvolution(t *testing.T) {
+	for _, n := range []int{1, 5, 24, 48} {
+		p := dyadicPrice(n)
+		twice := Invert{}.Apply(Invert{}.Apply(p))
+		for h := range p {
+			if twice[h] != p[h] {
+				t.Fatalf("Invert∘Invert changed slot %d at n=%d: %v vs %v", h, n, twice[h], p[h])
+			}
+		}
+	}
+}
+
+// TestWindowWrap is the regression test for the doc-vs-code mismatch fixed in
+// this package: From > To must wrap past midnight, not clamp to nothing.
+func TestWindowWrap(t *testing.T) {
+	p := dyadicPrice(24)
+	out := ZeroWindow{From: 22, To: 2}.Apply(p)
+	want := map[int]bool{22: true, 23: true, 0: true, 1: true, 2: true}
+	for h := range out {
+		if want[h] {
+			if out[h] != 0 {
+				t.Errorf("wrapped slot %d not zeroed", h)
+			}
+		} else if out[h] != p[h] {
+			t.Errorf("slot %d outside wrap window modified", h)
+		}
+	}
+
+	sc := ScaleWindow{From: 23, To: 0, Factor: 0.5}.Apply(p)
+	if sc[23] != p[23]*0.5 || sc[0] != p[0]*0.5 {
+		t.Error("ScaleWindow did not wrap")
+	}
+	if sc[1] != p[1] || sc[22] != p[22] {
+		t.Error("ScaleWindow wrap touched outside slots")
+	}
+}
+
+func TestRampShape(t *testing.T) {
+	p := make(timeseries.Series, 24)
+	for i := range p {
+		p[i] = 1
+	}
+	out := Ramp{From: 10, To: 14, Factor: 0.5}.Apply(p)
+	// Factor ramps 1 -> 0.5 across the five-slot window.
+	wants := []float64{1, 0.875, 0.75, 0.625, 0.5}
+	for i, w := range wants {
+		if math.Abs(out[10+i]-w) > 1e-12 {
+			t.Errorf("ramp slot %d = %v, want %v", 10+i, out[10+i], w)
+		}
+	}
+	if out[9] != 1 || out[15] != 1 {
+		t.Error("ramp touched slots outside its window")
+	}
+	// A single-slot window applies Factor directly.
+	one := Ramp{From: 5, To: 5, Factor: 0.5}.Apply(p)
+	if one[5] != 0.5 {
+		t.Errorf("single-slot ramp = %v, want 0.5", one[5])
+	}
+}
+
+func TestDelayRotates(t *testing.T) {
+	p := dyadicPrice(24)
+	out := Delay{Slots: 3}.Apply(p)
+	for h := range out {
+		src := ((h-3)%24 + 24) % 24
+		if out[h] != p[src] {
+			t.Fatalf("slot %d = %v, want p[%d] = %v", h, out[h], src, p[src])
+		}
+	}
+	// Delay by a full day is the identity.
+	full := Delay{Slots: 24}.Apply(p)
+	for h := range full {
+		if full[h] != p[h] {
+			t.Fatalf("full-day delay changed slot %d", h)
+		}
+	}
+}
+
+func TestLoadShiftConservesTotal(t *testing.T) {
+	p := dyadicPrice(24)
+	sum := func(s timeseries.Series) float64 {
+		t := 0.0
+		for _, v := range s {
+			t += v
+		}
+		return t
+	}
+	for name, a := range map[string]LoadShift{
+		"plain": {From: 10, To: 14, Factor: 0.4},
+		"wrap":  {From: 21, To: 1, Factor: 0.2},
+		"boost": {From: 0, To: 5, Factor: 1.5},
+	} {
+		out := a.Apply(p)
+		if math.Abs(sum(out)-sum(p)) > 1e-9 {
+			t.Errorf("%s: total price moved %v -> %v", name, sum(p), sum(out))
+		}
+		// In-window slots really are scaled.
+		if out[((a.From%24)+24)%24] != p[((a.From%24)+24)%24]*a.Factor {
+			t.Errorf("%s: window start not scaled", name)
+		}
+	}
+	// Whole-day window: nowhere to put the mass, degrades to a plain scale.
+	whole := LoadShift{From: 0, To: 23, Factor: 0.5}.Apply(p)
+	for h := range whole {
+		if whole[h] != p[h]*0.5 {
+			t.Fatalf("whole-day load-shift slot %d = %v, want %v", h, whole[h], p[h]*0.5)
+		}
+	}
+}
+
+func TestFalseReadingChannels(t *testing.T) {
+	p := dyadicPrice(24)
+	a := FalseReading{From: 10, To: 15, MagnitudeKW: 0.8}
+	out := a.Apply(p)
+	for h := range out {
+		if out[h] != p[h] {
+			t.Fatalf("false-reading touched the price channel at slot %d", h)
+		}
+	}
+	if got := a.FalsifyReading(12, 2.0); got != 2.0-0.8 {
+		t.Errorf("in-window reading = %v, want %v", got, 2.0-0.8)
+	}
+	if got := a.FalsifyReading(9, 2.0); got != 2.0 {
+		t.Errorf("out-of-window reading = %v, want 2.0", got)
+	}
+	// Wrapping window falsifies across midnight.
+	wrap := FalseReading{From: 22, To: 2, MagnitudeKW: 1}
+	for _, h := range []int{22, 23, 0, 1, 2} {
+		if wrap.FalsifyReading(h, 5) != 4 {
+			t.Errorf("wrapped slot %d not falsified", h)
+		}
+	}
+	if wrap.FalsifyReading(12, 5) != 5 {
+		t.Error("mid-day slot falsified by a night window")
+	}
+}
+
+func TestAdaptiveTuneBisection(t *testing.T) {
+	// Deviation = 2·intensity, tau = 1, margin = 0.5 → target 0.5 → the
+	// largest evading intensity is exactly 0.25; bisection with 8 steps
+	// lands within 2⁻⁸ from below.
+	a := &Adaptive{Family: ScaleFamily{From: 16, To: 19}, Tau: 1, Margin: 0.5}
+	calls := 0
+	probe := func(cand Attack) (float64, error) {
+		calls++
+		sw := cand.(ScaleWindow)
+		return 2 * (1 - sw.Factor), nil
+	}
+	x, err := a.Tune(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x > 0.25 || 0.25-x > 1.0/256 {
+		t.Fatalf("tuned intensity %v, want within 2^-8 below 0.25", x)
+	}
+	if calls != 2+8 {
+		t.Fatalf("probe called %d times, want 10", calls)
+	}
+	got, tuned := a.Intensity()
+	if !tuned || got != x {
+		t.Fatalf("Intensity() = %v, %v after Tune", got, tuned)
+	}
+	// The committed payload matches the committed intensity.
+	p := dyadicPrice(24)
+	want := ScaleFamily{From: 16, To: 19}.At(x).Apply(p)
+	out := a.Apply(p)
+	for h := range out {
+		if out[h] != want[h] {
+			t.Fatalf("tuned Apply diverges from committed payload at slot %d", h)
+		}
+	}
+}
+
+func TestAdaptiveTuneEndpoints(t *testing.T) {
+	mk := func() *Adaptive {
+		return &Adaptive{Family: ScaleFamily{From: 16, To: 19}, Tau: 1, Margin: 0.5}
+	}
+	// Full strength already evades: commit 1 after a single probe.
+	a := mk()
+	calls := 0
+	x, err := a.Tune(func(Attack) (float64, error) { calls++; return 0, nil })
+	if err != nil || x != 1 || calls != 1 {
+		t.Fatalf("evading attacker: x=%v calls=%d err=%v", x, calls, err)
+	}
+	// Even zero strength trips the detector: give up at 0.
+	a = mk()
+	x, err = a.Tune(func(Attack) (float64, error) { return 10, nil })
+	if err != nil || x != 0 {
+		t.Fatalf("hopeless attacker: x=%v err=%v", x, err)
+	}
+	if _, tuned := a.Intensity(); !tuned {
+		t.Fatal("hopeless attacker not marked tuned")
+	}
+}
+
+func TestAdaptiveTuneErrors(t *testing.T) {
+	okProbe := func(Attack) (float64, error) { return 0, nil }
+	cases := map[string]struct {
+		a     *Adaptive
+		probe ProbeFn
+	}{
+		"nil family":  {&Adaptive{Tau: 1}, okProbe},
+		"nil probe":   {&Adaptive{Family: ScaleFamily{}, Tau: 1}, nil},
+		"margin < 0":  {&Adaptive{Family: ScaleFamily{}, Tau: 1, Margin: -0.5}, okProbe},
+		"margin >= 1": {&Adaptive{Family: ScaleFamily{}, Tau: 1, Margin: 1}, okProbe},
+		"nan tau":     {&Adaptive{Family: ScaleFamily{}, Tau: math.NaN()}, okProbe},
+		"neg tau":     {&Adaptive{Family: ScaleFamily{}, Tau: -1}, okProbe},
+	}
+	for name, c := range cases {
+		if _, err := c.a.Tune(c.probe); err == nil {
+			t.Errorf("%s: Tune accepted", name)
+		}
+		if _, tuned := c.a.Intensity(); tuned {
+			t.Errorf("%s: failed Tune still committed", name)
+		}
+	}
+	// Probe errors propagate and nothing is committed.
+	a := &Adaptive{Family: ScaleFamily{}, Tau: 1}
+	wantErr := false
+	_, err := a.Tune(func(Attack) (float64, error) {
+		wantErr = true
+		return 0, errProbe
+	})
+	if err == nil || !wantErr {
+		t.Fatal("probe error swallowed")
+	}
+	if _, tuned := a.Intensity(); tuned {
+		t.Fatal("errored Tune committed a payload")
+	}
+}
+
+var errProbe = errFixed("probe exploded")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }
+
+func TestAdaptiveReadingFamily(t *testing.T) {
+	// The reading channel is continuous: probe deviation IS the reported
+	// magnitude, so bisection lands the phantom export just under the
+	// evasion target margin·tau = 0.45 of a 2 kW family -> x -> 0.225.
+	a := &Adaptive{Family: ReadingFamily{From: 10, To: 15, MaxKW: 2}, Tau: 0.5, Margin: 0.9}
+	x, err := a.Tune(func(cand Attack) (float64, error) {
+		return cand.(FalseReading).MagnitudeKW, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x > 0.225 || 0.225-x > 1.0/256 {
+		t.Fatalf("tuned intensity %v, want just under 0.225", x)
+	}
+	// The tuned attacker lies on the monitoring channel...
+	if got := a.FalsifyReading(12, 5); got >= 5 || got < 5-0.45-0.01 {
+		t.Fatalf("tuned reading falsification = %v, want just under 5-0.45", got)
+	}
+	if got := a.FalsifyReading(9, 5); got != 5 {
+		t.Fatalf("out-of-window reading falsified: %v", got)
+	}
+	// ...and not on the price channel.
+	p := dyadicPrice(24)
+	out := a.Apply(p)
+	for h := range out {
+		if out[h] != p[h] {
+			t.Fatalf("reading-family attacker touched the price at slot %d", h)
+		}
+	}
+}
+
+func TestAdaptivePriceFamilyReportsTruthfully(t *testing.T) {
+	// A price-family adaptive attacker implements ReadingAttack by
+	// delegation but never lies on the monitoring channel.
+	a := tunedAdaptive(t)
+	if got := a.FalsifyReading(17, 3); got != 3 {
+		t.Fatalf("price-family attacker falsified a reading: %v", got)
+	}
+	var none *Adaptive = &Adaptive{}
+	if got := none.FalsifyReading(0, 1); got != 1 {
+		t.Fatalf("family-less attacker falsified a reading: %v", got)
+	}
+}
+
+func TestAdaptiveNameReflectsTuning(t *testing.T) {
+	a := &Adaptive{Family: ScaleFamily{From: 16, To: 19}, Tau: 1, Margin: 0.5}
+	before := a.Name()
+	if _, err := a.Tune(func(Attack) (float64, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Name()
+	if before == after {
+		t.Fatalf("Name did not change after Tune: %q", after)
+	}
+}
+
+// TestCampaignNeverExceedsN drives every growth path — Step, StepAt and
+// HackNow — hard and checks the count never passes N and always equals the
+// size of the hacked set.
+func TestCampaignNeverExceedsN(t *testing.T) {
+	const n = 37
+	c, err := NewCampaign(n, 0.8, 2, 5, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	check := func(stage string) {
+		t.Helper()
+		set := 0
+		for i := 0; i < n; i++ {
+			if c.Hacked(i) {
+				set++
+			}
+		}
+		if set != c.Count() {
+			t.Fatalf("%s: hacked set %d != count %d", stage, set, c.Count())
+		}
+		if c.Count() > n {
+			t.Fatalf("%s: count %d exceeds N=%d", stage, c.Count(), n)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		c.Step(src)
+		check("Step")
+	}
+	c.HackNow(100, src)
+	check("HackNow")
+	if c.Count() != n {
+		t.Fatalf("HackNow(100) saturated at %d, want %d", c.Count(), n)
+	}
+	// Further growth on a saturated campaign is a no-op, not a double count.
+	if got := c.Step(src); got != 0 {
+		t.Fatalf("saturated Step hacked %d meters", got)
+	}
+	if got := c.HackNow(3, src); got != 0 {
+		t.Fatalf("saturated HackNow hacked %d meters", got)
+	}
+	check("saturated")
+	if repaired := c.Repair(); repaired != n {
+		t.Fatalf("Repair returned %d, want %d", repaired, n)
+	}
+	check("repaired")
+	if c.Count() != 0 {
+		t.Fatal("Repair left state behind")
+	}
+}
+
+// TestStepAtMatchesStepWithoutStrikes pins the zero-config identity: with
+// StrikeSlots unset, StepAt must consume the rng stream draw-for-draw like
+// Step, so existing runs stay bit-identical.
+func TestStepAtMatchesStepWithoutStrikes(t *testing.T) {
+	run := func(useAt bool) ([]int, uint64) {
+		c, _ := NewCampaign(50, 0.5, 1, 4, None{})
+		src := rng.New(13)
+		counts := make([]int, 48)
+		for i := range counts {
+			if useAt {
+				c.StepAt(i%24, src)
+			} else {
+				c.Step(src)
+			}
+			counts[i] = c.Count()
+		}
+		return counts, src.Uint64()
+	}
+	a, aTail := run(false)
+	b, bTail := run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d: Step count %d, StepAt count %d", i, a[i], b[i])
+		}
+	}
+	if aTail != bTail {
+		t.Fatal("StepAt consumed a different number of rng draws than Step")
+	}
+}
+
+func TestStepAtCoordinatedStrikes(t *testing.T) {
+	c, err := NewCampaign(100, 0.5, 3, 3, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StrikeSlots = []int{2, 8, 14, 20}
+	src := rng.New(17)
+	strikes := map[int]bool{2: true, 8: true, 14: true, 20: true}
+	for h := 0; h < 24; h++ {
+		newly := c.StepAt(h, src)
+		if strikes[h] {
+			if newly != 3 {
+				t.Fatalf("strike slot %d hacked %d meters, want batch 3", h, newly)
+			}
+		} else if newly != 0 {
+			t.Fatalf("quiet slot %d hacked %d meters", h, newly)
+		}
+	}
+	if c.Count() != 12 {
+		t.Fatalf("after one day: count %d, want 12", c.Count())
+	}
+}
+
+func TestCampaignStateRoundTrip(t *testing.T) {
+	c, err := NewCampaign(40, 1, 2, 2, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(19)
+	for i := 0; i < 5; i++ {
+		c.Step(src)
+	}
+	snap := c.State()
+	// The snapshot is a copy: mutating the campaign must not change it.
+	c.Step(src)
+	set := 0
+	for _, h := range snap.Hacked {
+		if h {
+			set++
+		}
+	}
+	if set != snap.Count || snap.Count != 10 {
+		t.Fatalf("snapshot inconsistent: set %d, count %d", set, snap.Count)
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 10 {
+		t.Fatalf("restore count %d, want 10", c.Count())
+	}
+	for i, h := range snap.Hacked {
+		if c.Hacked(i) != h {
+			t.Fatalf("restore diverges at meter %d", i)
+		}
+	}
+}
+
+func TestCampaignRestoreRejections(t *testing.T) {
+	c, err := NewCampaign(10, 1, 1, 1, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(CampaignState{Hacked: make([]bool, 7), Count: 0}); err == nil {
+		t.Error("Restore accepted a wrong-length snapshot")
+	}
+	bad := CampaignState{Hacked: make([]bool, 10), Count: 3}
+	bad.Hacked[0] = true // only one set, count says three
+	if err := c.Restore(bad); err == nil {
+		t.Error("Restore accepted an inconsistent count")
+	}
+	// Failed restores leave the campaign untouched.
+	if c.Count() != 0 {
+		t.Errorf("failed Restore mutated the campaign: count %d", c.Count())
+	}
+}

@@ -474,6 +474,63 @@ func (e *Engine) ChannelRates(ctx context.Context, kit *DetectorKit, hackedFrac 
 	return fp, fn, nil
 }
 
+// AttackProbe builds an attack.ProbeFn that evaluates candidate payloads
+// against the kit's deviation channel: it returns the worst single-slot
+// absolute deviation (kW) a candidate payload *adds* to a hacked meter's
+// profile — the meter's predicted flows under the manipulated price (plus
+// any reading falsification) against the same predictor's flows under the
+// published price. Both sides run the identical machinery, so the harmless
+// payload probes to exactly zero and the probe isolates the marginal
+// detector-visible signal the payload itself induces; the Adaptive
+// attacker's Margin is the headroom it keeps for the nuisance deviation
+// (baseline error, measurement noise) it cannot observe. The probe reasons
+// on one prepared day and a shared load predictor; nothing mutates the
+// engine (PrepareDay is pure and every solve derives its rng by label), so
+// probing is repeatable and the parent stream never advances.
+func (e *Engine) AttackProbe(ctx context.Context, kit *DetectorKit) (attack.ProbeFn, error) {
+	if err := kit.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := e.PrepareDay(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.gameConfig(true)
+	pred, err := loadpred.New(e.Customers(), cfg, env.PV, e.ControllerSeed())
+	if err != nil {
+		return nil, err
+	}
+	base, err := pred.Predict(ctx, env.Published)
+	if err != nil {
+		return nil, err
+	}
+	clean := meterFlows(base, true)
+	return func(cand attack.Attack) (float64, error) {
+		if cand == nil {
+			return 0, errors.New("community: probe of nil attack")
+		}
+		res, err := pred.Predict(ctx, cand.Apply(env.Published))
+		if err != nil {
+			return 0, err
+		}
+		flows := meterFlows(res, true)
+		ra, _ := cand.(attack.ReadingAttack)
+		worst := 0.0
+		for n := range flows {
+			for h := range flows[n] {
+				v := flows[n][h]
+				if ra != nil {
+					v = ra.FalsifyReading(h, v)
+				}
+				if d := math.Abs(v - clean[n][h]); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst, nil
+	}, nil
+}
+
 // SingleEventKit builds a single-event detector whose load predictions use
 // the kit's community model for this engine.
 func (e *Engine) SingleEventKit(kit *DetectorKit, env *DayEnvironment, deltaPAR float64) (*detect.SingleEvent, error) {

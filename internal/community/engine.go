@@ -508,9 +508,17 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 
 	noiseSrc := daySrc.Derive("measurement")
 
+	// Reading-falsification attacks lie on the monitoring channel: hacked
+	// meters report a falsified value while their physical flows (and the
+	// community sums) stay truthful.
+	var ra attack.ReadingAttack
+	if camp != nil {
+		ra, _ = camp.Attack.(attack.ReadingAttack)
+	}
+
 	for h := 0; h < 24; h++ {
 		if camp != nil {
-			camp.Step(daySrc.Derive(fmt.Sprintf("campaign-%d", h)))
+			camp.StepAt(h, daySrc.Derive(fmt.Sprintf("campaign-%d", h)))
 			trace.TrueHacked[h] = camp.Count()
 		}
 		yCol, lCol := cleanYCols.Col(h), cleanLCols.Col(h)
@@ -519,14 +527,19 @@ func (e *Engine) SimulateDay(ctx context.Context, env *DayEnvironment, camp *att
 		for n := range e.customers {
 			v := yCol[n]
 			l := lCol[n]
+			reported := v
 			if camp != nil && camp.Hacked(n) {
 				v = ayCol[n]
 				l = alCol[n]
+				reported = v
+				if ra != nil {
+					reported = ra.FalsifyReading(h, reported)
+				}
 			}
 			// The noise draw always happens — even for a reading about to
 			// be dropped — so the measurement stream is identical with and
 			// without faults.
-			noisy := v + noiseSrc.Normal(0, e.cfg.MeasurementNoise)
+			noisy := reported + noiseSrc.Normal(0, e.cfg.MeasurementNoise)
 			if df := env.Faults; df != nil {
 				if fv := df.Readings[n][h]; math.IsNaN(fv) {
 					noisy = math.NaN() // reading lost (or rejected as garbage)

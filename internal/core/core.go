@@ -69,6 +69,12 @@ type Options struct {
 	// POMDP is trained against.
 	HackProb         float64
 	BatchLo, BatchHi int
+	// StrikeSlots, when non-empty, switches campaigns built by NewCampaign
+	// to coordinated timing: a batch is compromised exactly at each listed
+	// day slot instead of by the Bernoulli process. The POMDP is still
+	// trained against the stochastic dynamics — the coordinated attacker is
+	// an off-model adversary.
+	StrikeSlots []int
 	// CalibFrac is the hacked fraction used for channel calibration.
 	CalibFrac float64
 	// Solver picks the POMDP policy solver.
@@ -127,6 +133,11 @@ func (o Options) Validate() error {
 	}
 	if o.CalibFrac <= 0 || o.CalibFrac >= 1 {
 		return fmt.Errorf("core: calibration fraction %v out of (0,1)", o.CalibFrac)
+	}
+	for _, s := range o.StrikeSlots {
+		if s < 0 || s > 23 {
+			return fmt.Errorf("core: strike slot %d out of [0,23]", s)
+		}
 	}
 	switch o.Solver {
 	case SolverPBVI, SolverQMDP, SolverThreshold:
@@ -199,6 +210,24 @@ func NewSystem(ctx context.Context, opts Options) (*System, error) {
 	}
 	end()
 
+	// Strategic attackers probe the detector before the campaign starts —
+	// Esmalifalak et al.'s zero-sum loop. Tuning runs against the aware
+	// kit's channel and precedes calibration, so the channel rates below
+	// describe the payload the campaign will actually run. Tune draws no
+	// randomness and AttackProbe is side-effect-free, so resumed runs
+	// re-tune to the identical payload.
+	if tun, ok := opts.Attack.(attack.Tunable); ok {
+		end = sink.Span("core.tune_attacker")
+		probe, err := engine.AttackProbe(ctx, sys.Aware)
+		if err != nil {
+			return nil, fmt.Errorf("core: attacker probe: %w", err)
+		}
+		if _, err := tun.Tune(probe); err != nil {
+			return nil, fmt.Errorf("core: attacker tuning: %w", err)
+		}
+		end()
+	}
+
 	end = sink.Span("core.calibrate")
 	sys.AwareFP, sys.AwareFN, err = engine.ChannelRates(ctx, sys.Aware, opts.CalibFrac, opts.Attack)
 	if err != nil {
@@ -257,9 +286,16 @@ func (s *System) buildLongTerm(ctx context.Context, base detect.ModelParams, fp,
 }
 
 // NewCampaign builds a fresh attack campaign with the system's configured
-// dynamics and payload.
+// dynamics, payload and (when set) coordinated strike timing.
 func (s *System) NewCampaign() (*attack.Campaign, error) {
-	return attack.NewCampaign(s.opts.Community.N, s.opts.HackProb, s.opts.BatchLo, s.opts.BatchHi, s.opts.Attack)
+	camp, err := attack.NewCampaign(s.opts.Community.N, s.opts.HackProb, s.opts.BatchLo, s.opts.BatchHi, s.opts.Attack)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.opts.StrikeSlots) > 0 {
+		camp.StrikeSlots = append([]int(nil), s.opts.StrikeSlots...)
+	}
+	return camp, nil
 }
 
 // MonitorDays runs `days` consecutive monitored days with the given kit and

@@ -95,6 +95,9 @@ type Config struct {
 	// Attack overrides the manipulation payload; nil keeps the default
 	// zero-price window 16:00–17:00.
 	Attack attack.Attack
+	// StrikeSlots switches campaigns to coordinated timing (one batch per
+	// listed day slot); nil keeps the stochastic process.
+	StrikeSlots []int
 	// Faults injects deterministic data-plane faults (package faultinject)
 	// into the simulated world. The zero value keeps the fault-free engine —
 	// recorded outputs are untouched.
@@ -145,6 +148,11 @@ func (c Config) Validate() error {
 	if c.HackProb < 0 || c.HackProb > 1 {
 		return fmt.Errorf("experiments: hack probability %v out of [0,1]", c.HackProb)
 	}
+	for _, s := range c.StrikeSlots {
+		if s < 0 || s > 23 {
+			return fmt.Errorf("experiments: strike slot %d out of [0,23]", s)
+		}
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
@@ -178,6 +186,9 @@ func (c Config) options() core.Options {
 	}
 	if c.Attack != nil {
 		opts.Attack = c.Attack
+	}
+	if len(c.StrikeSlots) > 0 {
+		opts.StrikeSlots = append([]int(nil), c.StrikeSlots...)
 	}
 	return opts
 }

@@ -1,0 +1,106 @@
+package scenario
+
+import "sort"
+
+// The adversarial corpus world: one mid-size community, one seed, so every
+// corpus preset differs from its siblings in the attack surface alone and
+// detection results across the corpus are attributable to the attack.
+const (
+	corpusN    = 100
+	corpusSeed = 42
+)
+
+// corpusAttacks enumerates the corpus, one entry per attack archetype
+// variant. Each mutation edits only the attack block and (for the
+// coordinated entries) the campaign's strike timing — never the world.
+var corpusAttacks = map[string]func(*Spec){
+	// The control: an active campaign delivering a harmless payload. The
+	// detector should stay quiet; any inspections here are pure false alarms.
+	"attack-none-control": func(s *Spec) { s.Attack = Attack{Kind: "none"} },
+	// The paper's Figure 5 attack: a free evening window attracts every
+	// schedulable load.
+	"attack-zero-peak": func(s *Spec) { s.Attack = Attack{Kind: "zero", From: 16, To: 17} },
+	// The same zeroing payload wrapped past midnight — the regression
+	// scenario for wrapping windows.
+	"attack-zero-night-wrap": func(s *Spec) { s.Attack = Attack{Kind: "zero", From: 22, To: 2} },
+	// Half-price evening: subtler than zeroing, still pulls load in.
+	"attack-scale-half-evening": func(s *Spec) {
+		s.Attack = Attack{Kind: "scale", From: 16, To: 19, Factor: 0.5}
+	},
+	// Price surge on the morning slots: repels load instead of attracting it.
+	"attack-scale-surge-morning": func(s *Spec) {
+		s.Attack = Attack{Kind: "scale", From: 6, To: 9, Factor: 2}
+	},
+	// Creeping discount that ramps to 70% off across the afternoon, avoiding
+	// the step edge a windowed scale leaves in the price curve.
+	"attack-ramp-evening-creep": func(s *Spec) {
+		s.Attack = Attack{Kind: "ramp", From: 12, To: 20, Factor: 0.3}
+	},
+	// Stale-price replay: hacked meters schedule against a 3-hour-old tariff.
+	"attack-delay-stale-3h": func(s *Spec) { s.Attack = Attack{Kind: "delay", Slots: 3} },
+	// The mirror image: the signal arrives 2 hours early.
+	"attack-delay-advance-2h": func(s *Spec) { s.Attack = Attack{Kind: "delay", Slots: -2} },
+	// Fabricated DSM signal: noon discount compensated outside the window so
+	// the day's average tariff is unchanged.
+	"attack-load-shift-noon": func(s *Spec) {
+		s.Attack = Attack{Kind: "load-shift", From: 10, To: 14, Factor: 0.4}
+	},
+	// The bill-maximizing inversion of [8]: cheapest slots become dearest.
+	"attack-invert-billmax": func(s *Spec) { s.Attack = Attack{Kind: "invert"} },
+	// Monitoring-channel falsification: phantom daytime PV export, price
+	// untouched.
+	"attack-false-reading-day": func(s *Spec) {
+		s.Attack = Attack{Kind: "false-reading", From: 10, To: 15, MagnitudeKW: 0.8}
+	},
+	// The same lie overnight, wrapped past midnight, at lower magnitude.
+	"attack-false-reading-night-wrap": func(s *Spec) {
+		s.Attack = Attack{Kind: "false-reading", From: 22, To: 2, MagnitudeKW: 0.5}
+	},
+	// Coordinated timing: the classic zero-window payload delivered in four
+	// synchronized waves instead of the Bernoulli drip.
+	"attack-coordinated-wave": func(s *Spec) {
+		s.Attack = Attack{Kind: "zero", From: 16, To: 17}
+		s.Campaign.StrikeSlots = []int{2, 8, 14, 20}
+	},
+	// A faster blitz: strikes every three hours with a subtler payload.
+	"attack-coordinated-blitz": func(s *Spec) {
+		s.Attack = Attack{Kind: "scale", From: 16, To: 19, Factor: 0.5}
+		s.Campaign.StrikeSlots = []int{0, 3, 6, 9, 12, 15, 18, 21}
+	},
+	// The strategic attacker at the default 0.9 evasion margin: tunes a
+	// scale-family payload just under the flagger threshold.
+	"attack-adaptive-evade": func(s *Spec) {
+		s.Attack = Attack{Kind: "adaptive", From: 16, To: 19, Margin: 0.9}
+	},
+	// A more cautious adaptive attacker keeping half the threshold in hand.
+	"attack-adaptive-cautious": func(s *Spec) {
+		s.Attack = Attack{Kind: "adaptive", From: 16, To: 19, Margin: 0.5}
+	},
+	// The adaptive attacker on the monitoring channel: tunes a phantom
+	// daytime export of up to 2 kW down to just under the flagger threshold
+	// — theft sized to the detector.
+	"attack-adaptive-theft": func(s *Spec) {
+		s.Attack = Attack{Kind: "adaptive", From: 10, To: 15, MagnitudeKW: 2, Margin: 0.9}
+	},
+}
+
+// Corpus returns the adversarial scenario corpus shipped under scenarios/ at
+// the repository root: one preset per attack archetype variant, every one a
+// Default(corpusN, corpusSeed) world differing only in its attack surface,
+// in stable name order. Every spec validates; the golden corpus test pins
+// each preset's file bytes and content ID.
+func Corpus() []Spec {
+	names := make([]string, 0, len(corpusAttacks))
+	for name := range corpusAttacks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		s := Default(corpusN, corpusSeed)
+		s.Name = name
+		corpusAttacks[name](&s)
+		specs[i] = s
+	}
+	return specs
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate scenarios/ corpus files and the pinned corpus IDs")
+
+// corpusDir is the shipped corpus, relative to this package.
+const corpusDir = "../../scenarios"
+
+// corpusIDFile pins each corpus preset's content ID.
+const corpusIDFile = "testdata/corpus_ids.json"
+
+// TestCorpusGolden is the golden test over the shipped adversarial corpus:
+// every file under scenarios/ must load, validate, match its builder's Save
+// output byte for byte, and carry the pinned content ID — and the directory
+// must contain exactly the corpus, nothing more or less. Run with -update to
+// regenerate the files and the ID pins after an intentional change.
+func TestCorpusGolden(t *testing.T) {
+	specs := Corpus()
+	if len(specs) < 12 {
+		t.Fatalf("corpus has %d presets, want >= 12", len(specs))
+	}
+
+	wantBytes := make(map[string][]byte, len(specs))
+	wantIDs := make(map[string]string, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			t.Fatal("corpus spec without a name")
+		}
+		if _, dup := wantBytes[s.Name]; dup {
+			t.Fatalf("duplicate corpus name %q", s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("corpus spec %q invalid: %v", s.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("corpus spec %q: %v", s.Name, err)
+		}
+		wantBytes[s.Name] = buf.Bytes()
+		wantIDs[s.Name] = s.ID()
+	}
+
+	if *update {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range wantBytes {
+			if err := os.WriteFile(filepath.Join(corpusDir, name+".json"), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.MkdirAll(filepath.Dir(corpusIDFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		pinned, err := json.MarshalIndent(wantIDs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(corpusIDFile, append(pinned, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The directory holds exactly the corpus.
+	entries, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make(map[string]bool, len(entries))
+	for _, path := range entries {
+		name := filepath.Base(path)
+		name = name[:len(name)-len(".json")]
+		onDisk[name] = true
+		want, ok := wantBytes[name]
+		if !ok {
+			t.Errorf("scenarios/%s.json has no corpus builder", name)
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("scenarios/%s.json differs from its builder output (run go test ./internal/scenario -run TestCorpusGolden -update)", name)
+		}
+		spec, err := LoadFile(path)
+		if err != nil {
+			t.Errorf("scenarios/%s.json does not load: %v", name, err)
+			continue
+		}
+		if spec.ID() != wantIDs[name] {
+			t.Errorf("scenarios/%s.json ID %s != builder ID %s", name, spec.ID(), wantIDs[name])
+		}
+	}
+	for name := range wantBytes {
+		if !onDisk[name] {
+			t.Errorf("corpus preset %q missing from scenarios/ (run with -update)", name)
+		}
+	}
+
+	// The content IDs are pinned: an accidental hash move fails here even if
+	// files and builders moved together.
+	pinnedRaw, err := os.ReadFile(corpusIDFile)
+	if err != nil {
+		t.Fatalf("pinned corpus IDs unreadable (run with -update): %v", err)
+	}
+	var pinned map[string]string
+	if err := json.Unmarshal(pinnedRaw, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(wantIDs))
+	for name := range wantIDs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if pinned[name] != wantIDs[name] {
+			t.Errorf("corpus %q ID moved: pinned %s, built %s", name, pinned[name], wantIDs[name])
+		}
+	}
+	if len(pinned) != len(wantIDs) {
+		t.Errorf("pinned ID count %d != corpus size %d", len(pinned), len(wantIDs))
+	}
+}
+
+// TestBaselineIDsUnchanged pins the content IDs of every pre-corpus scenario:
+// the attack-block and strike-slot fields are omitempty, so extending the
+// spec must not move a single existing hash. These values were captured
+// before the attack-surface extension landed.
+func TestBaselineIDsUnchanged(t *testing.T) {
+	want := map[string]string{
+		"fig3":        "sc-ad77147beb56524c",
+		"fig4":        "sc-fd7ed4dd56822272",
+		"fig5":        "sc-592652a5f9cab32d",
+		"fig6":        "sc-b915c2b1f0770f21",
+		"scale500":    "sc-69fe7f570f758727",
+		"serve-smoke": "sc-e46abfc453e9ac04",
+		"table1":      "sc-1af9824ccaa49f19",
+	}
+	for name, id := range want {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if got := spec.ID(); got != id {
+			t.Errorf("Preset(%q) ID moved: %s, want %s", name, got, id)
+		}
+	}
+	if got := Default(500, 42).ID(); got != "sc-1bbdd480b4b3125e" {
+		t.Errorf("Default(500,42) ID moved: %s", got)
+	}
+	if got := Default(16, 42).ID(); got != "sc-e751800526855af8" {
+		t.Errorf("Default(16,42) ID moved: %s", got)
+	}
+}

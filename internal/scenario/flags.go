@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAttack parses the compact command-line form of an attack block:
+//
+//	kind[:from-to[:value]]
+//
+// where the window "from-to" applies to the windowed kinds (From > To wraps
+// past midnight) and value is the kind's scalar — Factor for scale, ramp
+// and load-shift, MagnitudeKW for false-reading, Margin for adaptive. The
+// delay kind takes its signed hour count in place of the window
+// ("delay:3"); "invert" and "none" take nothing. Omitted windows default to
+// the paper's 16-17 attack window. Examples:
+//
+//	zero:16-17  scale:16-19:0.5  ramp:12-20:0.3  load-shift:10-14:0.4
+//	false-reading:10-15:0.8  delay:3  adaptive:16-19:0.9  invert  none
+//
+// The returned block still goes through Spec.Validate, which owns the range
+// checks.
+func ParseAttack(s string) (Attack, error) {
+	parts := strings.Split(s, ":")
+	a := Attack{Kind: parts[0], From: 16, To: 17}
+	switch a.Kind {
+	case "invert", "none":
+		if len(parts) > 1 {
+			return Attack{}, fmt.Errorf("scenario: attack kind %q takes no arguments", a.Kind)
+		}
+		a.From, a.To = 0, 0
+		return a, nil
+	case "delay":
+		if len(parts) != 2 {
+			return Attack{}, fmt.Errorf("scenario: delay needs its hour count (delay:3)")
+		}
+		slots, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return Attack{}, fmt.Errorf("scenario: delay hours %q: %w", parts[1], err)
+		}
+		a.From, a.To = 0, 0
+		a.Slots = slots
+		return a, nil
+	case "zero", "scale", "ramp", "load-shift", "false-reading", "adaptive":
+	default:
+		return Attack{}, fmt.Errorf("scenario: unknown attack kind %q (want zero|scale|ramp|delay|load-shift|false-reading|adaptive|invert|none)", a.Kind)
+	}
+	if len(parts) > 3 {
+		return Attack{}, fmt.Errorf("scenario: attack %q has too many segments", s)
+	}
+	if len(parts) >= 2 {
+		fromStr, toStr, ok := strings.Cut(parts[1], "-")
+		if !ok {
+			return Attack{}, fmt.Errorf("scenario: attack window %q is not from-to", parts[1])
+		}
+		from, err := strconv.Atoi(fromStr)
+		if err != nil {
+			return Attack{}, fmt.Errorf("scenario: attack window start %q: %w", fromStr, err)
+		}
+		to, err := strconv.Atoi(toStr)
+		if err != nil {
+			return Attack{}, fmt.Errorf("scenario: attack window end %q: %w", toStr, err)
+		}
+		a.From, a.To = from, to
+	}
+	if len(parts) == 3 {
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return Attack{}, fmt.Errorf("scenario: attack value %q: %w", parts[2], err)
+		}
+		switch a.Kind {
+		case "scale", "ramp", "load-shift":
+			a.Factor = v
+		case "false-reading":
+			a.MagnitudeKW = v
+		case "adaptive":
+			a.Margin = v
+		case "zero":
+			return Attack{}, fmt.Errorf("scenario: zero takes no value segment")
+		}
+	} else {
+		// Kinds whose scalar has no sensible default must spell it out.
+		if a.Kind == "false-reading" {
+			return Attack{}, fmt.Errorf("scenario: false-reading needs its magnitude (false-reading:10-15:0.8)")
+		}
+	}
+	return a, nil
+}
+
+// ParseStrikeSlots parses a comma-separated list of coordinated strike
+// slots ("2,8,14,20") into a Campaign.StrikeSlots value. An empty string
+// returns nil (the stochastic campaign). Spec.Validate owns the range and
+// ordering checks.
+func ParseStrikeSlots(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var slots []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: strike slot %q: %w", part, err)
+		}
+		slots = append(slots, v)
+	}
+	return slots, nil
+}

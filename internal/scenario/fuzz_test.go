@@ -23,10 +23,28 @@ func FuzzLoadSpec(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seedBuf.String())
+	withAttack := Default(20, 42)
+	withAttack.Attack = Attack{Kind: "false-reading", From: 22, To: 2, MagnitudeKW: 0.8}
+	withAttack.Campaign.StrikeSlots = []int{2, 8, 14, 20}
+	seedBuf.Reset()
+	if err := withAttack.Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	adaptive := Default(20, 42)
+	adaptive.Attack = Attack{Kind: "adaptive", From: 16, To: 19, Margin: 0.9}
+	seedBuf.Reset()
+	if err := adaptive.Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
 	f.Add(`{"n": 3}`)
 	f.Add(`{"n": 20, "seed": 1, "unknown_field": true}`)
 	f.Add(`garbage`)
 	f.Add(`{"n": 20, "faults": {"dropout_rate": 2.5}}`)
+	f.Add(`{"n": 20, "attack": {"kind": "delay", "slots": 24}}`)
+	f.Add(`{"n": 20, "attack": {"kind": "ramp", "from": 12, "to": 20, "factor": -1}}`)
+	f.Add(`{"n": 20, "campaign": {"hack_prob": 0.1, "batch_lo": 1, "batch_hi": 2, "strike_slots": [8, 2]}}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		s, err := Load(strings.NewReader(input))

@@ -74,17 +74,37 @@ type PV struct {
 	MeasurementNoise float64 `json:"measurement_noise"`
 }
 
-// Attack selects the price-manipulation payload hacked meters receive.
+// Attack selects the payload hacked meters receive. Most kinds manipulate
+// the price channel; "false-reading" lies on the monitoring channel instead,
+// and "adaptive" tunes a price payload against the detector threshold before
+// the campaign starts. Every field added after the original four is
+// omitempty, so pre-existing scenario content IDs are unchanged, and the
+// struct stays comparable (scalar fields only — the experiments lowering
+// compares it with ==).
 type Attack struct {
-	// Kind is one of "zero" (ZeroWindow), "scale" (ScaleWindow), "invert"
-	// or "none".
+	// Kind is one of "zero" (ZeroWindow), "scale" (ScaleWindow), "ramp"
+	// (Ramp), "delay" (Delay), "load-shift" (LoadShift), "false-reading"
+	// (FalseReading), "adaptive" (Adaptive over a ScaleFamily), "invert" or
+	// "none".
 	Kind string `json:"kind"`
 	// From and To bound the manipulated slot window (inclusive) for the
-	// windowed kinds.
+	// windowed kinds. From > To wraps past midnight: [22,2] is the five
+	// night slots.
 	From int `json:"from"`
 	To   int `json:"to"`
-	// Factor is the price multiplier for kind "scale".
+	// Factor is the price multiplier for kinds "scale", "ramp" (the value
+	// reached at the window end) and "load-shift".
 	Factor float64 `json:"factor,omitempty"`
+	// MagnitudeKW is the phantom export for kind "false-reading". For kind
+	// "adaptive" a positive magnitude switches the attacker to the
+	// monitoring channel: it tunes a reading falsification of up to
+	// MagnitudeKW instead of a price scale.
+	MagnitudeKW float64 `json:"magnitude_kw,omitempty"`
+	// Slots is the signed rotation for kind "delay" (hours, in [-23,23]).
+	Slots int `json:"slots,omitempty"`
+	// Margin is the evasion margin for kind "adaptive": the attacker stays
+	// under Margin x FlagTau. 0 selects the default 0.9.
+	Margin float64 `json:"margin,omitempty"`
 }
 
 // Campaign describes the meter-compromise process the POMDP tracks.
@@ -95,6 +115,13 @@ type Campaign struct {
 	// BatchLo and BatchHi bound the batch size per successful strike.
 	BatchLo int `json:"batch_lo"`
 	BatchHi int `json:"batch_hi"`
+	// StrikeSlots, when non-empty, switches the campaign to coordinated
+	// timing: one batch is compromised exactly at each listed day slot and
+	// HackProb is ignored (the coordinated grid attack of the scenario
+	// taxonomy). Slots must be strictly ascending in [0,23] so the content
+	// ID is canonical. omitempty: absent for every stochastic campaign, so
+	// pre-existing scenario IDs are unchanged.
+	StrikeSlots []int `json:"strike_slots,omitempty"`
 }
 
 // Detector holds the two-tier detection knobs.
@@ -293,7 +320,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: community size %d too small (need >= 3)", s.N)
 	}
 	if nonFinite(s.Tariff.SellBackW, s.PV.ForecastSigma, s.PV.MeasurementNoise,
-		s.Attack.Factor, s.Campaign.HackProb, s.Detector.FlagTau,
+		s.Attack.Factor, s.Attack.MagnitudeKW, s.Attack.Margin,
+		s.Campaign.HackProb, s.Detector.FlagTau,
 		s.Detector.DeltaPAR, s.Detector.CalibFrac) {
 		return fmt.Errorf("scenario: non-finite parameter")
 	}
@@ -316,22 +344,50 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: negative noise parameter")
 	}
 	switch s.Attack.Kind {
-	case "zero", "scale":
-		if s.Attack.From < 0 || s.Attack.To > 23 || s.Attack.From > s.Attack.To {
+	case "zero", "scale", "ramp", "load-shift", "false-reading", "adaptive":
+		// From > To is a legal wrapping window (22..2 covers the night
+		// slots); both bounds must still be day slots.
+		if s.Attack.From < 0 || s.Attack.From > 23 || s.Attack.To < 0 || s.Attack.To > 23 {
 			return fmt.Errorf("scenario: attack window [%d,%d] out of [0,23]", s.Attack.From, s.Attack.To)
 		}
-		if s.Attack.Kind == "scale" && s.Attack.Factor < 0 {
-			return fmt.Errorf("scenario: scale factor %v must be non-negative", s.Attack.Factor)
+		switch s.Attack.Kind {
+		case "scale", "ramp", "load-shift":
+			if s.Attack.Factor < 0 {
+				return fmt.Errorf("scenario: %s factor %v must be non-negative", s.Attack.Kind, s.Attack.Factor)
+			}
+		case "false-reading":
+			if s.Attack.MagnitudeKW <= 0 {
+				return fmt.Errorf("scenario: false-reading magnitude %v must be positive", s.Attack.MagnitudeKW)
+			}
+		case "adaptive":
+			if s.Attack.Margin < 0 || s.Attack.Margin >= 1 {
+				return fmt.Errorf("scenario: adaptive margin %v out of [0,1) (0 selects the default)", s.Attack.Margin)
+			}
+			if s.Attack.MagnitudeKW < 0 {
+				return fmt.Errorf("scenario: adaptive magnitude %v must be non-negative", s.Attack.MagnitudeKW)
+			}
+		}
+	case "delay":
+		if s.Attack.Slots == 0 || s.Attack.Slots < -23 || s.Attack.Slots > 23 {
+			return fmt.Errorf("scenario: delay slots %d out of [-23,23] (and non-zero)", s.Attack.Slots)
 		}
 	case "invert", "none":
 	default:
-		return fmt.Errorf("scenario: unknown attack kind %q (want zero|scale|invert|none)", s.Attack.Kind)
+		return fmt.Errorf("scenario: unknown attack kind %q (want zero|scale|ramp|delay|load-shift|false-reading|adaptive|invert|none)", s.Attack.Kind)
 	}
 	if s.Campaign.HackProb <= 0 || s.Campaign.HackProb > 1 {
 		return fmt.Errorf("scenario: hack probability %v out of (0,1]", s.Campaign.HackProb)
 	}
 	if s.Campaign.BatchLo < 1 || s.Campaign.BatchHi < s.Campaign.BatchLo {
 		return fmt.Errorf("scenario: campaign batch range [%d,%d] invalid", s.Campaign.BatchLo, s.Campaign.BatchHi)
+	}
+	for i, slot := range s.Campaign.StrikeSlots {
+		if slot < 0 || slot > 23 {
+			return fmt.Errorf("scenario: strike slot %d out of [0,23]", slot)
+		}
+		if i > 0 && slot <= s.Campaign.StrikeSlots[i-1] {
+			return fmt.Errorf("scenario: strike slots must be strictly ascending, got %v", s.Campaign.StrikeSlots)
+		}
 	}
 	if s.Detector.FlagTau <= 0 || s.Detector.DeltaPAR <= 0 {
 		return fmt.Errorf("scenario: detector thresholds must be positive")
@@ -405,20 +461,51 @@ func (s Spec) ID() string {
 	return "sc-" + hex.EncodeToString(sum[:])[:16]
 }
 
-// BuildAttack constructs the manipulation payload the spec describes.
-func (s Spec) BuildAttack() (attack.Attack, error) {
-	switch s.Attack.Kind {
+// Build constructs the payload the block describes. flagTau is the detector
+// flagger threshold a kind-"adaptive" attacker tunes against; the other
+// kinds ignore it.
+func (a Attack) Build(flagTau float64) (attack.Attack, error) {
+	switch a.Kind {
 	case "zero":
-		return attack.ZeroWindow{From: s.Attack.From, To: s.Attack.To}, nil
+		return attack.ZeroWindow{From: a.From, To: a.To}, nil
 	case "scale":
-		return attack.ScaleWindow{From: s.Attack.From, To: s.Attack.To, Factor: s.Attack.Factor}, nil
+		return attack.ScaleWindow{From: a.From, To: a.To, Factor: a.Factor}, nil
+	case "ramp":
+		return attack.Ramp{From: a.From, To: a.To, Factor: a.Factor}, nil
+	case "delay":
+		return attack.Delay{Slots: a.Slots}, nil
+	case "load-shift":
+		return attack.LoadShift{From: a.From, To: a.To, Factor: a.Factor}, nil
+	case "false-reading":
+		return attack.FalseReading{From: a.From, To: a.To, MagnitudeKW: a.MagnitudeKW}, nil
+	case "adaptive":
+		var fam attack.Family = attack.ScaleFamily{From: a.From, To: a.To}
+		if a.MagnitudeKW > 0 {
+			// A magnitude switches the attacker to the monitoring channel:
+			// it tunes a phantom-export reading falsification of up to
+			// MagnitudeKW instead of a price scale.
+			fam = attack.ReadingFamily{From: a.From, To: a.To, MaxKW: a.MagnitudeKW}
+		}
+		return &attack.Adaptive{
+			Family: fam,
+			Tau:    flagTau,
+			Margin: a.Margin,
+		}, nil
 	case "invert":
 		return attack.Invert{}, nil
 	case "none":
 		return attack.None{}, nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown attack kind %q", s.Attack.Kind)
+		return nil, fmt.Errorf("scenario: unknown attack kind %q", a.Kind)
 	}
+}
+
+// BuildAttack constructs the payload the spec describes. Kind "adaptive"
+// returns a fresh untuned *attack.Adaptive targeting the spec's flagger
+// threshold; core.NewSystem tunes it against the detector during the offline
+// phase.
+func (s Spec) BuildAttack() (attack.Attack, error) {
+	return s.Attack.Build(s.Detector.FlagTau)
 }
 
 // CommunityConfig lowers the spec into the simulation-engine configuration.
@@ -480,6 +567,9 @@ func (s Spec) CoreOptions() (core.Options, error) {
 	opts.BatchLo = s.Campaign.BatchLo
 	opts.BatchHi = s.Campaign.BatchHi
 	opts.Attack = atk
+	if len(s.Campaign.StrikeSlots) > 0 {
+		opts.StrikeSlots = append([]int(nil), s.Campaign.StrikeSlots...)
+	}
 	opts.Solver = core.PolicySolver(s.Detector.Solver)
 	return opts, nil
 }
@@ -585,6 +675,9 @@ func (s Spec) ExperimentsConfig() experiments.Config {
 		if atk, err := s.BuildAttack(); err == nil {
 			cfg.Attack = atk
 		}
+	}
+	if len(s.Campaign.StrikeSlots) > 0 {
+		cfg.StrikeSlots = append([]int(nil), s.Campaign.StrikeSlots...)
 	}
 	if s.Faults != nil {
 		cfg.Faults = s.Faults.lower(s.Seed)

@@ -146,8 +146,15 @@ func TestValidateRejections(t *testing.T) {
 		"sell-back < 1":    func(s *Spec) { s.Tariff.SellBackW = 0.5 },
 		"negative noise":   func(s *Spec) { s.PV.MeasurementNoise = -0.1 },
 		"bad attack kind":  func(s *Spec) { s.Attack.Kind = "pulse" },
-		"window inverted":  func(s *Spec) { s.Attack.From = 20; s.Attack.To = 10 },
+		"window negative":  func(s *Spec) { s.Attack.From = -1 },
 		"window overflow":  func(s *Spec) { s.Attack.To = 24 },
+		"delay zero":       func(s *Spec) { s.Attack = Attack{Kind: "delay"} },
+		"delay overflow":   func(s *Spec) { s.Attack = Attack{Kind: "delay", Slots: 24} },
+		"no magnitude":     func(s *Spec) { s.Attack = Attack{Kind: "false-reading", From: 10, To: 15} },
+		"margin >= 1":      func(s *Spec) { s.Attack = Attack{Kind: "adaptive", From: 16, To: 19, Margin: 1} },
+		"negative factor":  func(s *Spec) { s.Attack = Attack{Kind: "ramp", From: 12, To: 20, Factor: -0.5} },
+		"strike slot big":  func(s *Spec) { s.Campaign.StrikeSlots = []int{2, 24} },
+		"strikes unsorted": func(s *Spec) { s.Campaign.StrikeSlots = []int{8, 2} },
 		"hack prob zero":   func(s *Spec) { s.Campaign.HackProb = 0 },
 		"hack prob > 1":    func(s *Spec) { s.Campaign.HackProb = 1.5 },
 		"batch inverted":   func(s *Spec) { s.Campaign.BatchLo = 9; s.Campaign.BatchHi = 3 },
@@ -218,9 +225,25 @@ func TestResolvePresetThenFile(t *testing.T) {
 }
 
 func TestBuildAttackKinds(t *testing.T) {
-	for _, kind := range []string{"zero", "scale", "invert", "none"} {
+	for kind, set := range map[string]func(*Spec){
+		"zero":          nil,
+		"scale":         nil,
+		"invert":        nil,
+		"none":          nil,
+		"ramp":          func(s *Spec) { s.Attack.Factor = 0.3 },
+		"delay":         func(s *Spec) { s.Attack = Attack{Kind: "delay", Slots: 3} },
+		"load-shift":    func(s *Spec) { s.Attack.Factor = 0.4 },
+		"false-reading": func(s *Spec) { s.Attack.MagnitudeKW = 0.8 },
+		"adaptive":      func(s *Spec) { s.Attack.Margin = 0.9 },
+	} {
 		spec := Default(100, 1)
 		spec.Attack.Kind = kind
+		if set != nil {
+			set(&spec)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Validate(%q): %v", kind, err)
+		}
 		if _, err := spec.BuildAttack(); err != nil {
 			t.Errorf("BuildAttack(%q): %v", kind, err)
 		}
@@ -229,5 +252,66 @@ func TestBuildAttackKinds(t *testing.T) {
 	spec.Attack.Kind = "bogus"
 	if _, err := spec.BuildAttack(); err == nil {
 		t.Error("BuildAttack accepted an unknown kind")
+	}
+}
+
+func TestValidateAcceptsWrappingWindowAndStrikes(t *testing.T) {
+	// From > To is a legal wrap-past-midnight window, not an inversion.
+	spec := Default(100, 1)
+	spec.Attack = Attack{Kind: "zero", From: 22, To: 2}
+	spec.Campaign.StrikeSlots = []int{2, 8, 14, 20}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("wrapping window rejected: %v", err)
+	}
+}
+
+func TestParseAttack(t *testing.T) {
+	good := map[string]Attack{
+		"none":                   {Kind: "none"},
+		"invert":                 {Kind: "invert"},
+		"zero":                   {Kind: "zero", From: 16, To: 17},
+		"zero:22-2":              {Kind: "zero", From: 22, To: 2},
+		"scale:16-19:0.5":        {Kind: "scale", From: 16, To: 19, Factor: 0.5},
+		"ramp:12-20:0.3":         {Kind: "ramp", From: 12, To: 20, Factor: 0.3},
+		"delay:3":                {Kind: "delay", Slots: 3},
+		"delay:-2":               {Kind: "delay", Slots: -2},
+		"load-shift:10-14:0.4":   {Kind: "load-shift", From: 10, To: 14, Factor: 0.4},
+		"false-reading:10-15:.8": {Kind: "false-reading", From: 10, To: 15, MagnitudeKW: 0.8},
+		"adaptive:16-19:0.9":     {Kind: "adaptive", From: 16, To: 19, Margin: 0.9},
+	}
+	for in, want := range good {
+		got, err := ParseAttack(in)
+		if err != nil {
+			t.Errorf("ParseAttack(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseAttack(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{
+		"", "pulse", "invert:1-2", "delay", "delay:x", "zero:16",
+		"zero:16-17:0.5", "scale:16-19:x", "false-reading:10-15",
+		"scale:1-2:3:4",
+	} {
+		if _, err := ParseAttack(in); err == nil {
+			t.Errorf("ParseAttack(%q) accepted an invalid form", in)
+		}
+	}
+}
+
+func TestParseStrikeSlots(t *testing.T) {
+	got, err := ParseStrikeSlots("2, 8,14,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 8, 14, 20}) {
+		t.Fatalf("ParseStrikeSlots = %v", got)
+	}
+	if got, err := ParseStrikeSlots(""); err != nil || got != nil {
+		t.Fatalf("empty list should be nil, got %v, %v", got, err)
+	}
+	if _, err := ParseStrikeSlots("2,x"); err == nil {
+		t.Fatal("ParseStrikeSlots accepted a non-integer")
 	}
 }
